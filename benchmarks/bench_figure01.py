@@ -1,0 +1,8 @@
+"""Figure 1: headline GPT-2 comparison at scale."""
+
+from benchmarks.conftest import run_and_print
+from repro.bench.experiments import figure1
+
+
+def test_figure01_headline(benchmark, fast_mode, report):
+    run_and_print(benchmark, figure1.run, fast_mode, report)

@@ -1,0 +1,8 @@
+"""Figure 9: memory distribution across 32 workers."""
+
+from benchmarks.conftest import run_and_print
+from repro.bench.experiments import figure9
+
+
+def test_figure09_memory_distribution(benchmark, fast_mode, report):
+    run_and_print(benchmark, figure9.run, fast_mode, report)

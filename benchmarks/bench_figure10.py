@@ -1,0 +1,8 @@
+"""Figure 10: baseline tuning grids, Bert-48 on 32 nodes."""
+
+from benchmarks.conftest import run_and_print
+from repro.bench.experiments import figure10
+
+
+def test_figure10_baseline_tuning(benchmark, fast_mode, report):
+    run_and_print(benchmark, figure10.run, fast_mode, report)

@@ -1,0 +1,8 @@
+"""Figure 11: baseline tuning, GPT-2 at scale."""
+
+from benchmarks.conftest import run_and_print
+from repro.bench.experiments import figure11
+
+
+def test_figure11_gpt2_tuning(benchmark, fast_mode, report):
+    run_and_print(benchmark, figure11.run, fast_mode, report)

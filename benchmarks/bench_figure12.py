@@ -1,0 +1,8 @@
+"""Figure 12: gradient synchronization strategies."""
+
+from benchmarks.conftest import run_and_print
+from repro.bench.experiments import figure12
+
+
+def test_figure12_sync_strategies(benchmark, fast_mode, report):
+    run_and_print(benchmark, figure12.run, fast_mode, report)

@@ -1,0 +1,8 @@
+"""Figure 13: performance model vs simulated practice."""
+
+from benchmarks.conftest import run_and_print
+from repro.bench.experiments import figure13
+
+
+def test_figure13_model_accuracy(benchmark, fast_mode, report):
+    run_and_print(benchmark, figure13.run, fast_mode, report)

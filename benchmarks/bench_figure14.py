@@ -1,0 +1,8 @@
+"""Figure 14: weak scaling, Bert-48 on the Piz Daint model."""
+
+from benchmarks.conftest import run_and_print
+from repro.bench.experiments import figure14
+
+
+def test_figure14_weak_scaling_bert(benchmark, fast_mode, report):
+    run_and_print(benchmark, figure14.run, fast_mode, report)

@@ -1,0 +1,8 @@
+"""Figure 15: weak scaling, GPT-2 up to 2,048 simulated nodes."""
+
+from benchmarks.conftest import run_and_print
+from repro.bench.experiments import figure15
+
+
+def test_figure15_weak_scaling_gpt2(benchmark, fast_mode, report):
+    run_and_print(benchmark, figure15.run, fast_mode, report)

@@ -1,0 +1,8 @@
+"""Figure 16: weak scaling, Bert-48 on the V100 NVLink/IB cluster model."""
+
+from benchmarks.conftest import run_and_print
+from repro.bench.experiments import figure16
+
+
+def test_figure16_v100_cluster(benchmark, fast_mode, report):
+    run_and_print(benchmark, figure16.run, fast_mode, report)

@@ -1,0 +1,8 @@
+"""Figure 17: large mini-batches, Bert-48 (concatenation strategies)."""
+
+from benchmarks.conftest import run_and_print
+from repro.bench.experiments import figure17
+
+
+def test_figure17_large_minibatch_bert(benchmark, fast_mode, report):
+    run_and_print(benchmark, figure17.run, fast_mode, report)

@@ -1,0 +1,8 @@
+"""Figure 18: large mini-batches, GPT-2 (forward doubling regime)."""
+
+from benchmarks.conftest import run_and_print
+from repro.bench.experiments import figure18
+
+
+def test_figure18_large_minibatch_gpt2(benchmark, fast_mode, report):
+    run_and_print(benchmark, figure18.run, fast_mode, report)

@@ -1,0 +1,8 @@
+"""Figure 19: Chimera with more than two pipelines."""
+
+from benchmarks.conftest import run_and_print
+from repro.bench.experiments import figure19
+
+
+def test_figure19_multi_pipeline(benchmark, fast_mode, report):
+    run_and_print(benchmark, figure19.run, fast_mode, report)

@@ -1,0 +1,74 @@
+"""Benchmarks of the executable substrates: NumPy training runtime and the
+collective algorithms — plus the §4 convergence-equivalence demonstration.
+"""
+
+import numpy as np
+
+from repro.models.reference import SequentialTrainer
+from repro.models.transformer import TransformerLMConfig, build_transformer_layers
+from repro.runtime.collective_algorithms import rabenseifner_allreduce, ring_allreduce
+from repro.runtime.optimizers import SGD
+from repro.runtime.trainer import PipelineTrainer
+
+CFG = TransformerLMConfig(num_layers=4, dim=32, heads=4, vocab=31, seq=8, seed=3)
+
+
+def _batches(n, batch=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        (rng.integers(0, CFG.vocab, (batch, CFG.seq)),
+         rng.integers(0, CFG.vocab, (batch, CFG.seq)))
+        for _ in range(n)
+    ]
+
+
+def test_chimera_training_step(benchmark):
+    trainer = PipelineTrainer(
+        CFG, scheme="chimera", depth=4, num_micro_batches=4,
+        optimizer_factory=lambda: SGD(0.05),
+    )
+    data = _batches(4)
+    loss = benchmark(trainer.train_step, data)
+    assert np.isfinite(loss)
+
+
+def test_sequential_training_step(benchmark):
+    trainer = SequentialTrainer(build_transformer_layers(CFG), SGD(0.05))
+    data = _batches(4)
+    loss = benchmark(trainer.train_step, data)
+    assert np.isfinite(loss)
+
+
+def test_equivalence_chimera_vs_sgd(benchmark):
+    """The §4 convergence claim, as a bench: a full train-and-compare."""
+
+    def train_and_compare() -> float:
+        trainer = PipelineTrainer(
+            CFG, scheme="chimera", depth=4, num_micro_batches=4,
+            optimizer_factory=lambda: SGD(0.05),
+        )
+        ref = SequentialTrainer(build_transformer_layers(CFG), SGD(0.05))
+        for it in range(2):
+            data = _batches(4, seed=it)
+            trainer.train_step(data)
+            ref.train_step(data)
+        return max(
+            float(np.abs(a.params[k] - b.params[k]).max())
+            for a, b in zip(trainer.full_model_layers(), ref.layers)
+            for k in a.params
+        )
+
+    diff = benchmark(train_and_compare)
+    assert diff < 1e-9
+
+
+def test_ring_allreduce_16_ranks(benchmark):
+    bufs = [np.random.default_rng(i).standard_normal(1 << 14) for i in range(16)]
+    results, _ = benchmark(ring_allreduce, bufs)
+    np.testing.assert_allclose(results[0], np.sum(bufs, axis=0), atol=1e-9)
+
+
+def test_rabenseifner_allreduce_16_ranks(benchmark):
+    bufs = [np.random.default_rng(i).standard_normal(1 << 14) for i in range(16)]
+    results, _ = benchmark(rabenseifner_allreduce, bufs)
+    np.testing.assert_allclose(results[0], np.sum(bufs, axis=0), atol=1e-9)

@@ -1,0 +1,16 @@
+"""Benches for Tables 2, 3 and 4 of the paper."""
+
+from benchmarks.conftest import run_and_print
+from repro.bench.experiments import table2, table3, table4
+
+
+def test_table02_scheme_comparison(benchmark, fast_mode, report):
+    run_and_print(benchmark, table2.run, fast_mode, report)
+
+
+def test_table03_generalized_pipelines(benchmark, fast_mode, report):
+    run_and_print(benchmark, table3.run, fast_mode, report)
+
+
+def test_table04_networks(benchmark, fast_mode, report):
+    run_and_print(benchmark, table4.run, fast_mode, report)

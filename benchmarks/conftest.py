@@ -1,0 +1,49 @@
+"""Shared benchmark configuration.
+
+Every bench target both *times* its experiment driver (pytest-benchmark)
+and *emits* the reproduced table/series — through the capture manager, so
+the rows appear in the terminal output of
+``pytest benchmarks/ --benchmark-only`` — while also archiving each table
+under ``benchmarks/results/``. ``REPRO_BENCH_FULL=1`` switches the drivers
+to the paper's full scales (2,048 simulated workers etc.).
+"""
+
+import os
+import pathlib
+import re
+
+import pytest
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def fast_mode() -> bool:
+    return not FULL
+
+
+@pytest.fixture
+def report(request, pytestconfig):
+    """Emit text past pytest's capture and archive it per bench target."""
+    capman = pytestconfig.pluginmanager.getplugin("capturemanager")
+
+    def _report(text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        name = re.sub(r"\W+", "_", request.node.name)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        if capman is not None:
+            with capman.global_and_fixture_disabled():
+                print()
+                print(text)
+        else:  # pragma: no cover - capture disabled
+            print()
+            print(text)
+
+    return _report
+
+
+def run_and_print(benchmark, runner, fast: bool, report) -> None:
+    """Benchmark ``runner(fast=...)`` and emit its reproduced output."""
+    text = benchmark(runner, fast)
+    report(text)

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Configuration selection with the §3.4 performance model.
+
+Given a machine, a workload, a worker count, and a mini-batch size, Chimera
+greedily takes the largest micro-batch that fits memory and lets
+Equation (1) rank the (W, D) splits — reproducing the Figure 13 workflow.
+
+Run:  python examples/configuration_selection.py
+"""
+
+from repro import select_configuration
+from repro.bench import BERT48, GPT2_64, PIZ_DAINT
+
+
+def main() -> None:
+    for workload, num_workers, mini_batch in (
+        (BERT48, 32, 512),
+        (GPT2_64, 128, 128),
+    ):
+        print("=" * 72)
+        print(f"{workload.describe()}")
+        print(f"P = {num_workers} workers, B̂ = {mini_batch}")
+        ranked = select_configuration(
+            PIZ_DAINT, workload, num_workers=num_workers, mini_batch=mini_batch
+        )
+        print(f"{'rank':<6}{'configuration':<28}{'predicted seq/s':>16}")
+        for i, cand in enumerate(ranked, 1):
+            marker = "  <- selected" if i == 1 else ""
+            print(
+                f"{i:<6}{cand.label():<28}{cand.predicted_throughput:>16.1f}{marker}"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

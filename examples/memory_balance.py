@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Per-worker memory footprints across schemes (paper Figure 9).
+
+Prints a bar-chart-style view of every worker's memory for a 32-layer
+GPT-2 partitioned over 16 simulated P100s, showing Chimera's balance
+against DAPPLE's first-worker peak, GPipe's N-proportional blow-up, and
+GEMS' minimal footprint.
+
+Run:  python examples/memory_balance.py
+"""
+
+from repro.bench import PIZ_DAINT, GPT2_32
+from repro.perf.calibration import calibrate_memory_model
+from repro.schedules import available_schemes, build_schedule
+from repro.sim import analyze_memory
+
+WIDTH, DEPTH, MICRO_BATCH, MINI_BATCH = 2, 16, 1, 512
+
+
+def bar(gib: float, scale: float = 2.0) -> str:
+    return "#" * max(1, int(gib * scale))
+
+
+def main() -> None:
+    n = MINI_BATCH // (WIDTH * MICRO_BATCH)
+    memory_model = calibrate_memory_model(
+        PIZ_DAINT, GPT2_32, depth=DEPTH, micro_batch=MICRO_BATCH
+    )
+    capacity = PIZ_DAINT.usable_memory_bytes
+    print(
+        f"{GPT2_32.describe()}\n"
+        f"W={WIDTH}, D={DEPTH}, B={MICRO_BATCH}, B̂={MINI_BATCH} "
+        f"(N={n} micro-batches per worker)\n"
+    )
+    for scheme in available_schemes():
+        schedule = build_schedule(scheme, DEPTH, n)
+        report = analyze_memory(schedule, memory_model)
+        oom = "" if report.fits(capacity) else "  << OOM on 16 GiB P100"
+        print(f"{scheme}  (peak {report.peak_bytes / 2**30:.2f} GiB, "
+              f"imbalance {report.imbalance:.2f}x){oom}")
+        for w in report.workers:
+            gib = w.total_bytes / 2**30
+            print(f"  P{w.worker:<3} {gib:6.2f} GiB |{bar(gib)}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Convergence friendliness: synchronous vs asynchronous pipelines (§2).
+
+Trains the same small language model under Chimera (synchronous), PipeDream
+and PipeDream-2BW (asynchronous, stale weights), plus the sequential SGD
+reference, on a fixed token stream — then compares weights and loss curves.
+
+Run:  python examples/staleness_vs_synchronous.py
+"""
+
+import numpy as np
+
+from repro import PipelineTrainer, SGD, TransformerLMConfig
+from repro.models import SequentialTrainer, build_transformer_layers
+
+CONFIG = TransformerLMConfig(num_layers=4, dim=32, heads=4, vocab=37, seq=8, seed=21)
+DEPTH, N, BATCH, STEPS = 4, 4, 2, 10
+
+
+def data_stream(step: int):
+    rng = np.random.default_rng(1000 + step % 5)
+    return [
+        (
+            rng.integers(0, CONFIG.vocab, (BATCH, CONFIG.seq)),
+            rng.integers(0, CONFIG.vocab, (BATCH, CONFIG.seq)),
+        )
+        for _ in range(N)
+    ]
+
+
+def weight_gap(trainer: PipelineTrainer, reference: SequentialTrainer) -> float:
+    return max(
+        float(np.abs(a.params[k] - b.params[k]).max())
+        for a, b in zip(trainer.full_model_layers(), reference.layers)
+        for k in a.params
+    )
+
+
+def main() -> None:
+    reference = SequentialTrainer(build_transformer_layers(CONFIG), SGD(0.05))
+    trainers = {
+        scheme: PipelineTrainer(
+            CONFIG, scheme=scheme, depth=DEPTH, num_micro_batches=N,
+            optimizer_factory=lambda: SGD(0.05),
+        )
+        for scheme in ("chimera", "pipedream", "pipedream_2bw")
+    }
+
+    losses: dict[str, list[float]] = {s: [] for s in trainers}
+    losses["sequential"] = []
+    for step in range(STEPS):
+        batch = data_stream(step)
+        losses["sequential"].append(reference.train_step(batch))
+        for scheme, trainer in trainers.items():
+            losses[scheme].append(trainer.train_step(batch))
+
+    print(f"{'step':<6}" + "".join(f"{s:>16}" for s in losses))
+    for step in range(STEPS):
+        print(
+            f"{step:<6}"
+            + "".join(f"{losses[s][step]:>16.4f}" for s in losses)
+        )
+
+    print("\nFinal max weight difference vs sequential mini-batch SGD:")
+    for scheme, trainer in trainers.items():
+        gap = weight_gap(trainer, reference)
+        verdict = "synchronous — exact" if gap < 1e-9 else "asynchronous — STALE"
+        print(f"  {scheme:<16}{gap:.3e}   ({verdict})")
+
+    assert weight_gap(trainers["chimera"], reference) < 1e-9
+    assert weight_gap(trainers["pipedream"], reference) > 1e-8
+    print(
+        "\nChimera tracks mini-batch SGD exactly; the PipeDream family "
+        "converges but on a different (stale-weight) trajectory."
+    )
+
+
+if __name__ == "__main__":
+    main()

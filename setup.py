@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is fully described by ``pyproject.toml``; this file only exists
+so that ``pip install -e .`` works on environments without the ``wheel``
+package (legacy ``--no-use-pep517`` editable installs need a ``setup.py``).
+"""
+
+from setuptools import setup
+
+setup()

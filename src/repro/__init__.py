@@ -1,0 +1,96 @@
+"""repro — reproduction of Chimera bidirectional pipeline parallelism (SC'21).
+
+Public API tour
+---------------
+Schedules (the paper's contribution + every baseline of Table 2)::
+
+    from repro import build_schedule, validate_schedule
+    sched = build_schedule("chimera", depth=8, num_micro_batches=8)
+
+Simulation (bubble ratios, memory, throughput on modelled clusters)::
+
+    from repro import simulate, CostModel, render_gantt
+    result = simulate(sched, CostModel.practical())
+    print(render_gantt(result))
+
+Real training (NumPy transformer through any schedule)::
+
+    from repro import PipelineTrainer, TransformerLMConfig
+    trainer = PipelineTrainer(TransformerLMConfig(), scheme="chimera",
+                              depth=4, num_micro_batches=4)
+
+Performance model & configuration selection (paper §3.4)::
+
+    from repro import select_configuration
+    from repro.bench import PIZ_DAINT, BERT48
+    ranked = select_configuration(PIZ_DAINT, BERT48, num_workers=32,
+                                  mini_batch=512)
+"""
+
+from repro.schedules import (
+    ConcatStrategy,
+    Operation,
+    OpKind,
+    Schedule,
+    StagePlacement,
+    available_schemes,
+    build_chimera_schedule,
+    build_dapple_schedule,
+    build_gems_schedule,
+    build_gpipe_schedule,
+    build_pipedream_2bw_schedule,
+    build_pipedream_schedule,
+    build_schedule,
+    validate_schedule,
+)
+from repro.sim import (
+    CostModel,
+    MemoryModel,
+    SimulationResult,
+    analyze_memory,
+    bubble_ratio,
+    render_gantt,
+    simulate,
+)
+from repro.perf import (
+    predict_closed_form,
+    predict_iteration_time,
+    select_configuration,
+)
+from repro.models import TransformerLMConfig
+from repro.runtime import PipelineTrainer, SGD, Adam, Momentum
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConcatStrategy",
+    "Operation",
+    "OpKind",
+    "Schedule",
+    "StagePlacement",
+    "available_schemes",
+    "build_chimera_schedule",
+    "build_dapple_schedule",
+    "build_gems_schedule",
+    "build_gpipe_schedule",
+    "build_pipedream_2bw_schedule",
+    "build_pipedream_schedule",
+    "build_schedule",
+    "validate_schedule",
+    "CostModel",
+    "MemoryModel",
+    "SimulationResult",
+    "analyze_memory",
+    "bubble_ratio",
+    "render_gantt",
+    "simulate",
+    "predict_closed_form",
+    "predict_iteration_time",
+    "select_configuration",
+    "TransformerLMConfig",
+    "PipelineTrainer",
+    "SGD",
+    "Adam",
+    "Momentum",
+    "__version__",
+]

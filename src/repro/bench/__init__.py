@@ -1,0 +1,32 @@
+"""Benchmark harness: machine models, workload specs, experiment drivers.
+
+One module per evaluated table/figure of the paper lives in
+:mod:`repro.bench.experiments`; the pytest-benchmark entry points in the
+top-level ``benchmarks/`` directory call into these drivers and print the
+reproduced rows.
+"""
+
+from repro.bench.machines import MachineSpec, PIZ_DAINT, V100_CLUSTER
+from repro.bench.workloads import TransformerSpec, BERT48, GPT2_64, GPT2_32
+from repro.bench.harness import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_configuration,
+    sweep,
+    format_table,
+)
+
+__all__ = [
+    "MachineSpec",
+    "PIZ_DAINT",
+    "V100_CLUSTER",
+    "TransformerSpec",
+    "BERT48",
+    "GPT2_64",
+    "GPT2_32",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_configuration",
+    "sweep",
+    "format_table",
+]

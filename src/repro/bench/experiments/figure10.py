@@ -1,0 +1,78 @@
+"""Figure 10: baseline tuning grids — Bert-48, 32 nodes, B̂ = 512.
+
+Each baseline sweeps (W, D, B); the star (best configuration) in the paper
+lands on (W=8, D=4, B=4) for DAPPLE/GPipe, (W=8, D=4, B=32) for GEMS,
+(W=8, D=4, B=16) for PipeDream-2BW, and a deeper (W=4, D=8) pipeline for
+PipeDream (frequent allreduce favours fewer replicas).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import (
+    ExperimentConfig,
+    ExperimentResult,
+    best_result,
+    format_table,
+    sweep,
+)
+from repro.bench.machines import PIZ_DAINT
+from repro.bench.workloads import BERT48
+
+NUM_WORKERS = 32
+MINI_BATCH = 512
+
+
+def configurations(scheme: str, *, fast: bool = True) -> list[ExperimentConfig]:
+    depths = (2, 4, 8, 16)
+    micro_batches = (1, 2, 4, 8, 16, 32) if not fast else (2, 4, 8, 16, 32)
+    out = []
+    for depth in depths:
+        if NUM_WORKERS % depth or BERT48.num_layers % depth:
+            continue
+        width = NUM_WORKERS // depth
+        for b in micro_batches:
+            mini_batch = MINI_BATCH
+            if scheme == "pipedream":
+                mini_batch = width * b  # per-micro-batch updates cap B̂
+            if mini_batch % (width * b):
+                continue
+            out.append(
+                ExperimentConfig(
+                    scheme=scheme,
+                    machine=PIZ_DAINT,
+                    workload=BERT48,
+                    width=width,
+                    depth=depth,
+                    micro_batch=b,
+                    mini_batch=mini_batch,
+                )
+            )
+    return out
+
+
+def tune(scheme: str, *, fast: bool = True) -> tuple[list[ExperimentResult], ExperimentResult | None]:
+    results = sweep(configurations(scheme, fast=fast))
+    return results, best_result(results)
+
+
+def run(fast: bool = True) -> str:
+    blocks = []
+    for scheme in ("dapple", "gpipe", "gems", "pipedream_2bw", "pipedream"):
+        results, best = tune(scheme, fast=fast)
+        body = [
+            [
+                f"W={r.config.width}, D={r.config.depth}",
+                r.config.micro_batch,
+                "R" if r.recompute else "",
+                "OOM" if r.oom else f"{r.throughput:.1f}",
+                "*" if best is r else "",
+            ]
+            for r in results
+        ]
+        blocks.append(f"{scheme}\n" + format_table(
+            body, headers=["(W, D)", "B", "", "seq/s", "best"]
+        ))
+    return (
+        f"Figure 10 reproduction (Bert-48, {NUM_WORKERS} nodes, B̂={MINI_BATCH})\n\n"
+        + "\n\n".join(blocks)
+    )

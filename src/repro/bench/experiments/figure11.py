@@ -1,0 +1,79 @@
+"""Figure 11: baseline tuning — GPT-2, 512 nodes, B̂ = 512.
+
+At this scale ``B = 1`` dominates (memory), so the sweep is over depth;
+GEMS additionally sweeps larger micro-batches (its bubble ratio does not
+benefit from small B).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import (
+    ExperimentConfig,
+    ExperimentResult,
+    best_result,
+    format_table,
+    sweep,
+)
+from repro.bench.machines import PIZ_DAINT
+from repro.bench.workloads import GPT2_64
+
+NUM_WORKERS = 512
+MINI_BATCH = 512
+
+
+def configurations(scheme: str, *, fast: bool = True) -> list[ExperimentConfig]:
+    num_workers = 128 if fast else NUM_WORKERS
+    mini_batch = 128 if fast else MINI_BATCH
+    depths = (4, 8, 16, 32)
+    micro_batches = {
+        "gems": (1, 2, 4, 8),
+        "pipedream": (1, 2),
+    }.get(scheme, (1, 2))
+    out = []
+    for depth in depths:
+        if num_workers % depth or GPT2_64.num_layers % depth:
+            continue
+        width = num_workers // depth
+        for b in micro_batches:
+            bb = width * b if scheme == "pipedream" else mini_batch
+            if bb % (width * b):
+                continue
+            out.append(
+                ExperimentConfig(
+                    scheme=scheme,
+                    machine=PIZ_DAINT,
+                    workload=GPT2_64,
+                    width=width,
+                    depth=depth,
+                    micro_batch=b,
+                    mini_batch=bb,
+                )
+            )
+    return out
+
+
+def tune(scheme: str, *, fast: bool = True) -> tuple[list[ExperimentResult], ExperimentResult | None]:
+    results = sweep(configurations(scheme, fast=fast))
+    return results, best_result(results)
+
+
+def run(fast: bool = True) -> str:
+    blocks = []
+    for scheme in ("dapple", "gpipe", "gems", "pipedream_2bw", "pipedream"):
+        results, best = tune(scheme, fast=fast)
+        body = [
+            [
+                f"D={r.config.depth}",
+                r.config.micro_batch,
+                "R" if r.recompute else "",
+                "OOM" if r.oom else f"{r.throughput:.1f}",
+                "*" if best is r else "",
+            ]
+            for r in results
+        ]
+        blocks.append(
+            f"{scheme}\n"
+            + format_table(body, headers=["depth", "B", "", "seq/s", "best"])
+        )
+    scale = "128 nodes (fast mode)" if fast else f"{NUM_WORKERS} nodes"
+    return f"Figure 11 reproduction (GPT-2, {scale})\n\n" + "\n\n".join(blocks)

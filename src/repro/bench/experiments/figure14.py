@@ -1,0 +1,81 @@
+"""Figure 14: weak scaling, Bert-48 on Piz Daint (16 -> 64 nodes).
+
+Per-scheme best configurations from the paper's legend: Chimera (D=4,
+B=8), DAPPLE (D=4, B=4), GEMS (D=4, B=32), GPipe (D=4, B=4, R),
+PipeDream-2BW (D=4, B=16, R), PipeDream (D=8, B̂ = 24 -> 96). Expected
+shape at 64 nodes: Chimera first; 2BW and DAPPLE next; GPipe behind
+(recompute); PipeDream hurt by per-micro-batch allreduce; GEMS last.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentConfig, ExperimentResult, format_table, run_configuration
+from repro.bench.machines import MachineSpec, PIZ_DAINT
+from repro.bench.workloads import BERT48, TransformerSpec
+
+#: scheme -> (depth, micro_batch)
+LEGEND = {
+    "chimera": (4, 8),
+    "dapple": (4, 4),
+    "gems": (4, 32),
+    "gpipe": (4, 4),
+    "pipedream_2bw": (4, 16),
+    "pipedream": (8, 12),
+}
+
+
+def scaling_results(
+    machine: MachineSpec = PIZ_DAINT,
+    workload: TransformerSpec = BERT48,
+    scales: tuple[tuple[int, int], ...] = ((16, 256), (32, 512), (64, 1024)),
+    legend: dict | None = None,
+) -> dict[str, list[ExperimentResult]]:
+    legend = legend or LEGEND
+    out: dict[str, list[ExperimentResult]] = {}
+    for scheme, (depth, micro_batch) in legend.items():
+        series = []
+        for num_workers, mini_batch in scales:
+            width = num_workers // depth
+            bb = mini_batch
+            if scheme == "pipedream":
+                bb = width * micro_batch
+            series.append(
+                run_configuration(
+                    ExperimentConfig(
+                        scheme=scheme,
+                        machine=machine,
+                        workload=workload,
+                        width=width,
+                        depth=depth,
+                        micro_batch=micro_batch,
+                        mini_batch=bb,
+                    )
+                )
+            )
+        out[scheme] = series
+    return out
+
+
+def run(fast: bool = True) -> str:
+    scales = ((16, 256), (32, 512), (64, 1024))
+    data = scaling_results(scales=scales)
+    body = []
+    for scheme, series in data.items():
+        row = [series[0].label()]
+        row.extend("OOM" if r.oom else f"{r.throughput:.1f}" for r in series)
+        body.append(row)
+    chimera = data["chimera"][-1].throughput
+    lines = [
+        "Figure 14 reproduction (weak scaling, Bert-48, Piz Daint model)",
+        format_table(
+            body,
+            headers=["config"] + [f"{p} nodes" for p, _ in scales],
+        ),
+        "Chimera speedups at 64 nodes: "
+        + ", ".join(
+            f"{scheme} {chimera / series[-1].throughput:.2f}x"
+            for scheme, series in data.items()
+            if scheme != "chimera" and series[-1].throughput > 0
+        ),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Figure 15: weak scaling, GPT-2 on Piz Daint (512 -> 2,048 nodes).
+
+Legend configurations: Chimera (D=32, B=1, no recompute — the balanced
+memory lets it skip recomputation, §4.2.3), DAPPLE (D=16, B=1, R),
+GPipe (D=8->16, B=1, R), GEMS (D=8, B=2), PipeDream-2BW (D=16, B=1, R),
+PipeDream (D=8, B̂ = 128 -> 512, R). Also reports Chimera's weak-scaling
+parallel efficiency at the largest scale (paper: 91.4%).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments.figure14 import scaling_results
+from repro.bench.harness import format_table
+from repro.bench.machines import PIZ_DAINT
+from repro.bench.workloads import GPT2_64
+from repro.sim.metrics import parallel_efficiency
+
+LEGEND = {
+    "chimera": (32, 1),
+    "dapple": (16, 1),
+    "gpipe": (8, 1),
+    "gems": (8, 2),
+    "pipedream_2bw": (16, 1),
+    "pipedream": (8, 1),
+}
+
+
+def run(fast: bool = True) -> str:
+    if fast:
+        scales = ((128, 128), (256, 256), (512, 512))
+    else:
+        scales = ((512, 512), (1024, 1024), (2048, 2048))
+    data = scaling_results(
+        machine=PIZ_DAINT, workload=GPT2_64, scales=scales, legend=LEGEND
+    )
+    body = []
+    for scheme, series in data.items():
+        row = [series[0].label()]
+        row.extend("OOM" if r.oom else f"{r.throughput:.1f}" for r in series)
+        body.append(row)
+    chimera = data["chimera"]
+    eff = parallel_efficiency(
+        chimera[0].throughput,
+        scales[0][0],
+        chimera[-1].throughput,
+        scales[-1][0],
+    )
+    lines = [
+        "Figure 15 reproduction (weak scaling, GPT-2, Piz Daint model)",
+        format_table(body, headers=["config"] + [f"{p} nodes" for p, _ in scales]),
+        f"Chimera weak-scaling efficiency {scales[0][0]} -> {scales[-1][0]} nodes: "
+        f"{eff * 100:.1f}% (paper: 91.4% for 512 -> 2,048)",
+        "Chimera speedups at the largest scale: "
+        + ", ".join(
+            f"{scheme} {chimera[-1].throughput / series[-1].throughput:.2f}x"
+            for scheme, series in data.items()
+            if scheme != "chimera" and series[-1].throughput > 0
+        ),
+    ]
+    return "\n".join(lines)

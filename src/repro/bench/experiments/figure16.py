@@ -1,0 +1,73 @@
+"""Figure 16: weak scaling, Bert-48 on the 32x V100 NVLink/IB cluster.
+
+Sequence length 512 (heavier per-token compute than the Piz Daint runs);
+B̂ scales 128 -> 256 as the GPU count scales 16 -> 32. Legend: Chimera
+(D=4->8, B=4), DAPPLE (D=4, B=2), GEMS (D=4->8, B=8), GPipe (D=4, B=2,
+R), PipeDream-2BW (D=4, B=4), PipeDream (D=4, B̂=16->32). Expected: the
+same ordering as on Piz Daint — Chimera first — "the same conclusions hold
+on newer machines".
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.bench.harness import ExperimentConfig, format_table, run_configuration
+from repro.bench.machines import V100_CLUSTER
+from repro.bench.workloads import BERT48
+
+#: Bert-48 with the longer sequence used on the V100 cluster.
+BERT48_SEQ512 = replace(BERT48, name="bert-48-seq512", seq=512)
+
+#: scheme -> per-scale (depth, micro_batch)
+LEGEND = {
+    "chimera": ((4, 4), (8, 4)),
+    "dapple": ((4, 2), (4, 2)),
+    "gems": ((4, 8), (8, 8)),
+    "gpipe": ((4, 2), (4, 2)),
+    "pipedream_2bw": ((4, 4), (4, 4)),
+    "pipedream": ((4, 4), (4, 4)),
+}
+
+SCALES = ((16, 128), (32, 256))
+
+
+def run(fast: bool = True) -> str:
+    body = []
+    winners = {}
+    for scheme, per_scale in LEGEND.items():
+        row = [scheme]
+        for (num_gpus, mini_batch), (depth, micro_batch) in zip(SCALES, per_scale):
+            width = num_gpus // depth
+            bb = width * micro_batch if scheme == "pipedream" else mini_batch
+            r = run_configuration(
+                ExperimentConfig(
+                    scheme=scheme,
+                    machine=V100_CLUSTER,
+                    workload=BERT48_SEQ512,
+                    width=width,
+                    depth=depth,
+                    micro_batch=micro_batch,
+                    mini_batch=bb,
+                )
+            )
+            winners.setdefault(num_gpus, []).append((scheme, r.throughput))
+            row.append("OOM" if r.oom else f"{r.throughput:.1f} ({r.label()})")
+        body.append(row)
+    table = format_table(
+        body, headers=["scheme"] + [f"{g} GPUs" for g, _ in SCALES]
+    )
+    sync_schemes = {"chimera", "dapple", "gems", "gpipe"}
+    summary = []
+    for num_gpus, entries in winners.items():
+        entries.sort(key=lambda t: -t[1])
+        best_sync = next(s for s, _ in entries if s in sync_schemes)
+        summary.append(
+            f"{num_gpus} GPUs winner: {entries[0][0]} (sync winner: {best_sync})"
+        )
+    return (
+        "Figure 16 reproduction (Bert-48 seq 512, V100 NVLink/IB cluster)\n"
+        + table
+        + "\n"
+        + "; ".join(summary)
+    )

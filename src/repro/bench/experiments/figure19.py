@@ -1,0 +1,75 @@
+"""Figure 19: Chimera with more than two pipelines (32-layer GPT-2).
+
+B̂ = 64 on 64 nodes; ``pipes = 2f`` model replicas. One pipe is plain
+1F1B-with-flush (DAPPLE). Expected shape: with (W=2, D=32) four pipes win
+(bubbles still matter at D=32 and the allreduce is affordable); with
+(W=4, D=16) the extra allreduce overhead already outweighs the bubble
+savings and two pipes (the Chimera default) win.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentConfig, format_table, run_configuration
+from repro.bench.machines import PIZ_DAINT
+from repro.bench.workloads import GPT2_32
+
+NUM_WORKERS = 64
+MINI_BATCH = 64
+
+
+def pipe_counts(depth: int) -> list[int]:
+    q = depth // 2
+    return [1] + [2 * f for f in range(1, q + 1) if q % f == 0]
+
+
+def throughput(width: int, depth: int, pipes: int) -> float:
+    if pipes == 1:
+        cfg = ExperimentConfig(
+            scheme="dapple",
+            machine=PIZ_DAINT,
+            workload=GPT2_32,
+            width=width,
+            depth=depth,
+            micro_batch=1,
+            mini_batch=MINI_BATCH,
+        )
+    else:
+        cfg = ExperimentConfig(
+            scheme="chimera",
+            machine=PIZ_DAINT,
+            workload=GPT2_32,
+            width=width,
+            depth=depth,
+            micro_batch=1,
+            mini_batch=MINI_BATCH,
+            options={"num_down_pipelines": pipes // 2},
+        )
+    r = run_configuration(cfg)
+    return 0.0 if r.oom else r.throughput
+
+
+def panel(width: int, depth: int, max_pipes: int | None = None) -> list[tuple[int, float]]:
+    counts = pipe_counts(depth)
+    if max_pipes is not None:
+        counts = [c for c in counts if c <= max_pipes]
+    return [(pipes, throughput(width, depth, pipes)) for pipes in counts]
+
+
+def run(fast: bool = True) -> str:
+    cap = 8 if fast else None
+    blocks = []
+    for width, depth in ((2, 32), (4, 16)):
+        data = panel(width, depth, max_pipes=cap)
+        best = max(data, key=lambda t: t[1])
+        body = [
+            [f"{pipes} pipe{'s' if pipes > 1 else ''}", f"{thr:.2f}", "*" if (pipes, thr) == best else ""]
+            for pipes, thr in data
+        ]
+        blocks.append(
+            f"W={width}, D={depth}\n"
+            + format_table(body, headers=["pipelines", "seq/s", "best"])
+        )
+    return (
+        f"Figure 19 reproduction (GPT-2 32L, {NUM_WORKERS} nodes, B̂={MINI_BATCH})\n\n"
+        + "\n\n".join(blocks)
+    )

@@ -1,0 +1,45 @@
+"""Table 4: the evaluated networks and their reconstructed dimensions."""
+
+from __future__ import annotations
+
+from repro.bench.harness import format_table
+from repro.bench.workloads import BERT48, GPT2_32, GPT2_64
+
+#: Parameter counts as published in Table 4 of the paper.
+PAPER_PARAMS = {"bert-48": 669_790_012, "gpt2-64": 1_389_327_360}
+
+
+def run(fast: bool = True) -> str:
+    body = []
+    for spec in (BERT48, GPT2_64, GPT2_32):
+        paper = PAPER_PARAMS.get(spec.name)
+        err = (
+            f"{abs(spec.total_params - paper) / paper * 100:.2f}%"
+            if paper
+            else "-"
+        )
+        body.append(
+            [
+                spec.name,
+                spec.num_layers,
+                spec.hidden,
+                spec.heads,
+                spec.seq,
+                f"{spec.total_params:,}",
+                f"{paper:,}" if paper else "-",
+                err,
+            ]
+        )
+    return "Table 4 reproduction (reconstructed architectures)\n" + format_table(
+        body,
+        headers=[
+            "network",
+            "layers",
+            "hidden",
+            "heads",
+            "seq",
+            "params (ours)",
+            "params (paper)",
+            "error",
+        ],
+    )

@@ -1,0 +1,254 @@
+"""Experiment harness: run one (scheme, machine, workload, W, D, B) point.
+
+``run_configuration`` reproduces the paper's experimental procedure:
+
+1. split the ``P = W * D`` workers into ``W`` pipeline groups of depth ``D``;
+2. derive ``N = B̂ / (W * B)`` micro-batches per group per iteration;
+3. check the memory model — if the configuration does not fit, retry with
+   activation recomputation (the paper's ``R`` annotation), and report OOM
+   if even that fails;
+4. build the scheme's schedule, simulate it under the calibrated cost
+   model, and report throughput / bubble ratio / memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping, Sequence
+
+from repro.common.errors import ConfigurationError, ScheduleError
+from repro.bench.machines import MachineSpec
+from repro.bench.workloads import TransformerSpec
+from repro.perf.calibration import calibrate_cost_model, calibrate_memory_model
+from repro.schedules.registry import build_schedule
+from repro.sim.engine import simulate
+from repro.sim.memory import analyze_memory
+from repro.sim.metrics import bubble_ratio, throughput_samples_per_sec
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One point in a performance sweep."""
+
+    scheme: str
+    machine: MachineSpec
+    workload: TransformerSpec
+    width: int  # W — replicated pipelines
+    depth: int  # D — pipeline stages
+    micro_batch: int  # B
+    mini_batch: int  # B̂
+    #: None = auto (use recomputation only if needed to fit memory).
+    recompute: bool | None = None
+    options: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def num_workers(self) -> int:
+        return self.width * self.depth
+
+    def num_micro_batches(self) -> int:
+        denom = self.width * self.micro_batch
+        if self.mini_batch % denom:
+            raise ConfigurationError(
+                f"mini-batch {self.mini_batch} not divisible by W*B={denom}"
+            )
+        n = self.mini_batch // denom
+        if n < 1:
+            raise ConfigurationError(
+                f"mini-batch {self.mini_batch} too small for W={self.width}, "
+                f"B={self.micro_batch}"
+            )
+        return n
+
+    def describe(self) -> str:
+        return (
+            f"{self.scheme}(W={self.width}, D={self.depth}, B={self.micro_batch}, "
+            f"B̂={self.mini_batch})"
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Simulated outcome of one configuration."""
+
+    config: ExperimentConfig
+    num_micro_batches: int
+    recompute: bool
+    oom: bool
+    iteration_time: float
+    throughput: float  # sequences / second
+    bubble_ratio: float
+    peak_memory_bytes: float
+    min_memory_bytes: float
+
+    @property
+    def fits(self) -> bool:
+        return not self.oom
+
+    def label(self) -> str:
+        r = ", R" if self.recompute else ""
+        return f"{self.config.scheme}(W={self.config.width}, D={self.config.depth}, B={self.config.micro_batch}{r})"
+
+
+def _memory_report(cfg: ExperimentConfig, recompute: bool):
+    schedule = build_schedule(
+        cfg.scheme,
+        cfg.depth,
+        cfg.num_micro_batches(),
+        recompute=recompute,
+        **dict(cfg.options),
+    )
+    memory_model = calibrate_memory_model(
+        cfg.machine, cfg.workload, depth=cfg.depth, micro_batch=cfg.micro_batch
+    )
+    return schedule, analyze_memory(schedule, memory_model)
+
+
+def run_configuration(cfg: ExperimentConfig) -> ExperimentResult:
+    """Simulate one configuration end to end (see module docstring)."""
+    n = cfg.num_micro_batches()
+
+    attempts: Sequence[bool]
+    if cfg.recompute is None:
+        attempts = (False, True)
+    else:
+        attempts = (cfg.recompute,)
+
+    schedule = None
+    report = None
+    used_recompute = attempts[-1]
+    oom = True
+    for recompute in attempts:
+        schedule, report = _memory_report(cfg, recompute)
+        if report.fits(cfg.machine.usable_memory_bytes):
+            used_recompute = recompute
+            oom = False
+            break
+
+    assert schedule is not None and report is not None
+    cost_model = calibrate_cost_model(
+        cfg.machine,
+        cfg.workload,
+        depth=cfg.depth,
+        micro_batch=cfg.micro_batch,
+        data_parallel_width=cfg.width,
+    )
+    # PipeDream's per-micro-batch synchronization sits on the critical path
+    # (the immediately following update feeds the next forward), so its
+    # collectives block; all other schemes launch non-blocking (§3.2).
+    result = simulate(
+        schedule, cost_model, blocking_sync=(cfg.scheme == "pipedream")
+    )
+    if schedule.synchronous:
+        throughput = throughput_samples_per_sec(
+            result, micro_batch_size=cfg.micro_batch, data_parallel_width=cfg.width
+        )
+    else:
+        # Flush-free schemes (PipeDream family) run a continuous steady
+        # state; a single cold window would unfairly charge them the
+        # pipeline fill. Measure the marginal rate between two window sizes.
+        throughput = _steady_state_throughput(cfg, used_recompute, cost_model)
+    return ExperimentResult(
+        config=cfg,
+        num_micro_batches=n,
+        recompute=used_recompute,
+        oom=oom,
+        iteration_time=result.iteration_time,
+        throughput=0.0 if oom else throughput,
+        bubble_ratio=bubble_ratio(result),
+        peak_memory_bytes=report.peak_bytes,
+        min_memory_bytes=report.min_bytes,
+    )
+
+
+#: Fraction of an asynchronous scheme's per-window gradient synchronization
+#: that the next window's compute can actually hide (with a CPU-driven
+#: backend, overlap is partial — the paper observes PipeDream-2BW "may not
+#: have enough computation to fully overlap the gradient synchronization").
+ASYNC_SYNC_OVERLAP = 0.5
+
+
+def _steady_state_throughput(
+    cfg: ExperimentConfig, recompute: bool, cost_model
+) -> float:
+    """Samples/second of an asynchronous scheme's steady state.
+
+    The per-micro-batch compute rate comes from the *marginal* cost between
+    two window sizes (a flush-free scheme never pays the pipeline fill
+    again); PipeDream's blocking per-micro-batch collectives are part of
+    that margin, while PipeDream-2BW additionally pays the non-overlapped
+    residue of its once-per-window gradient synchronization.
+    """
+    n1 = 2 * cfg.depth
+    n2 = 4 * cfg.depth
+    sims = []
+    for n in (n1, n2):
+        schedule = build_schedule(
+            cfg.scheme, cfg.depth, n, recompute=recompute, **dict(cfg.options)
+        )
+        sims.append(
+            simulate(schedule, cost_model, blocking_sync=(cfg.scheme == "pipedream"))
+        )
+    if cfg.scheme == "pipedream":
+        delta = sims[1].iteration_time - sims[0].iteration_time
+        if delta <= 0:
+            return float("inf")
+        return (n2 - n1) * cfg.micro_batch * cfg.width / delta
+
+    marginal = (sims[1].compute_makespan - sims[0].compute_makespan) / (n2 - n1)
+    if marginal <= 0:
+        return float("inf")
+    n_window = cfg.num_micro_batches()
+    sync_per_worker = [0.0] * cfg.depth
+    for record in sims[0].collectives:
+        for w in record.workers:
+            sync_per_worker[w] += record.cost
+    residue = (1.0 - ASYNC_SYNC_OVERLAP) * max(sync_per_worker, default=0.0)
+    period = n_window * marginal + residue
+    return n_window * cfg.micro_batch * cfg.width / period
+
+
+def sweep(configs: Iterable[ExperimentConfig]) -> list[ExperimentResult]:
+    """Run a set of configurations, skipping structurally invalid ones."""
+    results: list[ExperimentResult] = []
+    for cfg in configs:
+        try:
+            results.append(run_configuration(cfg))
+        except (ConfigurationError, ScheduleError):
+            continue
+    return results
+
+
+def best_result(results: Sequence[ExperimentResult]) -> ExperimentResult | None:
+    """Highest-throughput non-OOM result, or None."""
+    feasible = [r for r in results if not r.oom]
+    if not feasible:
+        return None
+    return max(feasible, key=lambda r: r.throughput)
+
+
+def format_table(
+    rows: Sequence[Sequence[object]], headers: Sequence[str]
+) -> str:
+    """Plain-text table used by every experiment driver."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    out = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    out.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``show``      Render a schedule as an ASCII Gantt chart.
+``simulate``  Simulate a configuration on a modelled machine and report
+              throughput / bubble ratio / memory.
+``select``    Rank (W, D, B) configurations with the §3.4 model.
+``figure``    Regenerate one of the paper's tables/figures.
+``trace``     Export a simulated schedule as Chrome-tracing JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import experiments
+from repro.bench.harness import ExperimentConfig, run_configuration
+from repro.bench.machines import PIZ_DAINT, V100_CLUSTER
+from repro.bench.workloads import BERT48, GPT2_32, GPT2_64
+from repro.perf.selector import select_configuration
+from repro.schedules.registry import available_schemes, build_schedule
+from repro.sim.cost import CostModel
+from repro.sim.engine import simulate
+from repro.sim.gantt import render_gantt
+from repro.sim.trace import write_chrome_trace
+
+MACHINES = {"piz-daint": PIZ_DAINT, "v100": V100_CLUSTER}
+WORKLOADS = {"bert-48": BERT48, "gpt2-64": GPT2_64, "gpt2-32": GPT2_32}
+FIGURES = {
+    name: getattr(experiments, name)
+    for name in experiments.__all__
+}
+
+
+def _schedule_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scheme", choices=available_schemes(), default="chimera")
+    parser.add_argument("--depth", "-D", type=int, default=4)
+    parser.add_argument("--micro-batches", "-N", type=int, default=4)
+    parser.add_argument("--recompute", action="store_true")
+    parser.add_argument(
+        "--concat", choices=["direct", "doubling", "halving"], default="direct"
+    )
+    parser.add_argument("--pipelines", "-f", type=int, default=1)
+
+
+def _build(args: argparse.Namespace):
+    options: dict = {"recompute": args.recompute}
+    if args.scheme == "chimera":
+        options["concat"] = args.concat
+        options["num_down_pipelines"] = args.pipelines
+    return build_schedule(args.scheme, args.depth, args.micro_batches, **options)
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    print(render_gantt(_build(args)))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    result = simulate(_build(args), CostModel.practical())
+    write_chrome_trace(result, args.output)
+    print(f"wrote {args.output} (open in chrome://tracing or Perfetto)")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    cfg = ExperimentConfig(
+        scheme=args.scheme,
+        machine=MACHINES[args.machine],
+        workload=WORKLOADS[args.workload],
+        width=args.width,
+        depth=args.depth,
+        micro_batch=args.micro_batch,
+        mini_batch=args.mini_batch,
+    )
+    r = run_configuration(cfg)
+    print(f"configuration : {r.label()}")
+    print(f"micro-batches : N={r.num_micro_batches}")
+    print(f"status        : {'OOM' if r.oom else 'fits'}"
+          f"{' (activation recomputation)' if r.recompute else ''}")
+    print(f"iteration     : {r.iteration_time:.4f} s")
+    print(f"throughput    : {r.throughput:.1f} sequences/s")
+    print(f"bubble ratio  : {r.bubble_ratio * 100:.1f} %")
+    print(f"memory        : {r.min_memory_bytes / 2**30:.2f}"
+          f"–{r.peak_memory_bytes / 2**30:.2f} GiB per worker")
+    return 0
+
+
+def cmd_select(args: argparse.Namespace) -> int:
+    ranked = select_configuration(
+        MACHINES[args.machine],
+        WORKLOADS[args.workload],
+        num_workers=args.workers,
+        mini_batch=args.mini_batch,
+    )
+    for i, cand in enumerate(ranked, 1):
+        mark = "  <- selected" if i == 1 else ""
+        print(f"{i}. {cand.label():<24} {cand.predicted_throughput:8.1f} seq/s{mark}")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    print(FIGURES[args.name].run(fast=not args.full))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Chimera (SC'21) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("show", help="render a schedule as ASCII Gantt")
+    _schedule_args(p)
+    p.set_defaults(func=cmd_show)
+
+    p = sub.add_parser("trace", help="export a Chrome-tracing JSON")
+    _schedule_args(p)
+    p.add_argument("--output", "-o", default="schedule_trace.json")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("simulate", help="simulate one configuration")
+    p.add_argument("--scheme", choices=available_schemes(), default="chimera")
+    p.add_argument("--machine", choices=sorted(MACHINES), default="piz-daint")
+    p.add_argument("--workload", choices=sorted(WORKLOADS), default="bert-48")
+    p.add_argument("--width", "-W", type=int, default=8)
+    p.add_argument("--depth", "-D", type=int, default=4)
+    p.add_argument("--micro-batch", "-B", type=int, default=8)
+    p.add_argument("--mini-batch", type=int, default=512)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("select", help="rank (W, D, B) configurations")
+    p.add_argument("--machine", choices=sorted(MACHINES), default="piz-daint")
+    p.add_argument("--workload", choices=sorted(WORKLOADS), default="bert-48")
+    p.add_argument("--workers", "-P", type=int, default=32)
+    p.add_argument("--mini-batch", type=int, default=512)
+    p.set_defaults(func=cmd_select)
+
+    p = sub.add_parser("figure", help="regenerate a paper table/figure")
+    p.add_argument("name", choices=sorted(FIGURES))
+    p.add_argument("--full", action="store_true", help="paper-scale sweep")
+    p.set_defaults(func=cmd_figure)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Shared primitives: exceptions, unit helpers, and small utilities.
+
+These are deliberately dependency-free so every other subpackage can import
+them without cycles.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    ScheduleError,
+    ValidationError,
+    CommunicationError,
+    DeadlockError,
+    MemoryModelError,
+    ConfigurationError,
+)
+from repro.common.units import (
+    KIB,
+    MIB,
+    GIB,
+    bytes_to_gib,
+    gib_to_bytes,
+    format_bytes,
+    format_time,
+)
+
+__all__ = [
+    "ReproError",
+    "ScheduleError",
+    "ValidationError",
+    "CommunicationError",
+    "DeadlockError",
+    "MemoryModelError",
+    "ConfigurationError",
+    "KIB",
+    "MIB",
+    "GIB",
+    "bytes_to_gib",
+    "gib_to_bytes",
+    "format_bytes",
+    "format_time",
+]

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the Chimera reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single except clause while still
+being able to distinguish failure classes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ScheduleError(ReproError):
+    """A pipeline schedule could not be constructed.
+
+    Raised for structurally impossible requests, e.g. an odd number of stages
+    for a bidirectional Chimera schedule, or ``N`` not divisible as required
+    by a concatenation strategy.
+    """
+
+
+class ValidationError(ReproError):
+    """A constructed schedule violates a structural invariant.
+
+    Raised by :mod:`repro.schedules.validate` when a schedule has missing
+    operations, duplicated work, cyclic dependencies, or conflicting worker
+    occupancy.
+    """
+
+
+class CommunicationError(ReproError):
+    """The in-process communication backend detected a protocol violation.
+
+    Examples: receiving on a tag that was never sent within a deadlock-free
+    window, mismatched collective group membership, or double-waiting a
+    non-blocking handle.
+    """
+
+
+class DeadlockError(CommunicationError):
+    """The cooperative executor made no progress over a full round.
+
+    Carries a human-readable report of each worker's blocked operation so
+    schedule bugs are diagnosable from the exception message alone.
+    """
+
+
+class MemoryModelError(ReproError):
+    """The memory model was asked for an inconsistent accounting.
+
+    For example querying activation liveness for an operation kind it does
+    not track, or a device capacity below a single micro-batch footprint.
+    """
+
+
+class ConfigurationError(ReproError):
+    """An experiment/machine/workload configuration is invalid.
+
+    E.g. a worker count that does not factor into (W, D), or a micro-batch
+    size that does not divide the mini-batch.
+    """

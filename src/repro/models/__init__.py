@@ -1,0 +1,46 @@
+"""NumPy transformer models with hand-written backward passes.
+
+This is the executable counterpart of the analytic workload specs: small
+transformer language models whose forward *and* backward passes are
+implemented directly on NumPy arrays, so the pipeline runtime
+(:mod:`repro.runtime`) can actually train through any schedule and be
+checked for **exact** gradient equivalence with sequential mini-batch SGD —
+the paper's convergence-friendliness claim for synchronous schedules.
+
+All layer caches are batch-first, which lets backward-halving run a
+backward over a row slice of a cached forward.
+"""
+
+from repro.models.layers import (
+    Layer,
+    Linear,
+    LayerNorm,
+    GELU,
+    Embedding,
+    Sequential,
+)
+from repro.models.attention import CausalSelfAttention
+from repro.models.transformer import (
+    TransformerBlock,
+    TransformerLMConfig,
+    build_transformer_layers,
+    partition_layers,
+)
+from repro.models.loss import softmax_cross_entropy
+from repro.models.reference import SequentialTrainer
+
+__all__ = [
+    "Layer",
+    "Linear",
+    "LayerNorm",
+    "GELU",
+    "Embedding",
+    "Sequential",
+    "CausalSelfAttention",
+    "TransformerBlock",
+    "TransformerLMConfig",
+    "build_transformer_layers",
+    "partition_layers",
+    "softmax_cross_entropy",
+    "SequentialTrainer",
+]

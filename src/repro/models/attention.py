@@ -1,0 +1,105 @@
+"""Causal multi-head self-attention with a hand-written backward pass."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models import functional as F
+from repro.models.layers import Layer, Linear, _sliced
+
+
+class CausalSelfAttention(Layer):
+    """GPT-style masked multi-head attention.
+
+    ``qkv`` projects to 3h, heads attend independently under a causal mask,
+    ``proj`` mixes the heads back. The backward pass retraces each step
+    explicitly (no autograd anywhere in this repository).
+    """
+
+    def __init__(
+        self, dim: int, heads: int, *, rng: np.random.Generator, dtype=np.float64
+    ) -> None:
+        super().__init__()
+        if dim % heads:
+            raise ValueError(f"dim {dim} not divisible by heads {heads}")
+        self.dim = dim
+        self.heads = heads
+        self.head_dim = dim // heads
+        self.qkv = Linear(dim, 3 * dim, rng=rng, dtype=dtype)
+        self.proj = Linear(dim, dim, rng=rng, dtype=dtype)
+
+    # Parameter/grad views delegate to the two Linears.
+    @property
+    def params(self):  # type: ignore[override]
+        return {
+            **{f"qkv.{k}": v for k, v in self.qkv.params.items()},
+            **{f"proj.{k}": v for k, v in self.proj.params.items()},
+        }
+
+    @params.setter
+    def params(self, value):  # pragma: no cover - Layer.__init__ assigns {}
+        if value:
+            raise AttributeError("attention params are derived from projections")
+
+    @property
+    def grads(self):  # type: ignore[override]
+        return {
+            **{f"qkv.{k}": v for k, v in self.qkv.grads.items()},
+            **{f"proj.{k}": v for k, v in self.proj.grads.items()},
+        }
+
+    @grads.setter
+    def grads(self, value):  # pragma: no cover
+        if value:
+            raise AttributeError("attention grads are derived from projections")
+
+    def zero_grads(self) -> None:
+        self.qkv.zero_grads()
+        self.proj.zero_grads()
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        b, s, _ = x.shape
+        return x.reshape(b, s, self.heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        b, h, s, d = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, s, h * d)
+
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, object]:
+        b, s, _ = x.shape
+        qkv, qkv_cache = self.qkv.forward(x)
+        q, k, v = np.split(qkv, 3, axis=-1)
+        q = self._split_heads(q)
+        k = self._split_heads(k)
+        v = self._split_heads(v)
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale
+        mask = np.triu(np.ones((s, s), dtype=bool), k=1)
+        scores = np.where(mask, -1e30, scores)
+        attn = F.softmax(scores, axis=-1)
+        context = attn @ v
+        merged = self._merge_heads(context)
+        out, proj_cache = self.proj.forward(merged)
+        return out, (qkv_cache, q, k, v, attn, proj_cache, s)
+
+    def backward(self, dy: np.ndarray, cache: object, row_slice=None) -> np.ndarray:
+        qkv_cache, q, k, v, attn, proj_cache, s = cache
+        if row_slice is not None:
+            q = q[row_slice]
+            k = k[row_slice]
+            v = v[row_slice]
+            attn = attn[row_slice]
+        dmerged = self.proj.backward(dy, proj_cache, row_slice=row_slice)
+        dcontext = self._split_heads(dmerged)
+        dattn = dcontext @ v.transpose(0, 1, 3, 2)
+        dv = attn.transpose(0, 1, 3, 2) @ dcontext
+        dscores = F.softmax_backward(dattn, attn, axis=-1)
+        scale = 1.0 / np.sqrt(self.head_dim)
+        dscores *= scale
+        dq = dscores @ k
+        dk = dscores.transpose(0, 1, 3, 2) @ q
+        dqkv = np.concatenate(
+            [self._merge_heads(dq), self._merge_heads(dk), self._merge_heads(dv)],
+            axis=-1,
+        )
+        return self.qkv.backward(dqkv, qkv_cache, row_slice=row_slice)

@@ -1,0 +1,72 @@
+"""Vectorized NumPy kernels: forward/backward pairs.
+
+Every function returns ``(output, cache)`` and has a matching ``*_backward``
+taking ``(grad_output, cache)``. Kernels avoid Python-level loops and
+unnecessary copies (views where possible), per the scientific-Python
+optimization guidance this project follows.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+_SQRT_2_OVER_PI = math.sqrt(2.0 / math.pi)
+
+
+def gelu(x: np.ndarray) -> tuple[np.ndarray, tuple]:
+    """Tanh-approximation GELU (the transformer standard)."""
+    u = _SQRT_2_OVER_PI * (x + 0.044715 * x**3)
+    t = np.tanh(u)
+    y = 0.5 * x * (1.0 + t)
+    return y, (x, t)
+
+
+def gelu_backward(dy: np.ndarray, cache: tuple) -> np.ndarray:
+    x, t = cache
+    du = _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * x**2)
+    dt = (1.0 - t**2) * du
+    return dy * (0.5 * (1.0 + t) + 0.5 * x * dt)
+
+
+def layernorm(
+    x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float = 1e-5
+) -> tuple[np.ndarray, tuple]:
+    """LayerNorm over the last axis."""
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    inv = 1.0 / np.sqrt(var + eps)
+    xhat = (x - mean) * inv
+    y = xhat * gamma + beta
+    return y, (xhat, inv, gamma)
+
+
+def layernorm_backward(
+    dy: np.ndarray, cache: tuple
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Returns ``(dx, dgamma, dbeta)``."""
+    xhat, inv, gamma = cache
+    axes = tuple(range(dy.ndim - 1))
+    dgamma = (dy * xhat).sum(axis=axes)
+    dbeta = dy.sum(axis=axes)
+    dxhat = dy * gamma
+    n = xhat.shape[-1]
+    dx = (
+        dxhat
+        - dxhat.mean(axis=-1, keepdims=True)
+        - xhat * (dxhat * xhat).mean(axis=-1, keepdims=True)
+    ) * inv
+    return dx, dgamma, dbeta
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def softmax_backward(dy: np.ndarray, y: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Backward through softmax given its output ``y``."""
+    return y * (dy - (dy * y).sum(axis=axis, keepdims=True))

@@ -1,0 +1,30 @@
+"""Performance modelling and configuration selection (paper §3.4).
+
+* :mod:`repro.perf.model` — Equation (1): closed-form critical-path counts
+  plus a homogeneous-cost simulation for the communication-overlap term.
+* :mod:`repro.perf.selector` — the paper's configuration strategy: greedily
+  pick the largest micro-batch size that fits device memory, then use the
+  model to choose the best (W, D) split of the workers.
+* :mod:`repro.perf.calibration` — build cost/memory models from a machine
+  spec and a workload spec (the stand-in for the paper's micro-benchmarks).
+"""
+
+from repro.perf.model import (
+    PerfPrediction,
+    chimera_critical_path,
+    predict_closed_form,
+    predict_iteration_time,
+)
+from repro.perf.selector import ConfigCandidate, select_configuration
+from repro.perf.calibration import calibrate_cost_model, calibrate_memory_model
+
+__all__ = [
+    "PerfPrediction",
+    "chimera_critical_path",
+    "predict_closed_form",
+    "predict_iteration_time",
+    "ConfigCandidate",
+    "select_configuration",
+    "calibrate_cost_model",
+    "calibrate_memory_model",
+]

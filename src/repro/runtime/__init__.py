@@ -1,0 +1,38 @@
+"""Executable pipeline-parallel training runtime.
+
+This package runs any :class:`~repro.schedules.ir.Schedule` on the real
+NumPy models of :mod:`repro.models`, with an in-process GLOO-like
+communication backend. It is the "does the schedule actually compute the
+right thing" half of the reproduction:
+
+* synchronous schemes (Chimera, DAPPLE, GPipe, GEMS) produce weights
+  numerically equal to sequential mini-batch SGD (paper §2: "equivalent to
+  the standard and well-proved mini-batch SGD");
+* the PipeDream family exhibits weight staleness (different weights than
+  SGD) while remaining version-consistent and convergent.
+"""
+
+from repro.runtime.optimizers import SGD, Adam, Momentum, Optimizer
+from repro.runtime.backend import InProcessBackend
+from repro.runtime.collective_algorithms import (
+    CollectiveStats,
+    rabenseifner_allreduce,
+    ring_allreduce,
+)
+from repro.runtime.stage_module import StageModule
+from repro.runtime.executor import PipelineExecutor
+from repro.runtime.trainer import PipelineTrainer
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Momentum",
+    "Adam",
+    "InProcessBackend",
+    "CollectiveStats",
+    "rabenseifner_allreduce",
+    "ring_allreduce",
+    "StageModule",
+    "PipelineExecutor",
+    "PipelineTrainer",
+]

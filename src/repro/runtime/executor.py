@@ -1,0 +1,271 @@
+"""Cooperative executor: runs a schedule's operations on real NumPy stages.
+
+Workers are polled round-robin; each executes its next operation as soon as
+the operation's messages are available in the backend (the in-order-per-
+worker semantics the simulator models). A full pass with no progress is a
+deadlock and raises with a per-worker report — by construction (validated
+schedules) this only fires on library bugs, and the tests rely on that.
+
+The executor is scheme-agnostic: PipeDream's weight stashing and per-micro-
+batch updates are injected through hooks by the trainer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.common.errors import DeadlockError, ReproError
+from repro.models.loss import softmax_cross_entropy
+from repro.runtime.backend import InProcessBackend
+from repro.runtime.stage_module import StageModule
+from repro.schedules.ir import Operation, OpKind, Schedule
+
+#: (group, replica, stage) -> StageModule
+StageMap = Mapping[tuple[int, int, int], StageModule]
+
+
+class PipelineExecutor:
+    """Executes one training iteration of ``schedule`` over ``width`` groups.
+
+    Parameters
+    ----------
+    schedule:
+        Any validated schedule.
+    stages:
+        Stage modules per ``(group, replica, stage)``.
+    width:
+        ``W`` — data-parallel pipeline groups (each runs the same schedule
+        on its own micro-batches).
+    backend:
+        Message/collective transport; a fresh one is created if omitted.
+    weight_stashing:
+        PipeDream-style: snapshot weights at each forward, run the backward
+        against the snapshot (version consistency across an update that
+        happened in between).
+    on_sync_complete:
+        Called with ``(stage, micro_batches, members)`` whenever a gradient
+        allreduce finishes; PipeDream's trainer updates weights here.
+    """
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        stages: StageMap,
+        *,
+        width: int = 1,
+        backend: InProcessBackend | None = None,
+        weight_stashing: bool = False,
+        on_sync_complete: Callable[[int, tuple, list], None] | None = None,
+    ) -> None:
+        self.schedule = schedule
+        self.stages = dict(stages)
+        self.width = width
+        self.backend = backend or InProcessBackend()
+        self.weight_stashing = weight_stashing
+        self.on_sync_complete = on_sync_complete
+        self._recompute_mbs: set[tuple[int, int, int]] = {
+            (op.replica, op.stage, mb)
+            for _, op in schedule.all_ops()
+            if op.is_backward and op.recompute
+            for mb in op.micro_batches
+        }
+        for group in range(width):
+            for worker in range(schedule.num_workers):
+                for replica, stage in schedule.replicas_hosted_by(worker):
+                    if (group, replica, stage) not in self.stages:
+                        raise ReproError(
+                            f"missing stage module (group={group}, "
+                            f"replica={replica}, stage={stage})"
+                        )
+
+    # ------------------------------------------------------------------ API
+    def run_iteration(
+        self, data: list[list[tuple[np.ndarray, np.ndarray]]]
+    ) -> float:
+        """Execute the schedule once; returns the mini-batch loss.
+
+        ``data[group][mb] = (tokens, targets)`` with exactly ``N`` entries
+        per group.
+        """
+        n = self.schedule.num_micro_batches
+        if len(data) != self.width:
+            raise ReproError(f"need data for {self.width} groups, got {len(data)}")
+        for group_data in data:
+            if len(group_data) != n:
+                raise ReproError(
+                    f"each group needs {n} micro-batches, got {len(group_data)}"
+                )
+        self._data = data
+        self._logits: dict[tuple[int, int], np.ndarray] = {}
+        self._losses: dict[tuple[int, int], float] = {}
+        self._stashes: dict[tuple, list[np.ndarray]] = {}
+        self.backend.reset_collectives()
+
+        pointers = {
+            (group, worker): 0
+            for group in range(self.width)
+            for worker in range(self.schedule.num_workers)
+        }
+        ops = self.schedule.worker_ops
+        total = self.width * sum(len(row) for row in ops)
+        done = 0
+        while done < total:
+            progressed = False
+            for (group, worker), ptr in list(pointers.items()):
+                row = ops[worker]
+                while pointers[(group, worker)] < len(row):
+                    op = row[pointers[(group, worker)]]
+                    if not self._executable(group, op):
+                        break
+                    self._execute(group, worker, op)
+                    pointers[(group, worker)] += 1
+                    done += 1
+                    progressed = True
+            if not progressed:
+                heads = {}
+                for (group, worker), ptr in pointers.items():
+                    if ptr < len(ops[worker]):
+                        heads[f"g{group}/P{worker}"] = ops[worker][ptr].short()
+                raise DeadlockError(
+                    f"pipeline made no progress; blocked heads: {heads}"
+                )
+        unresolved = self.backend.unresolved_collectives()
+        if unresolved:
+            raise DeadlockError(
+                f"iteration finished with unresolved collectives: {unresolved}"
+            )
+        mean_group_losses = [
+            sum(self._losses[(g, mb)] for mb in range(n)) / n
+            for g in range(self.width)
+        ]
+        return float(np.mean(mean_group_losses))
+
+    # ------------------------------------------------------------- execution
+    def _executable(self, group: int, op: Operation) -> bool:
+        if op.kind is OpKind.ALLREDUCE:
+            return True
+        if op.is_forward:
+            if op.stage == 0:
+                return True
+            return all(
+                self.backend.can_recv((group, op.replica, op.stage, mb, "act"))
+                for mb in op.micro_batches
+            )
+        if op.stage == self.schedule.num_stages - 1:
+            return True
+        return all(
+            self.backend.can_recv((group, op.replica, op.stage, mb, "grad", op.part))
+            for mb in op.micro_batches
+        )
+
+    def _execute(self, group: int, worker: int, op: Operation) -> None:
+        if op.kind is OpKind.ALLREDUCE:
+            self._execute_sync(group, op)
+        elif op.is_forward:
+            self._execute_forward(group, op)
+        else:
+            self._execute_backward(group, op)
+
+    def _execute_forward(self, group: int, op: Operation) -> None:
+        depth = self.schedule.num_stages
+        stage_module = self.stages[(group, op.replica, op.stage)]
+        for mb in op.micro_batches:
+            if op.stage == 0:
+                x = self._data[group][mb][0]
+            else:
+                x = self.backend.recv((group, op.replica, op.stage, mb, "act"))
+            if self.weight_stashing:
+                self._stashes[(group, op.replica, op.stage, mb)] = (
+                    stage_module.snapshot_params()
+                )
+            recompute = (op.replica, op.stage, mb) in self._recompute_mbs
+            stage_module.recompute = recompute
+            y = stage_module.forward(mb, x)
+            if op.stage < depth - 1:
+                self.backend.send((group, op.replica, op.stage + 1, mb, "act"), y)
+            else:
+                self._logits[(group, mb)] = y
+
+    def _execute_backward(self, group: int, op: Operation) -> None:
+        depth = self.schedule.num_stages
+        stage_module = self.stages[(group, op.replica, op.stage)]
+        index, parts = op.part
+        for mb in op.micro_batches:
+            if op.stage == depth - 1:
+                logits = self._logits[(group, mb)]
+                batch = logits.shape[0]
+                rows = _part_slice(batch, index, parts)
+                targets = self._data[group][mb][1]
+                loss, dlogits = softmax_cross_entropy(
+                    logits[rows], targets[rows]
+                )
+                # Rescale from a part-mean to the micro-batch mean so parts
+                # compose exactly.
+                dlogits = dlogits / parts
+                self._losses[(group, mb)] = (
+                    self._losses.get((group, mb), 0.0) + loss / parts
+                )
+                dy = dlogits
+                row_slice = rows if parts > 1 else None
+            else:
+                dy = self.backend.recv(
+                    (group, op.replica, op.stage, mb, "grad", op.part)
+                )
+                batch = self._data[group][mb][0].shape[0]
+                row_slice = _part_slice(batch, index, parts) if parts > 1 else None
+
+            stash_key = (group, op.replica, op.stage, mb)
+            if self.weight_stashing and stash_key in self._stashes:
+                current = stage_module.snapshot_params()
+                stage_module.load_params(self._stashes[stash_key])
+                dx = stage_module.backward(
+                    mb, dy, row_slice=row_slice, fraction=1.0 / parts
+                )
+                stage_module.load_params(current)
+                if not stage_module.is_in_flight(mb):
+                    del self._stashes[stash_key]
+            else:
+                dx = stage_module.backward(
+                    mb, dy, row_slice=row_slice, fraction=1.0 / parts
+                )
+            if op.stage > 0:
+                self.backend.send(
+                    (group, op.replica, op.stage - 1, mb, "grad", op.part), dx
+                )
+
+    def _execute_sync(self, group: int, op: Operation) -> None:
+        coll_key = (op.stage, op.micro_batches)
+        members = self._sync_members(op.stage)
+        stage_module = self.stages[(group, op.replica, op.stage)]
+        self.backend.allreduce_contribute(
+            coll_key,
+            (group, op.replica, op.stage),
+            stage_module.grad_arrays(),
+            group_size=len(members),
+        )
+        if self.backend.allreduce_done(coll_key) and self.on_sync_complete:
+            self.on_sync_complete(op.stage, op.micro_batches, members)
+
+    def _sync_members(self, stage: int) -> list[tuple[int, int, int]]:
+        """Every (group, replica, stage) copy participating in the collective.
+
+        Each model replica holds stage ``stage`` exactly once, so the group
+        is ``width x num_replicas`` strong (§3.3: data parallelism grows the
+        participant count by W without changing the local gradient size).
+        """
+        return [
+            (group, replica, stage)
+            for group in range(self.width)
+            for replica in range(self.schedule.num_replicas)
+        ]
+
+
+def _part_slice(batch: int, index: int, parts: int) -> slice:
+    if batch % parts:
+        raise ReproError(
+            f"micro-batch of {batch} rows cannot split into {parts} backward parts"
+        )
+    step = batch // parts
+    return slice(index * step, (index + 1) * step)

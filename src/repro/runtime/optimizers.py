@@ -1,0 +1,92 @@
+"""First-order optimizers operating on layer parameter/gradient dicts.
+
+The paper trains with stochastic gradient descent; we provide plain SGD,
+momentum SGD, and Adam. Optimizer state is keyed per (layer object, param
+name), so independent stage replicas holding identical weights and receiving
+identical (allreduced) gradients evolve identically — the property the
+synchronous-equivalence tests rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.models.layers import Layer
+
+
+class Optimizer:
+    """Base optimizer over lists of layers."""
+
+    def step(self, layers: Iterable[Layer]) -> None:
+        for layer in layers:
+            params = layer.params
+            grads = layer.grads
+            for name in params:
+                self.update(
+                    (id(layer), name), params[name], grads[name]
+                )
+
+    def update(self, key: tuple, param: np.ndarray, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Vanilla stochastic gradient descent."""
+
+    def __init__(self, lr: float = 0.1) -> None:
+        self.lr = lr
+
+    def update(self, key: tuple, param: np.ndarray, grad: np.ndarray) -> None:
+        param -= self.lr * grad
+
+
+class Momentum(Optimizer):
+    """SGD with classical momentum."""
+
+    def __init__(self, lr: float = 0.1, momentum: float = 0.9) -> None:
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: dict[tuple, np.ndarray] = {}
+
+    def update(self, key: tuple, param: np.ndarray, grad: np.ndarray) -> None:
+        v = self._velocity.get(key)
+        if v is None:
+            v = np.zeros_like(param)
+            self._velocity[key] = v
+        v *= self.momentum
+        v += grad
+        param -= self.lr * v
+
+
+class Adam(Optimizer):
+    """Adam with bias correction."""
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: dict[tuple, np.ndarray] = {}
+        self._v: dict[tuple, np.ndarray] = {}
+        self._t: dict[tuple, int] = {}
+
+    def update(self, key: tuple, param: np.ndarray, grad: np.ndarray) -> None:
+        m = self._m.setdefault(key, np.zeros_like(param))
+        v = self._v.setdefault(key, np.zeros_like(param))
+        t = self._t.get(key, 0) + 1
+        self._t[key] = t
+        m *= self.beta1
+        m += (1 - self.beta1) * grad
+        v *= self.beta2
+        v += (1 - self.beta2) * grad * grad
+        mhat = m / (1 - self.beta1**t)
+        vhat = v / (1 - self.beta2**t)
+        param -= self.lr * mhat / (np.sqrt(vhat) + self.eps)

@@ -1,0 +1,115 @@
+"""A pipeline stage over a list of layers, with per-micro-batch stashes.
+
+The runtime counterpart of what each worker hosts per (replica, stage):
+weights, per-micro-batch activation caches (or just the stage input under
+recomputation), and accumulated gradients. Also provides the weight
+snapshot/restore hooks PipeDream's version stashing needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ReproError
+from repro.models.layers import Layer
+
+
+class StageModule:
+    """One stage replica: layers + in-flight micro-batch state."""
+
+    def __init__(self, layers: list[Layer], *, recompute: bool = False) -> None:
+        self.layers = layers
+        self.recompute = recompute
+        #: mb id -> list of per-layer caches (or the stage input under
+        #: recomputation).
+        self._caches: dict[int, list] = {}
+        self._inputs: dict[int, np.ndarray] = {}
+        #: mb id -> backward fraction still outstanding (parts support).
+        self._pending: dict[int, float] = {}
+
+    # ----------------------------------------------------------------- state
+    def zero_grads(self) -> None:
+        for layer in self.layers:
+            layer.zero_grads()
+
+    def grad_arrays(self) -> list[np.ndarray]:
+        """Flat list of gradient buffers (allreduce payload), stable order."""
+        return [g for layer in self.layers for _, g in sorted(layer.grads.items())]
+
+    def param_arrays(self) -> list[np.ndarray]:
+        return [p for layer in self.layers for _, p in sorted(layer.params.items())]
+
+    def scale_grads(self, factor: float) -> None:
+        for g in self.grad_arrays():
+            g *= factor
+
+    def num_params(self) -> int:
+        return sum(layer.num_params() for layer in self.layers)
+
+    def in_flight(self) -> int:
+        """Number of micro-batches with live stashes (memory-model checks)."""
+        return len(self._pending)
+
+    def is_in_flight(self, mb: int) -> bool:
+        return mb in self._pending
+
+    # ------------------------------------------------------------- snapshots
+    def snapshot_params(self) -> list[np.ndarray]:
+        """Copy of all parameters (PipeDream weight-version stash)."""
+        return [p.copy() for p in self.param_arrays()]
+
+    def load_params(self, snapshot: list[np.ndarray]) -> None:
+        params = self.param_arrays()
+        if len(params) != len(snapshot):
+            raise ReproError("parameter snapshot shape mismatch")
+        for p, s in zip(params, snapshot):
+            p[...] = s
+
+    # ----------------------------------------------------------- computation
+    def forward(self, mb: int, x: np.ndarray) -> np.ndarray:
+        """Run the stage forward for micro-batch ``mb``, stashing state."""
+        if mb in self._pending:
+            raise ReproError(f"micro-batch {mb} already in flight on this stage")
+        self._inputs[mb] = x
+        if self.recompute:
+            caches = None
+        else:
+            caches = []
+        for layer in self.layers:
+            x, cache = layer.forward(x)
+            if caches is not None:
+                caches.append(cache)
+        if caches is not None:
+            self._caches[mb] = caches
+        self._pending[mb] = 1.0
+        return x
+
+    def backward(
+        self, mb: int, dy: np.ndarray, *, row_slice: slice | None = None, fraction: float = 1.0
+    ) -> np.ndarray:
+        """Backward for (a part of) micro-batch ``mb``; returns ``d input``.
+
+        Parameter gradients accumulate into the layers. ``row_slice``
+        restricts to a batch-row slice (backward halving); ``fraction`` is
+        the share of the micro-batch this call covers, used to release the
+        stash once all parts ran.
+        """
+        if mb not in self._pending:
+            raise ReproError(f"backward for micro-batch {mb} without a forward")
+        if self.recompute and mb not in self._caches:
+            # Rematerialize the full forward from the stashed stage input.
+            x = self._inputs[mb]
+            caches = []
+            for layer in self.layers:
+                x, cache = layer.forward(x)
+                caches.append(cache)
+            self._caches[mb] = caches
+        caches = self._caches[mb]
+        for layer, cache in zip(reversed(self.layers), reversed(caches)):
+            dy = layer.backward(dy, cache, row_slice=row_slice)
+        self._pending[mb] -= fraction
+        if self._pending[mb] <= 1e-9:
+            del self._pending[mb]
+            del self._caches[mb]
+            del self._inputs[mb]
+        return dy

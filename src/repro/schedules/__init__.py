@@ -1,0 +1,54 @@
+"""Pipeline-parallel schedule construction.
+
+This package contains the paper's primary contribution — the Chimera
+bidirectional schedule (:mod:`repro.schedules.chimera`) — together with every
+baseline it is compared against in Table 2 of the paper:
+
+* :mod:`repro.schedules.gpipe` — GPipe [Huang et al. 2019]
+* :mod:`repro.schedules.dapple` — DAPPLE / synchronous 1F1B [Fan et al. 2021]
+* :mod:`repro.schedules.gems` — GEMS [Jain et al. 2020]
+* :mod:`repro.schedules.pipedream` — PipeDream [Narayanan et al. 2019]
+* :mod:`repro.schedules.pipedream_2bw` — PipeDream-2BW [Narayanan et al. 2020]
+
+All builders produce the same :class:`repro.schedules.ir.Schedule` IR, which
+the simulator (:mod:`repro.sim`), the training runtime
+(:mod:`repro.runtime`), and the memory model consume uniformly.
+"""
+
+from repro.schedules.ir import Operation, OpKind, Schedule
+from repro.schedules.placement import StagePlacement
+from repro.schedules.chimera import build_chimera_schedule, ConcatStrategy
+from repro.schedules.gpipe import build_gpipe_schedule
+from repro.schedules.dapple import build_dapple_schedule
+from repro.schedules.gems import build_gems_schedule
+from repro.schedules.pipedream import build_pipedream_schedule
+from repro.schedules.pipedream_2bw import build_pipedream_2bw_schedule
+from repro.schedules.registry import build_schedule, available_schemes
+from repro.schedules.validate import validate_schedule
+from repro.schedules.analysis import (
+    bubble_ratio_formula,
+    activation_interval_formula,
+    weight_copies_formula,
+    scheme_properties,
+)
+
+__all__ = [
+    "Operation",
+    "OpKind",
+    "Schedule",
+    "StagePlacement",
+    "ConcatStrategy",
+    "build_chimera_schedule",
+    "build_gpipe_schedule",
+    "build_dapple_schedule",
+    "build_gems_schedule",
+    "build_pipedream_schedule",
+    "build_pipedream_2bw_schedule",
+    "build_schedule",
+    "available_schemes",
+    "validate_schedule",
+    "bubble_ratio_formula",
+    "activation_interval_formula",
+    "weight_copies_formula",
+    "scheme_properties",
+]

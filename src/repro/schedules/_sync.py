@@ -1,0 +1,79 @@
+"""Gradient-synchronization op placement shared by the schedule builders.
+
+The *position* of an ``ALLREDUCE`` op inside a worker's list encodes when the
+collective is launched (paper §3.2): appended at the end means "synchronize
+after all local computation" (Figure 4a); inserted right after the last local
+backward of a stage means *eager* non-blocking synchronization that overlaps
+the remaining computation (Figure 4b).
+"""
+
+from __future__ import annotations
+
+from repro.schedules.ir import Operation, OpKind
+from repro.schedules.placement import StagePlacement
+
+#: Supported synchronization strategies.
+SYNC_MODES = ("lazy", "eager", "eager_opt")
+
+
+def append_lazy_sync(
+    rows: list[list[Operation]], placement: StagePlacement
+) -> None:
+    """Append one allreduce per hosted stage replica at the end of each worker.
+
+    Stages are appended in increasing gradient-availability order (later
+    pipeline stages finish their backwards first, so their collectives are
+    launched first, mirroring Figure 4a).
+    """
+    for worker, ops in enumerate(rows):
+        hosted = sorted(
+            placement.stages_on_worker(worker), key=lambda rs: -rs[1]
+        )
+        for replica, stage in hosted:
+            ops.append(Operation(OpKind.ALLREDUCE, replica, stage))
+
+
+def insert_eager_sync(
+    rows: list[list[Operation]],
+    placement: StagePlacement,
+    *,
+    eager_pairs: set[tuple[int, int, int]] | None = None,
+) -> None:
+    """Insert allreduce ops right after each stage's last local backward.
+
+    Parameters
+    ----------
+    eager_pairs:
+        Optional set of ``(worker, replica, stage)`` triples that should be
+        synchronized eagerly; hosted pairs not in the set are appended lazily
+        at the end (this implements ``eager-sync-opt``: middle stages, whose
+        gradients only complete at the very end of local computation, gain
+        nothing from an eager launch and would only add progression overhead,
+        paper §3.2). ``None`` means *every* hosted pair is eager.
+    """
+    for worker, ops in enumerate(rows):
+        hosted = placement.stages_on_worker(worker)
+        lazy: list[tuple[int, int]] = []
+        inserts: list[tuple[int, Operation]] = []
+        for replica, stage in hosted:
+            eager = eager_pairs is None or (worker, replica, stage) in eager_pairs
+            if not eager:
+                lazy.append((replica, stage))
+                continue
+            last_bwd = max(
+                (
+                    i
+                    for i, op in enumerate(ops)
+                    if op.is_backward and op.replica == replica and op.stage == stage
+                ),
+                default=None,
+            )
+            if last_bwd is None:
+                lazy.append((replica, stage))
+                continue
+            inserts.append((last_bwd + 1, Operation(OpKind.ALLREDUCE, replica, stage)))
+        # Insert from the back so earlier indices stay valid.
+        for pos, op in sorted(inserts, key=lambda t: -t[0]):
+            ops.insert(pos, op)
+        for replica, stage in sorted(lazy, key=lambda rs: -rs[1]):
+            ops.append(Operation(OpKind.ALLREDUCE, replica, stage))

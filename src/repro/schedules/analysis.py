@@ -1,0 +1,101 @@
+"""Closed-form scheme properties (the formulas of Tables 2 and 3).
+
+These are the paper's analytic expressions, collected in one place so
+callers (and the test suite) can compare any simulated schedule against
+its theoretical signature without re-deriving the algebra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SchemeProperties:
+    """Analytic per-scheme signature for a (D, N) configuration."""
+
+    scheme: str
+    #: Bubble ratio under the practical workload model (backward = 2x).
+    bubble_ratio: float
+    #: Weight copies held per worker, in units of one stage's weights.
+    weight_copies: float
+    #: (min, max) live activation stashes per worker, in micro-batches.
+    activation_interval: tuple[float, float]
+    synchronous: bool
+
+
+def bubble_ratio_formula(
+    scheme: str, depth: int, n: int, *, num_down_pipelines: int = 1
+) -> float:
+    """Table 2 (practical, backward = 2x forward) / Table 3 bubble ratios.
+
+    For Chimera the Table 2 row before middle-bubble removal is
+    ``(D-2)/(3N/2 + D - 2)``; with ``f`` down pipelines (Table 3, equal
+    slots) it is ``(D-2f)/(2fN + D - 2f)``.
+    """
+    d, f = depth, num_down_pipelines
+    if scheme in ("gpipe", "dapple"):
+        return (d - 1) / (n + d - 1)
+    if scheme == "gems":
+        return (d - 1) / (d + 0.5)
+    if scheme == "chimera":
+        if f == 1:
+            return (d - 2) / (1.5 * n + d - 2)
+        return (d - 2 * f) / (2 * f * n + d - 2 * f)
+    if scheme in ("pipedream", "pipedream_2bw"):
+        return 0.0
+    raise ConfigurationError(f"no bubble formula for scheme {scheme!r}")
+
+
+def activation_interval_formula(
+    scheme: str, depth: int, n: int, *, num_down_pipelines: int = 1
+) -> tuple[float, float]:
+    """Table 2 / Table 3 per-worker activation intervals (micro-batches)."""
+    d, f = depth, num_down_pipelines
+    if scheme == "gpipe":
+        return (float(n), float(n))
+    if scheme in ("dapple", "pipedream", "pipedream_2bw"):
+        return (min(1.0, float(n)), float(min(d, n)))
+    if scheme == "gems":
+        return (1.0, 1.0)
+    if scheme == "chimera":
+        if n < d:
+            return (1.0, float(min(d, n)))
+        return (d - d / (2 * f) + 1.0, float(d))
+    raise ConfigurationError(f"no activation formula for scheme {scheme!r}")
+
+
+def weight_copies_formula(scheme: str, *, num_down_pipelines: int = 1) -> float:
+    """Model-replica copies per worker (Table 2's weights column).
+
+    PipeDream's extra stashed *versions* are raw parameters, not full
+    state, and are modelled separately (:mod:`repro.sim.memory`).
+    """
+    if scheme in ("gpipe", "dapple", "pipedream", "pipedream_2bw"):
+        return 1.0
+    if scheme == "gems":
+        return 2.0
+    if scheme == "chimera":
+        return 2.0 * num_down_pipelines
+    raise ConfigurationError(f"no weight formula for scheme {scheme!r}")
+
+
+def scheme_properties(
+    scheme: str, depth: int, n: int, *, num_down_pipelines: int = 1
+) -> SchemeProperties:
+    """The full analytic signature for one configuration."""
+    return SchemeProperties(
+        scheme=scheme,
+        bubble_ratio=bubble_ratio_formula(
+            scheme, depth, n, num_down_pipelines=num_down_pipelines
+        ),
+        weight_copies=weight_copies_formula(
+            scheme, num_down_pipelines=num_down_pipelines
+        ),
+        activation_interval=activation_interval_formula(
+            scheme, depth, n, num_down_pipelines=num_down_pipelines
+        ),
+        synchronous=scheme not in ("pipedream", "pipedream_2bw"),
+    )

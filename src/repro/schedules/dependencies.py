@@ -1,0 +1,194 @@
+"""Data-dependency extraction for schedules.
+
+Given a :class:`~repro.schedules.ir.Schedule`, build the DAG of *data*
+dependencies between operations:
+
+* ``F(r, s, m)`` depends on ``F(r, s-1, m)`` — activation transfer between
+  consecutive stages (a p2p message when the stages live on different
+  workers);
+* ``B(r, s, m)`` depends on ``B(r, s+1, m)`` — gradient transfer — and on
+  ``F(r, s, m)`` — the stashed activation (or stashed stage input when
+  recomputation is on);
+* ``S(r, s)`` (allreduce) depends on every local backward of that stage
+  replica (or, for per-micro-batch synchronization as in PipeDream, on the
+  backward of its micro-batch).
+
+Worker-order dependencies (op ``i+1`` on a worker starts after op ``i``) are
+*not* materialized here; the simulator and the runtime both respect the list
+order directly. The validator combines both edge sets for its acyclicity
+check.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.common.errors import ValidationError
+from repro.schedules.ir import Operation, OpKind, Schedule
+
+OpKey = tuple
+
+
+class EdgeKind(enum.Enum):
+    """Why one operation must wait for another."""
+
+    #: Forward output of the previous stage (p2p activation message).
+    ACTIVATION = "activation"
+    #: Input-gradient from the next stage (p2p gradient message).
+    GRADIENT = "gradient"
+    #: Locally stashed activation produced by the same stage's forward.
+    STASH = "stash"
+    #: Local weight gradients that feed a gradient-synchronization collective.
+    SYNC = "sync"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed dependency ``src -> dst`` (dst waits for src)."""
+
+    src: OpKey
+    dst: OpKey
+    kind: EdgeKind
+
+    @property
+    def is_p2p_candidate(self) -> bool:
+        """Edges that cross workers become point-to-point messages."""
+        return self.kind in (EdgeKind.ACTIVATION, EdgeKind.GRADIENT)
+
+
+@dataclass
+class DependencyGraph:
+    """The schedule's data-dependency DAG plus fast lookups.
+
+    Attributes
+    ----------
+    schedule:
+        The schedule the graph was built from.
+    location:
+        ``op.key() -> (worker, position)`` for every operation.
+    deps:
+        ``op.key() -> tuple of incoming edges`` (possibly empty).
+    """
+
+    schedule: Schedule
+    location: dict[OpKey, tuple[int, int]]
+    deps: dict[OpKey, tuple[Edge, ...]]
+
+    def worker_of_key(self, key: OpKey) -> int:
+        return self.location[key][0]
+
+    def edges(self) -> Iterator[Edge]:
+        for incoming in self.deps.values():
+            yield from incoming
+
+    def p2p_edges(self) -> Iterator[Edge]:
+        """Dependency edges that cross a worker boundary."""
+        for edge in self.edges():
+            if not edge.is_p2p_candidate:
+                continue
+            if self.worker_of_key(edge.src) != self.worker_of_key(edge.dst):
+                yield edge
+
+
+def build_dependency_graph(schedule: Schedule) -> DependencyGraph:
+    """Construct the :class:`DependencyGraph` for ``schedule``.
+
+    Raises
+    ------
+    ValidationError
+        If an operation's producer is missing from the schedule (e.g. a
+        backward whose forward was never scheduled) or an operation appears
+        twice.
+    """
+    location: dict[OpKey, tuple[int, int]] = {}
+    # Per-micro-batch producer indexes. Forward doubling means several
+    # micro-batches can share one forward op, hence the per-mb map.
+    fwd_by_mb: dict[tuple[int, int, int], Operation] = {}  # (replica, stage, mb)
+    bwd_by_mb: dict[tuple[int, int, int, tuple[int, int]], Operation] = {}
+
+    for worker, ops in enumerate(schedule.worker_ops):
+        for pos, op in enumerate(ops):
+            key = op.key()
+            if key in location:
+                raise ValidationError(
+                    f"operation {op.short()} (replica {op.replica}, stage "
+                    f"{op.stage}) scheduled twice"
+                )
+            location[key] = (worker, pos)
+            if op.is_forward:
+                for mb in op.micro_batches:
+                    fwd_key = (op.replica, op.stage, mb)
+                    if fwd_key in fwd_by_mb:
+                        raise ValidationError(
+                            f"micro-batch {mb} has two forwards at stage "
+                            f"{op.stage} of replica {op.replica}"
+                        )
+                    fwd_by_mb[fwd_key] = op
+            elif op.is_backward:
+                for mb in op.micro_batches:
+                    bkey = (op.replica, op.stage, mb, op.part)
+                    if bkey in bwd_by_mb:
+                        raise ValidationError(
+                            f"micro-batch {mb} part {op.part} has two "
+                            f"backwards at stage {op.stage} of replica {op.replica}"
+                        )
+                    bwd_by_mb[bkey] = op
+
+    depth = schedule.num_stages
+    deps: dict[OpKey, tuple[Edge, ...]] = {}
+
+    for worker, ops in enumerate(schedule.worker_ops):
+        for op in ops:
+            incoming: list[Edge] = []
+            if op.is_forward and op.stage > 0:
+                for mb in op.micro_batches:
+                    producer = fwd_by_mb.get((op.replica, op.stage - 1, mb))
+                    if producer is None:
+                        raise ValidationError(
+                            f"forward of micro-batch {mb} at stage {op.stage} "
+                            f"(replica {op.replica}) has no stage-{op.stage - 1} producer"
+                        )
+                    incoming.append(Edge(producer.key(), op.key(), EdgeKind.ACTIVATION))
+            elif op.is_backward:
+                for mb in op.micro_batches:
+                    fwd = fwd_by_mb.get((op.replica, op.stage, mb))
+                    if fwd is None:
+                        raise ValidationError(
+                            f"backward of micro-batch {mb} at stage {op.stage} "
+                            f"(replica {op.replica}) has no matching forward"
+                        )
+                    incoming.append(Edge(fwd.key(), op.key(), EdgeKind.STASH))
+                    if op.stage < depth - 1:
+                        producer = bwd_by_mb.get(
+                            (op.replica, op.stage + 1, mb, op.part)
+                        )
+                        if producer is None:
+                            raise ValidationError(
+                                f"backward of micro-batch {mb} part {op.part} at "
+                                f"stage {op.stage} (replica {op.replica}) has no "
+                                f"stage-{op.stage + 1} gradient producer"
+                            )
+                        incoming.append(
+                            Edge(producer.key(), op.key(), EdgeKind.GRADIENT)
+                        )
+            elif op.kind is OpKind.ALLREDUCE:
+                targets = op.micro_batches or schedule.micro_batches_of_replica(
+                    op.replica
+                )
+                for bkey, producer in bwd_by_mb.items():
+                    replica, stage, mb, _part = bkey
+                    if replica != op.replica or stage != op.stage:
+                        continue
+                    if mb not in targets:
+                        continue
+                    if location[producer.key()][0] != worker:
+                        continue
+                    incoming.append(Edge(producer.key(), op.key(), EdgeKind.SYNC))
+            # Deduplicate (forward doubling can produce the same edge twice
+            # when both micro-batches of a chunk share one producer chunk).
+            unique: dict[tuple, Edge] = {(e.src, e.kind): e for e in incoming}
+            deps[op.key()] = tuple(unique.values())
+
+    return DependencyGraph(schedule=schedule, location=location, deps=deps)

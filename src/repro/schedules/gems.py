@@ -1,0 +1,75 @@
+"""GEMS schedule builder [Jain et al. 2020].
+
+GEMS keeps two model replicas in opposite directions (the same placement
+Chimera uses) but schedules micro-batches almost serially between them: at
+most two micro-batches are active at any time. Micro-batch ``i`` runs on
+replica ``i mod 2``; the forward of micro-batch ``i+1`` (on the *other*
+replica, whose first stage sits where micro-batch ``i``'s pipeline just
+finished) overlaps only with the backward sweep of micro-batch ``i``.
+
+This gives the lowest — and perfectly balanced — memory footprint of all
+schemes (one in-flight activation, ``2 M_theta`` weights) but a bubble ratio
+around ``(D-1)/(D+1/2)`` that does not improve with ``N`` (Table 2).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ScheduleError
+from repro.schedules._sync import append_lazy_sync
+from repro.schedules.ir import Operation, OpKind, Schedule, freeze_worker_ops
+from repro.schedules.placement import StagePlacement
+
+
+def build_gems_schedule(
+    depth: int,
+    num_micro_batches: int,
+    *,
+    recompute: bool = False,
+) -> Schedule:
+    """Build the GEMS schedule for an even ``depth`` and ``N`` micro-batches."""
+    if depth < 2 or depth % 2 != 0:
+        raise ScheduleError(
+            f"GEMS uses two opposite-direction replicas and needs an even "
+            f"number of stages >= 2, got D={depth}"
+        )
+    if num_micro_batches < 1:
+        raise ScheduleError("GEMS needs at least one micro-batch")
+
+    placement = StagePlacement.bidirectional(depth, 1)
+    rows: list[list[Operation]] = [[] for _ in range(depth)]
+    for mb in range(num_micro_batches):
+        replica = mb % 2
+        # Every worker executes this micro-batch's forward and backward for
+        # the stage it hosts on that replica; the serial per-worker order
+        # (F_i then B_i, micro-batches in order) lets the engine overlap the
+        # forward sweep of micro-batch i+1 with the backward sweep of i.
+        for stage in range(depth):
+            worker = placement.worker_of(replica, stage)
+            rows[worker].append(
+                Operation(OpKind.FORWARD, replica, stage, micro_batches=(mb,))
+            )
+        for stage in range(depth):
+            worker = placement.worker_of(replica, stage)
+            rows[worker].append(
+                Operation(
+                    OpKind.BACKWARD,
+                    replica,
+                    stage,
+                    micro_batches=(mb,),
+                    recompute=recompute,
+                )
+            )
+    # Interleave so each worker's list is ordered by micro-batch then kind.
+    for worker in range(depth):
+        rows[worker].sort(
+            key=lambda op: (op.micro_batches[0], 0 if op.is_forward else 1)
+        )
+    append_lazy_sync(rows, placement)
+    return Schedule(
+        scheme="gems",
+        placement=placement,
+        num_micro_batches=num_micro_batches,
+        worker_ops=freeze_worker_ops(rows),
+        synchronous=True,
+        metadata={"recompute": recompute},
+    )

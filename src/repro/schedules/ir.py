@@ -1,0 +1,246 @@
+"""Intermediate representation for pipeline-parallel schedules.
+
+A :class:`Schedule` is the contract between the schedule builders
+(:mod:`repro.schedules`), the discrete-event simulator (:mod:`repro.sim`), the
+memory model, and the real training runtime (:mod:`repro.runtime`): a static,
+per-worker *ordered* list of operations, plus the stage placement that says
+which worker holds which (replica, stage) pair.
+
+Time is *not* part of the IR — the simulator assigns start/end times given a
+cost model, and the runtime executes operations as their data dependencies
+are satisfied, preserving each worker's order.
+
+Design notes
+------------
+* ``micro_batches`` is a tuple so a single operation can cover several
+  micro-batches at once (*forward doubling*, paper §3.5 uses chunks of two).
+* ``part = (index, num_parts)`` splits one micro-batch across several
+  operations (*backward halving* runs every backward at half the micro-batch
+  size, so each backward op covers one half).
+* ``ALLREDUCE`` operations model gradient synchronization across stage
+  replicas; their position inside a worker's list encodes the eager /
+  lazy synchronization strategies of paper §3.2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.common.errors import ScheduleError
+from repro.schedules.placement import StagePlacement
+
+
+class OpKind(enum.Enum):
+    """The kinds of work a pipeline worker performs."""
+
+    #: Forward pass of one stage on one (or more) micro-batches.
+    FORWARD = "F"
+    #: Backward pass of one stage on one micro-batch (or a fraction of one).
+    BACKWARD = "B"
+    #: Gradient allreduce across the replicas of one stage.
+    ALLREDUCE = "S"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One unit of scheduled work.
+
+    Attributes
+    ----------
+    kind:
+        Forward, backward, or gradient synchronization.
+    replica:
+        Model-replica index. Chimera with ``f`` down pipelines uses replicas
+        ``0..2f-1`` (even = down direction, odd = up direction); unidirectional
+        schemes use replica 0 only (GEMS uses 0 and 1).
+    stage:
+        Pipeline-stage index inside the replica, ``0 <= stage < D``.
+    micro_batches:
+        Micro-batches covered by this op. Length one except under forward
+        doubling. Empty for stage-granularity ``ALLREDUCE`` ops.
+    part:
+        ``(index, num_parts)`` sub-micro-batch split. ``(0, 1)`` means the
+        whole micro-batch; backward halving uses ``(0, 2)`` and ``(1, 2)``.
+    recompute:
+        For ``BACKWARD``: the forward activations were discarded and must be
+        recomputed, increasing the op's cost (paper models B = 3F instead of
+        B = 2F when recomputation is on).
+    """
+
+    kind: OpKind
+    replica: int
+    stage: int
+    micro_batches: tuple[int, ...] = ()
+    part: tuple[int, int] = (0, 1)
+    recompute: bool = False
+
+    def __post_init__(self) -> None:
+        if self.stage < 0:
+            raise ScheduleError(f"negative stage in {self!r}")
+        if self.replica < 0:
+            raise ScheduleError(f"negative replica in {self!r}")
+        index, num_parts = self.part
+        if num_parts < 1 or not (0 <= index < num_parts):
+            raise ScheduleError(f"invalid part split {self.part} in {self!r}")
+        if self.kind is not OpKind.ALLREDUCE and not self.micro_batches:
+            raise ScheduleError(f"{self.kind} op must cover micro-batches: {self!r}")
+        if len(set(self.micro_batches)) != len(self.micro_batches):
+            raise ScheduleError(f"duplicate micro-batches in {self!r}")
+
+    @property
+    def is_forward(self) -> bool:
+        return self.kind is OpKind.FORWARD
+
+    @property
+    def is_backward(self) -> bool:
+        return self.kind is OpKind.BACKWARD
+
+    @property
+    def is_compute(self) -> bool:
+        return self.kind is not OpKind.ALLREDUCE
+
+    @property
+    def work_units(self) -> float:
+        """Micro-batch-equivalents of compute covered by this op.
+
+        Forward doubling ops count 2.0; backward-halving halves count 0.5;
+        allreduce counts 0 (it is communication, not compute).
+        """
+        if self.kind is OpKind.ALLREDUCE:
+            return 0.0
+        return len(self.micro_batches) / self.part[1]
+
+    def key(self) -> tuple:
+        """Hashable identity used for dependency lookups and uniqueness."""
+        return (self.kind, self.replica, self.stage, self.micro_batches, self.part)
+
+    def short(self) -> str:
+        """Compact human-readable form used by the Gantt renderer."""
+        mbs = ",".join(str(m) for m in self.micro_batches)
+        suffix = ""
+        if self.part != (0, 1):
+            suffix = f".{self.part[0]}/{self.part[1]}"
+        if self.kind is OpKind.ALLREDUCE:
+            return f"S{self.stage}r{self.replica}"
+        return f"{self.kind.value}{mbs}{suffix}"
+
+    def with_recompute(self, recompute: bool = True) -> "Operation":
+        """Return a copy with the recompute flag set."""
+        return replace(self, recompute=recompute)
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A complete static pipeline schedule for one training iteration.
+
+    Attributes
+    ----------
+    scheme:
+        Human-readable scheme name (``"chimera"``, ``"gpipe"``, ...).
+    placement:
+        Maps ``(replica, stage)`` to worker ranks; also fixes ``D`` and the
+        replica count.
+    num_micro_batches:
+        ``N`` — micro-batches executed per pipeline group per iteration.
+    worker_ops:
+        ``worker_ops[w]`` is worker ``w``'s ordered operation list.
+    synchronous:
+        True for flush-based schemes (GPipe, DAPPLE, GEMS, Chimera); False
+        for the asynchronous PipeDream family.
+    metadata:
+        Builder-specific annotations (e.g. concatenation strategy).
+    """
+
+    scheme: str
+    placement: StagePlacement
+    num_micro_batches: int
+    worker_ops: tuple[tuple[Operation, ...], ...]
+    synchronous: bool = True
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.worker_ops) != self.placement.num_workers:
+            raise ScheduleError(
+                f"worker_ops has {len(self.worker_ops)} rows but placement "
+                f"declares {self.placement.num_workers} workers"
+            )
+        if self.num_micro_batches < 1:
+            raise ScheduleError("a schedule must cover at least one micro-batch")
+
+    # ------------------------------------------------------------------ views
+    @property
+    def num_stages(self) -> int:
+        """``D`` — pipeline depth."""
+        return self.placement.num_stages
+
+    @property
+    def num_workers(self) -> int:
+        return self.placement.num_workers
+
+    @property
+    def num_replicas(self) -> int:
+        return self.placement.num_replicas
+
+    def ops_on(self, worker: int) -> tuple[Operation, ...]:
+        """Worker ``worker``'s ordered operation list."""
+        return self.worker_ops[worker]
+
+    def all_ops(self) -> Iterator[tuple[int, Operation]]:
+        """Yield ``(worker, op)`` for every scheduled operation."""
+        for worker, ops in enumerate(self.worker_ops):
+            for op in ops:
+                yield worker, op
+
+    def compute_ops(self) -> Iterator[tuple[int, Operation]]:
+        """Yield only FORWARD/BACKWARD operations with their worker."""
+        for worker, op in self.all_ops():
+            if op.is_compute:
+                yield worker, op
+
+    def worker_of(self, replica: int, stage: int) -> int:
+        """The worker hosting ``stage`` of ``replica``."""
+        return self.placement.worker_of(replica, stage)
+
+    def count(self, kind: OpKind) -> int:
+        """Total number of operations of ``kind`` in the schedule."""
+        return sum(1 for _, op in self.all_ops() if op.kind is kind)
+
+    def micro_batches_of_replica(self, replica: int) -> tuple[int, ...]:
+        """Sorted micro-batch ids whose forward pass runs on ``replica``."""
+        seen: set[int] = set()
+        for _, op in self.all_ops():
+            if op.is_forward and op.replica == replica:
+                seen.update(op.micro_batches)
+        return tuple(sorted(seen))
+
+    def work_units_on(self, worker: int) -> float:
+        """Total compute work (micro-batch equivalents, F + B) on a worker."""
+        return sum(op.work_units for op in self.worker_ops[worker])
+
+    def replicas_hosted_by(self, worker: int) -> tuple[tuple[int, int], ...]:
+        """All ``(replica, stage)`` pairs placed on ``worker``."""
+        return self.placement.stages_on_worker(worker)
+
+    def with_metadata(self, **extra: object) -> "Schedule":
+        """Return a copy with ``extra`` merged into :attr:`metadata`."""
+        merged = dict(self.metadata)
+        merged.update(extra)
+        return replace(self, metadata=merged)
+
+    def describe(self) -> str:
+        """One-line summary used in harness tables and error messages."""
+        return (
+            f"{self.scheme}(D={self.num_stages}, N={self.num_micro_batches}, "
+            f"replicas={self.num_replicas}, "
+            f"{'sync' if self.synchronous else 'async'})"
+        )
+
+
+def freeze_worker_ops(rows: Sequence[Iterable[Operation]]) -> tuple[tuple[Operation, ...], ...]:
+    """Convert mutable per-worker op lists to the immutable IR form."""
+    return tuple(tuple(row) for row in rows)

@@ -1,0 +1,63 @@
+"""PipeDream schedule builder [Narayanan et al. 2019].
+
+PipeDream runs the 1F1B pattern *without* periodic flushes: there is no
+pipeline drain between iterations, so the steady state has (almost) no
+bubbles — at the cost of weight staleness. The model is updated after each
+micro-batch's backward pass, which requires stashing up to ``D - s`` weight
+versions at stage ``s`` so that a micro-batch's backward uses the same
+weights as its forward (weight-version consistency).
+
+We model a window of ``N`` micro-batches of the infinite steady-state
+schedule. Gradient synchronization across the ``W`` replicated pipelines
+happens after *every* micro-batch (this is why the paper finds PipeDream's
+best configurations use deeper pipelines — frequent allreduce is expensive),
+represented by per-micro-batch ``ALLREDUCE`` ops.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ScheduleError
+from repro.schedules.ir import Operation, OpKind, Schedule, freeze_worker_ops
+from repro.schedules.onefb import onefb_stage_order
+from repro.schedules.placement import StagePlacement
+
+
+def build_pipedream_schedule(
+    depth: int,
+    num_micro_batches: int,
+    *,
+    recompute: bool = False,
+) -> Schedule:
+    """Build a PipeDream steady-state window of ``N`` micro-batches."""
+    if depth < 1:
+        raise ScheduleError("PipeDream needs at least one stage")
+    if num_micro_batches < 1:
+        raise ScheduleError("PipeDream needs at least one micro-batch")
+    placement = StagePlacement.linear(depth)
+    mbs = range(num_micro_batches)
+    rows: list[list[Operation]] = []
+    for stage in range(depth):
+        ops = onefb_stage_order(stage, depth, mbs, recompute=recompute)
+        # The model is updated (and synchronized across data-parallel
+        # replicas) immediately after each micro-batch's backward pass.
+        with_sync: list[Operation] = []
+        for op in ops:
+            with_sync.append(op)
+            if op.is_backward:
+                with_sync.append(
+                    Operation(
+                        OpKind.ALLREDUCE,
+                        op.replica,
+                        stage,
+                        micro_batches=op.micro_batches,
+                    )
+                )
+        rows.append(with_sync)
+    return Schedule(
+        scheme="pipedream",
+        placement=placement,
+        num_micro_batches=num_micro_batches,
+        worker_ops=freeze_worker_ops(rows),
+        synchronous=False,
+        metadata={"recompute": recompute, "weight_stashing": True},
+    )

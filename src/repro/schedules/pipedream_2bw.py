@@ -1,0 +1,54 @@
+"""PipeDream-2BW schedule builder [Narayanan et al. 2020].
+
+PipeDream-2BW keeps PipeDream's flush-free 1F1B pattern but uses *gradient
+accumulation* over ``N >= D`` micro-batches and double-buffered weights
+(exactly 2 stashed versions regardless of depth). Weight staleness remains
+(the backward of the first micro-batches of an accumulation window uses the
+previous weight version), so the scheme is asynchronous / not
+convergence-equivalent to mini-batch SGD, but its memory cost is ``2 M_theta``
+instead of PipeDream's up to ``D M_theta`` (Table 2).
+
+Gradient synchronization across the ``W`` replicated pipelines happens once
+per accumulation window and is overlapped with the next window's compute; we
+place a single per-stage ``ALLREDUCE`` at the end of the window.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ScheduleError
+from repro.schedules._sync import append_lazy_sync
+from repro.schedules.ir import Operation, Schedule, freeze_worker_ops
+from repro.schedules.onefb import onefb_stage_order
+from repro.schedules.placement import StagePlacement
+
+
+def build_pipedream_2bw_schedule(
+    depth: int,
+    num_micro_batches: int,
+    *,
+    recompute: bool = False,
+) -> Schedule:
+    """Build a PipeDream-2BW accumulation window of ``N`` micro-batches."""
+    if depth < 1:
+        raise ScheduleError("PipeDream-2BW needs at least one stage")
+    if num_micro_batches < 1:
+        raise ScheduleError("PipeDream-2BW needs at least one micro-batch")
+    placement = StagePlacement.linear(depth)
+    mbs = range(num_micro_batches)
+    rows: list[list[Operation]] = [
+        onefb_stage_order(stage, depth, mbs, recompute=recompute)
+        for stage in range(depth)
+    ]
+    append_lazy_sync(rows, placement)
+    return Schedule(
+        scheme="pipedream_2bw",
+        placement=placement,
+        num_micro_batches=num_micro_batches,
+        worker_ops=freeze_worker_ops(rows),
+        synchronous=False,
+        metadata={
+            "recompute": recompute,
+            "weight_versions": 2,
+            "overlap_sync_with_next_window": True,
+        },
+    )

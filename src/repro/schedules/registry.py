@@ -1,0 +1,51 @@
+"""Name-based schedule construction.
+
+The benchmark harness sweeps over scheme names; this registry maps each name
+to its builder with a uniform ``(depth, num_micro_batches, **options)``
+signature.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import ConfigurationError
+from repro.schedules.chimera import build_chimera_schedule
+from repro.schedules.dapple import build_dapple_schedule
+from repro.schedules.gems import build_gems_schedule
+from repro.schedules.gpipe import build_gpipe_schedule
+from repro.schedules.ir import Schedule
+from repro.schedules.pipedream import build_pipedream_schedule
+from repro.schedules.pipedream_2bw import build_pipedream_2bw_schedule
+
+_BUILDERS: dict[str, Callable[..., Schedule]] = {
+    "chimera": build_chimera_schedule,
+    "gpipe": build_gpipe_schedule,
+    "dapple": build_dapple_schedule,
+    "gems": build_gems_schedule,
+    "pipedream": build_pipedream_schedule,
+    "pipedream_2bw": build_pipedream_2bw_schedule,
+}
+
+
+def available_schemes() -> tuple[str, ...]:
+    """All registered scheme names, in Table 2 comparison order."""
+    return ("pipedream", "pipedream_2bw", "gpipe", "gems", "dapple", "chimera")
+
+
+def build_schedule(
+    scheme: str, depth: int, num_micro_batches: int, **options: object
+) -> Schedule:
+    """Build a schedule by scheme name.
+
+    Options are forwarded to the scheme's builder (e.g. ``recompute=True``
+    for any scheme, ``concat=``/``num_down_pipelines=``/``sync_mode=`` for
+    Chimera).
+    """
+    try:
+        builder = _BUILDERS[scheme]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scheme {scheme!r}; available: {sorted(_BUILDERS)}"
+        ) from None
+    return builder(depth, num_micro_batches, **options)

@@ -1,0 +1,176 @@
+"""Structural validation of schedules.
+
+``validate_schedule`` is run by every builder's test and by the simulator in
+strict mode. It enforces the invariants that make a schedule executable:
+
+1. **Uniqueness** — no operation is scheduled twice (checked while building
+   the dependency graph).
+2. **Completeness** — every micro-batch ``0..N-1`` receives exactly one
+   forward and a full set of backward parts at *every* stage of exactly one
+   replica.
+3. **Acyclicity** — data dependencies plus each worker's program order admit
+   a topological order (i.e. the schedule can actually run without
+   deadlock).
+4. **Placement consistency** — every compute op is scheduled on the worker
+   its placement assigns to ``(replica, stage)``.
+5. Optionally, **synchronization coverage** — every hosted stage replica has
+   a gradient allreduce op (synchronous schemes only).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+from repro.common.errors import ValidationError
+from repro.schedules.dependencies import DependencyGraph, build_dependency_graph
+from repro.schedules.ir import OpKind, Schedule
+
+
+def validate_schedule(
+    schedule: Schedule,
+    *,
+    require_sync_ops: bool = False,
+) -> DependencyGraph:
+    """Validate ``schedule`` and return its dependency graph.
+
+    Raises
+    ------
+    ValidationError
+        With a message pinpointing the first violated invariant.
+    """
+    graph = build_dependency_graph(schedule)
+    _check_placement(schedule)
+    _check_completeness(schedule)
+    _check_acyclic(graph)
+    if require_sync_ops:
+        _check_sync_coverage(schedule)
+    return graph
+
+
+def _check_placement(schedule: Schedule) -> None:
+    for worker, op in schedule.all_ops():
+        expected = schedule.worker_of(op.replica, op.stage)
+        if worker != expected:
+            raise ValidationError(
+                f"{op.short()} (replica {op.replica}, stage {op.stage}) is "
+                f"scheduled on worker {worker} but placed on worker {expected}"
+            )
+
+
+def _check_completeness(schedule: Schedule) -> None:
+    depth = schedule.num_stages
+    n = schedule.num_micro_batches
+
+    # Which replica owns each micro-batch (determined by its stage-0 forward).
+    owner: dict[int, int] = {}
+    for _, op in schedule.all_ops():
+        if op.is_forward and op.stage == 0:
+            for mb in op.micro_batches:
+                if mb in owner and owner[mb] != op.replica:
+                    raise ValidationError(
+                        f"micro-batch {mb} enters both replica {owner[mb]} "
+                        f"and replica {op.replica}"
+                    )
+                owner[mb] = op.replica
+
+    missing = sorted(set(range(n)) - set(owner))
+    if missing:
+        raise ValidationError(f"micro-batches {missing} never enter the pipeline")
+    extra = sorted(set(owner) - set(range(n)))
+    if extra:
+        raise ValidationError(
+            f"micro-batches {extra} are outside the declared range 0..{n - 1}"
+        )
+
+    fwd_seen: dict[tuple[int, int], int] = defaultdict(int)  # (stage, mb) -> count
+    bwd_parts: dict[tuple[int, int], set[tuple[int, int]]] = defaultdict(set)
+    for _, op in schedule.all_ops():
+        if op.is_forward:
+            for mb in op.micro_batches:
+                if op.replica != owner.get(mb):
+                    raise ValidationError(
+                        f"forward of micro-batch {mb} at stage {op.stage} runs "
+                        f"on replica {op.replica}, owner is {owner.get(mb)}"
+                    )
+                fwd_seen[(op.stage, mb)] += 1
+        elif op.is_backward:
+            for mb in op.micro_batches:
+                if op.replica != owner.get(mb):
+                    raise ValidationError(
+                        f"backward of micro-batch {mb} at stage {op.stage} runs "
+                        f"on replica {op.replica}, owner is {owner.get(mb)}"
+                    )
+                bwd_parts[(op.stage, mb)].add(op.part)
+
+    for stage in range(depth):
+        for mb in range(n):
+            if fwd_seen[(stage, mb)] != 1:
+                raise ValidationError(
+                    f"micro-batch {mb} has {fwd_seen[(stage, mb)]} forwards at "
+                    f"stage {stage} (expected exactly 1)"
+                )
+            parts = bwd_parts[(stage, mb)]
+            if not parts:
+                raise ValidationError(
+                    f"micro-batch {mb} has no backward at stage {stage}"
+                )
+            num_parts = {p[1] for p in parts}
+            if len(num_parts) != 1:
+                raise ValidationError(
+                    f"micro-batch {mb} mixes backward splits {sorted(parts)} "
+                    f"at stage {stage}"
+                )
+            total = num_parts.pop()
+            if {p[0] for p in parts} != set(range(total)):
+                raise ValidationError(
+                    f"micro-batch {mb} backward parts {sorted(parts)} do not "
+                    f"cover 0..{total - 1} at stage {stage}"
+                )
+
+
+def _check_acyclic(graph: DependencyGraph) -> None:
+    """Kahn's algorithm over data edges plus per-worker program order."""
+    schedule = graph.schedule
+    indegree: dict[tuple, int] = {key: 0 for key in graph.location}
+    out: dict[tuple, list[tuple]] = defaultdict(list)
+
+    def add_edge(src: tuple, dst: tuple) -> None:
+        out[src].append(dst)
+        indegree[dst] += 1
+
+    for key, incoming in graph.deps.items():
+        for edge in incoming:
+            add_edge(edge.src, key)
+    for ops in schedule.worker_ops:
+        for prev, nxt in zip(ops, ops[1:]):
+            add_edge(prev.key(), nxt.key())
+
+    ready = deque(key for key, deg in indegree.items() if deg == 0)
+    visited = 0
+    while ready:
+        key = ready.popleft()
+        visited += 1
+        for succ in out[key]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    if visited != len(indegree):
+        stuck = [key for key, deg in indegree.items() if deg > 0][:8]
+        raise ValidationError(
+            f"schedule has a dependency cycle / deadlock; {len(indegree) - visited} "
+            f"operations can never run, e.g. {stuck}"
+        )
+
+
+def _check_sync_coverage(schedule: Schedule) -> None:
+    synced: set[tuple[int, int]] = set()
+    for _, op in schedule.all_ops():
+        if op.kind is OpKind.ALLREDUCE:
+            synced.add((op.replica, op.stage))
+    for worker in range(schedule.num_workers):
+        for replica, stage in schedule.replicas_hosted_by(worker):
+            if (replica, stage) not in synced:
+                raise ValidationError(
+                    f"stage {stage} of replica {replica} (worker {worker}) "
+                    f"has no gradient synchronization op"
+                )

@@ -1,0 +1,50 @@
+"""Discrete-event simulation of pipeline schedules on modelled clusters.
+
+The simulator executes a :class:`~repro.schedules.ir.Schedule` against a
+:class:`~repro.sim.cost.CostModel` — per-op compute durations, alpha-beta
+point-to-point links, and collective (allreduce) cost models — producing a
+:class:`~repro.sim.engine.SimulationResult` with per-operation start/end
+times, per-worker busy/bubble accounting, and gradient-synchronization
+overlap. This substitutes for the paper's 2,048-node Piz Daint runs: every
+quantity the paper reports (bubble ratio, throughput, peak memory, the
+performance-model error) is a deterministic function of the schedule
+structure and these cost models.
+"""
+
+from repro.sim.cost import CostModel
+from repro.sim.network import LinkSpec, FlatTopology, HierarchicalTopology
+from repro.sim.collectives import (
+    allreduce_cost,
+    rabenseifner_cost,
+    ring_cost,
+    recursive_doubling_cost,
+)
+from repro.sim.engine import SimulationResult, TimedOp, simulate
+from repro.sim.memory import MemoryModel, MemoryReport, WorkerMemory, analyze_memory
+from repro.sim.metrics import bubble_ratio, throughput_samples_per_sec, worker_busy_times
+from repro.sim.gantt import render_gantt
+from repro.sim.trace import to_chrome_trace, write_chrome_trace
+
+__all__ = [
+    "CostModel",
+    "LinkSpec",
+    "FlatTopology",
+    "HierarchicalTopology",
+    "allreduce_cost",
+    "rabenseifner_cost",
+    "ring_cost",
+    "recursive_doubling_cost",
+    "SimulationResult",
+    "TimedOp",
+    "simulate",
+    "MemoryModel",
+    "MemoryReport",
+    "WorkerMemory",
+    "analyze_memory",
+    "bubble_ratio",
+    "throughput_samples_per_sec",
+    "worker_busy_times",
+    "render_gantt",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,91 @@
+"""Cost models for gradient-synchronization collectives.
+
+The paper assumes Rabenseifner's allreduce algorithm (reduce-scatter +
+allgather), whose cost for ``r`` ranks and ``L`` bytes is
+
+    2 * log2(r) * alpha + 2 * (r - 1) / r * beta * L
+
+which attains the allreduce bandwidth lower bound — "works best for large
+models" (§3.4). We also provide ring and recursive-doubling costs for the
+ablation benches, and these same formulas are cross-checked against the
+*executable* collective implementations in :mod:`repro.runtime.backend`
+(the step counts must agree).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.errors import ConfigurationError
+
+ALGORITHMS = ("rabenseifner", "ring", "recursive_doubling")
+
+
+def _check(group_size: int, num_bytes: float) -> None:
+    if group_size < 1:
+        raise ConfigurationError(f"allreduce group must be >= 1, got {group_size}")
+    if num_bytes < 0:
+        raise ConfigurationError(f"negative message size {num_bytes}")
+
+
+def rabenseifner_cost(
+    alpha: float, beta: float, num_bytes: float, group_size: int
+) -> float:
+    """Rabenseifner (reduce-scatter + allgather) allreduce cost.
+
+    ``2 log2(r) alpha + 2 (r-1)/r beta L`` — the paper's Equation for
+    ``Comm_allreduce``. A group of one costs nothing.
+    """
+    _check(group_size, num_bytes)
+    if group_size == 1:
+        return 0.0
+    r = group_size
+    return 2.0 * math.log2(r) * alpha + 2.0 * (r - 1) / r * beta * num_bytes
+
+
+def ring_cost(alpha: float, beta: float, num_bytes: float, group_size: int) -> float:
+    """Ring allreduce: ``2 (r-1) alpha + 2 (r-1)/r beta L``.
+
+    Same bandwidth term as Rabenseifner but a latency term linear in ``r`` —
+    competitive only for small groups or very large messages.
+    """
+    _check(group_size, num_bytes)
+    if group_size == 1:
+        return 0.0
+    r = group_size
+    return 2.0 * (r - 1) * alpha + 2.0 * (r - 1) / r * beta * num_bytes
+
+
+def recursive_doubling_cost(
+    alpha: float, beta: float, num_bytes: float, group_size: int
+) -> float:
+    """Recursive doubling: ``log2(r) (alpha + beta L)``.
+
+    Latency-optimal but moves the full message every round — best for small
+    messages (not the regime of billion-parameter gradients).
+    """
+    _check(group_size, num_bytes)
+    if group_size == 1:
+        return 0.0
+    r = group_size
+    rounds = math.ceil(math.log2(r))
+    return rounds * (alpha + beta * num_bytes)
+
+
+def allreduce_cost(
+    algorithm: str,
+    alpha: float,
+    beta: float,
+    num_bytes: float,
+    group_size: int,
+) -> float:
+    """Dispatch on algorithm name; see the per-algorithm functions."""
+    if algorithm == "rabenseifner":
+        return rabenseifner_cost(alpha, beta, num_bytes, group_size)
+    if algorithm == "ring":
+        return ring_cost(alpha, beta, num_bytes, group_size)
+    if algorithm == "recursive_doubling":
+        return recursive_doubling_cost(alpha, beta, num_bytes, group_size)
+    raise ConfigurationError(
+        f"unknown allreduce algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+    )

@@ -1,0 +1,160 @@
+"""Cost model: maps schedule operations to simulated durations.
+
+This is the bridge between a workload/machine pair and the discrete-event
+engine. The paper's conventions (§3.4):
+
+* ``F_t`` — forward time of one micro-batch on one stage, measured by micro
+  benchmark (here: derived analytically in :mod:`repro.perf.calibration`);
+* backward = 2x forward, or 3x with activation recomputation;
+* p2p activation/gradient messages follow the alpha-beta model;
+* allreduce follows Rabenseifner's cost with group size = stage replicas x W.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.schedules.ir import Operation, OpKind
+from repro.sim.collectives import allreduce_cost
+from repro.sim.network import FlatTopology, HierarchicalTopology, LinkSpec
+
+Topology = FlatTopology | HierarchicalTopology
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Durations and communication costs for one simulated configuration.
+
+    Attributes
+    ----------
+    forward_time:
+        ``F_t`` — seconds for one micro-batch forward on one stage.
+    backward_ratio / recompute_backward_ratio:
+        ``B_t = ratio * F_t`` without / with activation recomputation.
+    stage_scale:
+        Optional per-stage compute multiplier (e.g. the embedding-heavy
+        first stage of a language model); ``None`` means balanced stages.
+    activation_message_bytes:
+        Per-micro-batch payload of the p2p activation (and input-gradient)
+        message between consecutive stages.
+    topology:
+        Network model for p2p and collectives; ``None`` disables
+        communication costs entirely (pure-compute simulation).
+    stage_grad_bytes:
+        Per-stage gradient bytes synchronized by the stage's allreduce.
+        A scalar means all stages equal.
+    data_parallel_width:
+        ``W`` — multiplies each stage's allreduce group size (§3.3: after
+        combining with data parallelism the local gradient size does not
+        change but the number of participants grows by ``W``).
+    allreduce_algorithm:
+        ``rabenseifner`` (paper default), ``ring``, or ``recursive_doubling``.
+    sync_launch_overhead:
+        Worker-blocking seconds consumed by posting a non-blocking
+        allreduce (initialization / progression threading, §3.2 — the
+        reason eager-sync-opt skips middle stages).
+    """
+
+    forward_time: float = 1.0
+    backward_ratio: float = 2.0
+    recompute_backward_ratio: float = 3.0
+    stage_scale: tuple[float, ...] | None = None
+    activation_message_bytes: float = 0.0
+    topology: Topology | None = None
+    stage_grad_bytes: tuple[float, ...] | float = 0.0
+    data_parallel_width: int = 1
+    allreduce_algorithm: str = "rabenseifner"
+    sync_launch_overhead: float = 0.0
+    #: Fraction of compute slowdown while a non-blocking collective is in
+    #: flight on a worker (asynchronous progression contends with compute —
+    #: the §3.2 effect that makes eager middle-stage synchronization a net
+    #: loss). Applied as extra time proportional to the overlapped span.
+    sync_overlap_slowdown: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.forward_time <= 0:
+            raise ConfigurationError("forward_time must be positive")
+        if self.backward_ratio <= 0 or self.recompute_backward_ratio <= 0:
+            raise ConfigurationError("backward ratios must be positive")
+        if self.data_parallel_width < 1:
+            raise ConfigurationError("data_parallel_width must be >= 1")
+
+    # ----------------------------------------------------------- constructors
+    @staticmethod
+    def unit() -> "CostModel":
+        """F = B = 1, no communication — the Figure 3 (top) abstraction."""
+        return CostModel(forward_time=1.0, backward_ratio=1.0, recompute_backward_ratio=1.0)
+
+    @staticmethod
+    def practical() -> "CostModel":
+        """F = 1, B = 2 (3 with recompute), no communication — Figure 3 bottom."""
+        return CostModel(forward_time=1.0)
+
+    def with_(self, **changes: object) -> "CostModel":
+        """Functional update helper."""
+        return replace(self, **changes)
+
+    # -------------------------------------------------------------- durations
+    def _scale(self, stage: int) -> float:
+        if self.stage_scale is None:
+            return 1.0
+        try:
+            return self.stage_scale[stage]
+        except IndexError:
+            raise ConfigurationError(
+                f"stage_scale has {len(self.stage_scale)} entries but stage "
+                f"{stage} was simulated"
+            ) from None
+
+    def compute_time(self, op: Operation) -> float:
+        """Simulated duration of a FORWARD/BACKWARD op (0 for ALLREDUCE)."""
+        if op.kind is OpKind.ALLREDUCE:
+            return 0.0
+        base = self.forward_time * self._scale(op.stage) * op.work_units
+        if op.is_forward:
+            return base
+        ratio = self.recompute_backward_ratio if op.recompute else self.backward_ratio
+        return base * ratio
+
+    # ---------------------------------------------------------- communication
+    def p2p_time(self, src_worker: int, dst_worker: int, payload_units: float) -> float:
+        """Activation/gradient message time for ``payload_units`` micro-batches."""
+        if self.topology is None or src_worker == dst_worker:
+            return 0.0
+        return self.topology.p2p_time(
+            src_worker, dst_worker, self.activation_message_bytes * payload_units
+        )
+
+    def grad_bytes(self, stage: int) -> float:
+        if isinstance(self.stage_grad_bytes, (int, float)):
+            return float(self.stage_grad_bytes)
+        return self.stage_grad_bytes[stage]
+
+    def allreduce_time(
+        self, stage: int, group_workers: Sequence[int], *, fraction: float = 1.0
+    ) -> float:
+        """Cost of synchronizing ``stage``'s gradients.
+
+        ``group_workers`` are the workers holding a replica of the stage
+        within one pipeline group; the effective group size is
+        ``len(group_workers) * W``. ``fraction`` scales the payload for
+        per-micro-batch synchronization (PipeDream syncs every backward, so
+        each collective still moves the full gradient — callers pass 1.0 —
+        but the hook exists for accumulation-fraction experiments).
+        """
+        group_size = len(set(group_workers)) * self.data_parallel_width
+        if group_size <= 1:
+            return 0.0
+        if self.topology is None:
+            link = LinkSpec(0.0, 0.0)
+        else:
+            link = self.topology.group_link(tuple(group_workers))
+        return allreduce_cost(
+            self.allreduce_algorithm,
+            link.alpha,
+            link.beta,
+            self.grad_bytes(stage) * fraction,
+            group_size,
+        )

@@ -1,0 +1,311 @@
+"""Discrete-event execution of a schedule under a cost model.
+
+Semantics
+---------
+* Each worker executes its operation list strictly **in order** (this is how
+  a static pipeline schedule runs in practice); an operation starts as soon
+  as the worker is free and all of its data dependencies are satisfied.
+* A cross-worker dependency (activation or input-gradient transfer) delays
+  the consumer by the alpha-beta p2p time — matching the paper's model where
+  ``Comm_p2p`` sits on the critical path between stages.
+* ``ALLREDUCE`` operations are non-blocking by default: reaching one in the
+  list *launches* it (consuming ``sync_launch_overhead`` of worker time);
+  the collective itself starts once every group member has launched and
+  completes ``allreduce_time`` later, in the background. The iteration ends
+  when all compute **and** all collectives are done — exactly the
+  ``max(Comm_unoverlapped)`` term of Equation (1). ``blocking_sync=True``
+  turns them into synchronous collectives for ablation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.common.errors import ScheduleError
+from repro.schedules.dependencies import (
+    DependencyGraph,
+    EdgeKind,
+    build_dependency_graph,
+)
+from repro.schedules.ir import Operation, OpKind, Schedule
+from repro.sim.cost import CostModel
+
+
+@dataclass(frozen=True)
+class TimedOp:
+    """An operation with its simulated start/end times."""
+
+    op: Operation
+    worker: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class CollectiveRecord:
+    """One gradient-synchronization collective instance."""
+
+    stage: int
+    micro_batches: tuple[int, ...]
+    workers: tuple[int, ...]
+    launch_times: tuple[float, ...]
+    start: float
+    end: float
+
+    @property
+    def cost(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class SimulationResult:
+    """Timed schedule plus the derived iteration-level quantities."""
+
+    schedule: Schedule
+    cost_model: CostModel
+    timed: dict  # op.key() -> TimedOp
+    collectives: list[CollectiveRecord]
+    #: Last compute (forward/backward) completion across all workers.
+    compute_makespan: float
+    #: Iteration time including non-overlapped gradient synchronization.
+    iteration_time: float
+
+    def timed_ops_on(self, worker: int) -> list[TimedOp]:
+        """This worker's timed compute ops, in execution order."""
+        return [
+            self.timed[op.key()]
+            for op in self.schedule.ops_on(worker)
+            if op.is_compute
+        ]
+
+    def busy_time(self, worker: int) -> float:
+        """Total compute seconds on ``worker``."""
+        return sum(t.duration for t in self.timed_ops_on(worker))
+
+    def bubble_time(self, worker: int) -> float:
+        """Idle compute time on ``worker`` within the compute makespan."""
+        return self.compute_makespan - self.busy_time(worker)
+
+    def sync_tail(self) -> float:
+        """Non-overlapped synchronization time appended after compute."""
+        return self.iteration_time - self.compute_makespan
+
+    def worker_compute_end(self, worker: int) -> float:
+        ops = self.timed_ops_on(worker)
+        return ops[-1].end if ops else 0.0
+
+
+def simulate(
+    schedule: Schedule,
+    cost_model: CostModel,
+    *,
+    graph: DependencyGraph | None = None,
+    blocking_sync: bool = False,
+) -> SimulationResult:
+    """Simulate one training iteration of ``schedule`` under ``cost_model``.
+
+    Parameters
+    ----------
+    graph:
+        Optionally a pre-built dependency graph (skips rebuilding when
+        simulating the same schedule under many cost models).
+    blocking_sync:
+        Treat allreduces as synchronous (the worker blocks until the
+        collective completes). Default False: non-blocking launch +
+        background completion (§3.2).
+    """
+    if graph is None:
+        graph = build_dependency_graph(schedule)
+
+    edge_payload: dict[tuple, float] = {}
+    producers: dict[tuple, Operation] = {}
+    for _, op in schedule.all_ops():
+        producers[op.key()] = op
+
+    num_workers = schedule.num_workers
+    pointers = [0] * num_workers
+    cursor = [0.0] * num_workers  # when the worker becomes free
+    end_of: dict[tuple, float] = {}
+    timed: dict = {}
+
+    # Collective bookkeeping: group allreduce ops by (stage, micro_batches).
+    sync_group_members: dict[tuple, list[tuple[int, Operation]]] = defaultdict(list)
+    for worker, op in schedule.all_ops():
+        if op.kind is OpKind.ALLREDUCE:
+            sync_group_members[(op.stage, op.micro_batches)].append((worker, op))
+    sync_launches: dict[tuple, dict[int, float]] = defaultdict(dict)
+    collective_end_cache: dict[tuple, float] = {}
+
+    def payload_between(src: Operation, dst: Operation) -> float:
+        """Micro-batch units moved along a dependency edge."""
+        shared = len(set(src.micro_batches) & set(dst.micro_batches))
+        return shared / dst.part[1]
+
+    def deps_ready_time(worker: int, op: Operation) -> float | None:
+        """Earliest start permitted by data dependencies, or None if a
+        dependency has not been timed yet."""
+        ready = 0.0
+        for edge in graph.deps[op.key()]:
+            src_end = end_of.get(edge.src)
+            if src_end is None:
+                return None
+            if edge.kind in (EdgeKind.ACTIVATION, EdgeKind.GRADIENT):
+                src_worker = graph.location[edge.src][0]
+                src_op = producers[edge.src]
+                src_end = src_end + cost_model.p2p_time(
+                    src_worker, worker, payload_between(src_op, op)
+                )
+            ready = max(ready, src_end)
+        return ready
+
+    def collective_blocking_end(group_key: tuple) -> float | None:
+        """Completion time of a blocking collective, once all launched."""
+        members = sync_group_members[group_key]
+        launches = sync_launches[group_key]
+        if len(launches) < len(members):
+            return None
+        if group_key not in collective_end_cache:
+            stage, _ = group_key
+            workers = tuple(w for w, _ in members)
+            start = max(launches.values())
+            cost = cost_model.allreduce_time(stage, workers)
+            collective_end_cache[group_key] = start + cost
+        return collective_end_cache[group_key]
+
+    total = sum(len(ops) for ops in schedule.worker_ops)
+    done = 0
+    # Ops whose timing is deferred because a blocking collective is waiting
+    # for other members: (worker, group_key).
+    blocked_on_collective: dict[int, tuple] = {}
+
+    while done < total:
+        progressed = False
+        for worker in range(num_workers):
+            while pointers[worker] < len(schedule.worker_ops[worker]):
+                op = schedule.worker_ops[worker][pointers[worker]]
+                key = op.key()
+
+                if worker in blocked_on_collective:
+                    group_key = blocked_on_collective[worker]
+                    end = collective_blocking_end(group_key)
+                    if end is None:
+                        break
+                    cursor[worker] = max(cursor[worker], end)
+                    del blocked_on_collective[worker]
+                    # fall through to time the current op
+
+                if op.kind is OpKind.ALLREDUCE:
+                    group_key = (op.stage, op.micro_batches)
+                    launch = cursor[worker]
+                    sync_launches[group_key][worker] = launch
+                    cursor[worker] = launch + cost_model.sync_launch_overhead
+                    end_of[key] = cursor[worker]
+                    timed[key] = TimedOp(op, worker, launch, cursor[worker])
+                    pointers[worker] += 1
+                    done += 1
+                    progressed = True
+                    if blocking_sync:
+                        blocked_on_collective[worker] = group_key
+                        # Cannot proceed past a blocking collective until all
+                        # members have launched.
+                        end = collective_blocking_end(group_key)
+                        if end is None:
+                            break
+                        cursor[worker] = max(cursor[worker], end)
+                        del blocked_on_collective[worker]
+                    continue
+
+                ready = deps_ready_time(worker, op)
+                if ready is None:
+                    break
+                start = max(cursor[worker], ready)
+                end = start + cost_model.compute_time(op)
+                timed[key] = TimedOp(op, worker, start, end)
+                end_of[key] = end
+                cursor[worker] = end
+                pointers[worker] += 1
+                done += 1
+                progressed = True
+        if not progressed:
+            stuck = [
+                (w, schedule.worker_ops[w][pointers[w]].short())
+                for w in range(num_workers)
+                if pointers[w] < len(schedule.worker_ops[w])
+            ]
+            raise ScheduleError(
+                f"simulation deadlock; {total - done} ops pending, heads: {stuck[:8]}"
+            )
+
+    compute_makespan = max(
+        (t.end for t in timed.values() if t.op.is_compute), default=0.0
+    )
+
+    # Resolve collective completions (non-blocking case; for blocking they
+    # are already folded into the cursors, but recording them is useful).
+    # Collectives sharing a worker are serviced serially — one network
+    # interface per node — in ready-time order.
+    pending = []
+    for group_key, members in sync_group_members.items():
+        stage, micro_batches = group_key
+        launches = sync_launches[group_key]
+        workers = tuple(w for w, _ in members)
+        ready = max(launches.values())
+        cost = cost_model.allreduce_time(stage, workers)
+        pending.append((ready, stage, micro_batches, workers, launches, cost))
+    pending.sort(key=lambda t: (t[0], t[1], t[2]))
+
+    collectives: list[CollectiveRecord] = []
+    iteration_time = compute_makespan
+    link_free = [0.0] * num_workers
+    for ready, stage, micro_batches, workers, launches, cost in pending:
+        start = max([ready] + [link_free[w] for w in workers])
+        end = start + cost
+        for w in workers:
+            link_free[w] = end
+        collectives.append(
+            CollectiveRecord(
+                stage=stage,
+                micro_batches=micro_batches,
+                workers=workers,
+                launch_times=tuple(launches[w] for w in workers),
+                start=start,
+                end=end,
+            )
+        )
+        iteration_time = max(iteration_time, end)
+
+    # Progression contention: a collective in flight slows the compute it
+    # overlaps with (§3.2). Charged per worker proportionally to the
+    # overlapped span; extends both that worker's effective finish and the
+    # iteration.
+    if cost_model.sync_overlap_slowdown > 0 and collectives and not blocking_sync:
+        worker_compute_end = [0.0] * num_workers
+        for t in timed.values():
+            if t.op.is_compute:
+                worker_compute_end[t.worker] = max(
+                    worker_compute_end[t.worker], t.end
+                )
+        for record in collectives:
+            for w in record.workers:
+                overlap = max(
+                    0.0, min(record.end, worker_compute_end[w]) - record.start
+                )
+                penalty = cost_model.sync_overlap_slowdown * overlap
+                worker_compute_end[w] += penalty
+        compute_makespan = max(compute_makespan, max(worker_compute_end))
+        iteration_time = max(iteration_time, compute_makespan)
+
+    collectives.sort(key=lambda c: (c.start, c.stage))
+    return SimulationResult(
+        schedule=schedule,
+        cost_model=cost_model,
+        timed=timed,
+        collectives=collectives,
+        compute_makespan=compute_makespan,
+        iteration_time=iteration_time,
+    )

@@ -1,0 +1,81 @@
+"""ASCII Gantt rendering of (timed) schedules.
+
+Reproduces the style of the paper's Figures 2, 3, 7 and 8: one row per
+worker, forward cells as the micro-batch number, backward cells shaded
+(``*`` suffix), bubbles as dots. Used by the quickstart example and
+invaluable when debugging schedule builders.
+"""
+
+from __future__ import annotations
+
+from repro.schedules.ir import OpKind, Schedule
+from repro.sim.cost import CostModel
+from repro.sim.engine import SimulationResult, simulate
+
+
+def render_gantt(
+    source: Schedule | SimulationResult,
+    *,
+    cost_model: CostModel | None = None,
+    cell_width: int = 4,
+    time_step: float | None = None,
+) -> str:
+    """Render a schedule (or a simulation result) as an ASCII Gantt chart.
+
+    Parameters
+    ----------
+    source:
+        A schedule (simulated under ``cost_model`` or the practical default)
+        or an existing simulation result.
+    cell_width:
+        Characters per time cell.
+    time_step:
+        Seconds per cell; defaults to the smallest op duration.
+    """
+    if isinstance(source, SimulationResult):
+        result = source
+    else:
+        result = simulate(source, cost_model or CostModel.practical())
+
+    compute = [t for t in result.timed.values() if t.op.is_compute]
+    if not compute:
+        return "(empty schedule)"
+    if time_step is None:
+        time_step = min(t.duration for t in compute if t.duration > 0)
+    horizon = result.compute_makespan
+    num_cells = max(1, round(horizon / time_step))
+
+    lines = []
+    header = f"{result.schedule.describe()}  (1 cell = {time_step:g}s)"
+    lines.append(header)
+    for worker in range(result.schedule.num_workers):
+        cells = ["." * cell_width] * num_cells
+        for t in result.timed_ops_on(worker):
+            label = _label(t.op)
+            first = min(num_cells - 1, round(t.start / time_step))
+            last = max(first, min(num_cells - 1, round(t.end / time_step) - 1))
+            for c in range(first, last + 1):
+                cells[c] = label[:cell_width].center(cell_width)
+        lines.append(f"P{worker:<3}|" + "|".join(cells) + "|")
+    # Synchronization summary line.
+    if result.collectives:
+        syncs = ", ".join(
+            f"S{c.stage}@[{c.start:g},{c.end:g})" for c in result.collectives[:8]
+        )
+        more = "" if len(result.collectives) <= 8 else ", ..."
+        lines.append(f"allreduce: {syncs}{more}")
+    lines.append(
+        f"compute makespan={result.compute_makespan:g}s  "
+        f"iteration={result.iteration_time:g}s"
+    )
+    return "\n".join(lines)
+
+
+def _label(op) -> str:
+    mbs = "+".join(str(m) for m in op.micro_batches)
+    if op.kind is OpKind.BACKWARD:
+        suffix = "*"
+        if op.part != (0, 1):
+            suffix = f"*{op.part[0]}"
+        return f"{mbs}{suffix}"
+    return mbs

@@ -1,0 +1,210 @@
+"""Per-worker memory accounting for pipeline schedules (paper §2, Table 2;
+§4.1, Figure 9).
+
+Two components:
+
+* **Activations** — a micro-batch's stash lives from its forward to (the
+  last part of) its backward on each stage. Peak liveness is counted by
+  walking each worker's operation order. With recomputation only the stage
+  *input* is stashed, plus a transient full-activation buffer while a
+  backward rematerializes.
+* **Weights** — each hosted stage replica stores parameters (+ gradients +
+  optimizer state); PipeDream additionally stashes up to ``D - s`` weight
+  versions at stage ``s`` for version consistency, PipeDream-2BW exactly 2.
+
+The schemes' qualitative signatures (GPipe ~ N x Ma; DAPPLE/2BW first-worker
+peak; Chimera balanced in [(D/2+1) Ma, D Ma]; GEMS minimal) all emerge from
+this accounting — Figure 9 is regenerated from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.common.errors import MemoryModelError
+from repro.schedules.ir import Operation, OpKind, Schedule
+
+
+def _per_stage(value: Sequence[float] | float, stage: int, what: str) -> float:
+    if isinstance(value, (int, float)):
+        return float(value)
+    try:
+        return float(value[stage])
+    except IndexError:
+        raise MemoryModelError(
+            f"{what} has {len(value)} entries but stage {stage} was requested"
+        ) from None
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Byte sizes per stage.
+
+    Attributes
+    ----------
+    activation_bytes:
+        Full activation stash of one micro-batch on one stage (``Ma``).
+    stash_input_bytes:
+        Bytes stashed per micro-batch when the backward recomputes (just the
+        stage input).
+    weight_bytes:
+        One copy of a stage's weights including gradients and optimizer
+        state (``M_theta``). Scalar = balanced stages; a sequence models the
+        embedding-heavy first stage the paper highlights in §4.1.
+    weight_stash_bytes:
+        Bytes of one *extra* stashed weight version (raw parameters only —
+        PipeDream/2BW stash old parameter values for version consistency,
+        not gradients or optimizer state).
+    """
+
+    activation_bytes: tuple[float, ...] | float = 1.0
+    stash_input_bytes: tuple[float, ...] | float = 0.25
+    weight_bytes: tuple[float, ...] | float = 0.0
+    weight_stash_bytes: tuple[float, ...] | float = 0.0
+
+    def act(self, stage: int) -> float:
+        return _per_stage(self.activation_bytes, stage, "activation_bytes")
+
+    def stash(self, stage: int) -> float:
+        return _per_stage(self.stash_input_bytes, stage, "stash_input_bytes")
+
+    def weights(self, stage: int) -> float:
+        return _per_stage(self.weight_bytes, stage, "weight_bytes")
+
+    def weight_stash(self, stage: int) -> float:
+        return _per_stage(self.weight_stash_bytes, stage, "weight_stash_bytes")
+
+
+@dataclass(frozen=True)
+class WorkerMemory:
+    """Memory accounting for one worker."""
+
+    worker: int
+    weight_bytes: float
+    activation_peak_bytes: float
+    #: Peak number of live micro-batch stashes (in micro-batch units),
+    #: comparable to Table 2's activation intervals.
+    activation_peak_units: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.weight_bytes + self.activation_peak_bytes
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Per-worker memory plus distribution summaries (Figure 9)."""
+
+    workers: tuple[WorkerMemory, ...]
+
+    @property
+    def peak_bytes(self) -> float:
+        return max(w.total_bytes for w in self.workers)
+
+    @property
+    def min_bytes(self) -> float:
+        return min(w.total_bytes for w in self.workers)
+
+    @property
+    def imbalance(self) -> float:
+        """max / min total memory across workers (1.0 = perfectly balanced)."""
+        lo = self.min_bytes
+        return self.peak_bytes / lo if lo > 0 else float("inf")
+
+    def fits(self, capacity_bytes: float) -> bool:
+        """Would this configuration run without OOM on the given device?"""
+        return self.peak_bytes <= capacity_bytes
+
+
+def weight_versions(schedule: Schedule, stage: int) -> int:
+    """Stashed weight-version count for ``stage`` under the schedule's scheme.
+
+    PipeDream keeps one version per in-flight micro-batch — ``D - s`` at
+    stage ``s`` (up to ``D``, Table 2); PipeDream-2BW double-buffers (2);
+    synchronous schemes keep a single version.
+    """
+    if schedule.scheme == "pipedream":
+        return schedule.num_stages - stage
+    if schedule.scheme == "pipedream_2bw":
+        return 2
+    return 1
+
+
+def analyze_memory(schedule: Schedule, model: MemoryModel) -> MemoryReport:
+    """Compute the per-worker memory report for ``schedule``.
+
+    Walks each worker's operation order tracking live activation stashes;
+    the walk order is exactly the execution order, so the peak is the true
+    runtime peak for any cost model (liveness only changes at this worker's
+    own operations).
+    """
+    # Which (replica, stage, mb) backwards recompute — decided by the
+    # builder and stamped on the backward op; the forward must know to stash
+    # only the stage input.
+    recompute: set[tuple[int, int, int]] = set()
+    for _, op in schedule.all_ops():
+        if op.is_backward and op.recompute:
+            for mb in op.micro_batches:
+                recompute.add((op.replica, op.stage, mb))
+
+    workers: list[WorkerMemory] = []
+    for worker in range(schedule.num_workers):
+        live_bytes = 0.0
+        live_units = 0.0
+        peak_bytes = 0.0
+        peak_units = 0.0
+        remaining_parts: dict[tuple[int, int, int], float] = {}
+        stash_of: dict[tuple[int, int, int], float] = {}
+        for op in schedule.worker_ops[worker]:
+            if op.kind is OpKind.ALLREDUCE:
+                continue
+            if op.is_forward:
+                for mb in op.micro_batches:
+                    key = (op.replica, op.stage, mb)
+                    stored = (
+                        model.stash(op.stage)
+                        if key in recompute
+                        else model.act(op.stage)
+                    )
+                    stash_of[key] = stored
+                    remaining_parts[key] = 1.0
+                    live_bytes += stored
+                    live_units += 1.0
+                peak_bytes = max(peak_bytes, live_bytes)
+                peak_units = max(peak_units, live_units)
+            else:
+                fraction = 1.0 / op.part[1]
+                transient = 0.0
+                for mb in op.micro_batches:
+                    key = (op.replica, op.stage, mb)
+                    if key not in remaining_parts:
+                        raise MemoryModelError(
+                            f"backward of micro-batch {mb} at stage {op.stage} "
+                            f"without a live forward stash on worker {worker}"
+                        )
+                    if key in recompute:
+                        # Rematerialized activations live only during this op.
+                        transient += model.act(op.stage) - stash_of[key]
+                peak_bytes = max(peak_bytes, live_bytes + max(0.0, transient))
+                for mb in op.micro_batches:
+                    key = (op.replica, op.stage, mb)
+                    remaining_parts[key] -= fraction
+                    live_bytes -= stash_of[key] * fraction
+                    live_units -= fraction
+                    if remaining_parts[key] <= 1e-9:
+                        del remaining_parts[key]
+        weights = 0.0
+        for replica, stage in schedule.replicas_hosted_by(worker):
+            versions = weight_versions(schedule, stage)
+            weights += model.weights(stage)
+            weights += (versions - 1) * model.weight_stash(stage)
+        workers.append(
+            WorkerMemory(
+                worker=worker,
+                weight_bytes=weights,
+                activation_peak_bytes=peak_bytes,
+                activation_peak_units=peak_units,
+            )
+        )
+    return MemoryReport(workers=tuple(workers))

@@ -1,0 +1,96 @@
+"""Alpha-beta network models and topologies.
+
+The paper's performance model (§3.4) uses the classic latency-bandwidth
+(alpha-beta) cost: sending ``L`` bytes costs ``alpha + beta * L`` seconds.
+We provide a flat topology (every worker pair connected by the same link —
+a reasonable model of Piz Daint's Aries dragonfly, which the paper also
+treats as "bidirectional and direct point-to-point communication between
+compute nodes") and a hierarchical topology for the V100 cluster
+(NVLink inside a server, InfiniBand between servers, Figure 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One link class in the alpha-beta model.
+
+    Attributes
+    ----------
+    alpha:
+        Per-message latency in seconds.
+    beta:
+        Transfer time per byte in seconds (i.e. 1 / bandwidth).
+    """
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0:
+            raise ConfigurationError(
+                f"link parameters must be non-negative, got alpha={self.alpha}, "
+                f"beta={self.beta}"
+            )
+
+    def time(self, num_bytes: float) -> float:
+        """Time to move ``num_bytes`` over this link."""
+        return self.alpha + self.beta * num_bytes
+
+    @staticmethod
+    def from_bandwidth(alpha: float, bandwidth_bytes_per_sec: float) -> "LinkSpec":
+        """Build a link from a latency and a bandwidth (bytes/s)."""
+        if bandwidth_bytes_per_sec <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        return LinkSpec(alpha=alpha, beta=1.0 / bandwidth_bytes_per_sec)
+
+
+class FlatTopology:
+    """All worker pairs share one link class."""
+
+    def __init__(self, link: LinkSpec):
+        self.link = link
+
+    def p2p_time(self, src: int, dst: int, num_bytes: float) -> float:
+        """Point-to-point message time between two workers."""
+        if src == dst:
+            return 0.0
+        return self.link.time(num_bytes)
+
+    def group_link(self, workers: tuple[int, ...]) -> LinkSpec:
+        """The link class that bounds a collective over ``workers``."""
+        return self.link
+
+
+class HierarchicalTopology:
+    """Fast intra-node links, slower inter-node links.
+
+    Workers ``[k * gpus_per_node, (k+1) * gpus_per_node)`` share node ``k``
+    (e.g. 8 V100s behind NVLink, nodes connected by InfiniBand).
+    """
+
+    def __init__(self, intra: LinkSpec, inter: LinkSpec, gpus_per_node: int):
+        if gpus_per_node < 1:
+            raise ConfigurationError("gpus_per_node must be >= 1")
+        self.intra = intra
+        self.inter = inter
+        self.gpus_per_node = gpus_per_node
+
+    def node_of(self, worker: int) -> int:
+        return worker // self.gpus_per_node
+
+    def p2p_time(self, src: int, dst: int, num_bytes: float) -> float:
+        if src == dst:
+            return 0.0
+        link = self.intra if self.node_of(src) == self.node_of(dst) else self.inter
+        return link.time(num_bytes)
+
+    def group_link(self, workers: tuple[int, ...]) -> LinkSpec:
+        """Bounding link for a collective: inter-node if the group spans nodes."""
+        nodes = {self.node_of(w) for w in workers}
+        return self.intra if len(nodes) <= 1 else self.inter

@@ -1,0 +1,43 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.transformer import TransformerLMConfig
+
+
+@pytest.fixture
+def tiny_config() -> TransformerLMConfig:
+    """A 4-block transformer small enough for exhaustive comparisons."""
+    return TransformerLMConfig(num_layers=4, dim=16, heads=2, vocab=19, seq=6, seed=7)
+
+
+def make_micro_batches(
+    config: TransformerLMConfig, n: int, batch: int, seed: int = 0
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Deterministic synthetic LM micro-batches (tokens, next-token targets)."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n):
+        tokens = rng.integers(0, config.vocab, (batch, config.seq))
+        targets = rng.integers(0, config.vocab, (batch, config.seq))
+        out.append((tokens, targets))
+    return out
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function of ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn()
+        flat[i] = orig - eps
+        lo = fn()
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad

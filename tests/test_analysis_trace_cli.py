@@ -1,0 +1,115 @@
+"""Closed-form analysis module, trace export, and the CLI."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.cli import main as cli_main
+from repro.schedules.analysis import (
+    activation_interval_formula,
+    bubble_ratio_formula,
+    scheme_properties,
+    weight_copies_formula,
+)
+from repro.schedules.registry import available_schemes, build_schedule
+from repro.sim.cost import CostModel
+from repro.sim.engine import simulate
+from repro.sim.memory import MemoryModel, analyze_memory
+from repro.sim.metrics import bubble_ratio
+from repro.sim.trace import to_chrome_trace, write_chrome_trace
+
+
+class TestAnalysisFormulas:
+    @pytest.mark.parametrize("scheme", ["gpipe", "dapple", "chimera"])
+    @pytest.mark.parametrize("depth,n", [(4, 4), (8, 8), (8, 16)])
+    def test_bubble_formula_matches_simulation(self, scheme, depth, n):
+        if scheme == "chimera" and n > depth:
+            pytest.skip("direct concatenation deviates; covered elsewhere")
+        result = simulate(build_schedule(scheme, depth, n), CostModel.practical())
+        assert bubble_ratio(result) == pytest.approx(
+            bubble_ratio_formula(scheme, depth, n)
+        )
+
+    @pytest.mark.parametrize("scheme", available_schemes())
+    def test_activation_interval_matches_memory_model(self, scheme):
+        depth, n = 8, 8
+        schedule = build_schedule(scheme, depth, n)
+        report = analyze_memory(schedule, MemoryModel(activation_bytes=1.0))
+        units = [w.activation_peak_units for w in report.workers]
+        lo, hi = activation_interval_formula(scheme, depth, n)
+        assert min(units) == pytest.approx(lo)
+        assert max(units) == pytest.approx(hi)
+
+    def test_weight_copies(self):
+        assert weight_copies_formula("dapple") == 1
+        assert weight_copies_formula("gems") == 2
+        assert weight_copies_formula("chimera", num_down_pipelines=2) == 4
+
+    def test_scheme_properties_bundle(self):
+        props = scheme_properties("chimera", 8, 8)
+        assert props.synchronous
+        assert props.activation_interval == (5, 8)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bubble_ratio_formula("nope", 4, 4)
+
+
+class TestTrace:
+    def test_events_cover_all_compute_ops(self):
+        schedule = build_schedule("chimera", 4, 4)
+        result = simulate(schedule, CostModel.practical())
+        events = to_chrome_trace(result)
+        compute = [e for e in events if e["cat"] in ("forward", "backward")]
+        assert len(compute) == sum(1 for _, op in schedule.compute_ops())
+
+    def test_events_carry_metadata(self):
+        result = simulate(build_schedule("chimera", 4, 4), CostModel.practical())
+        event = to_chrome_trace(result)[0]
+        assert {"replica", "stage", "micro_batches"} <= set(event["args"])
+
+    def test_collectives_exported(self):
+        cost = CostModel(forward_time=1.0, stage_grad_bytes=10.0)
+        result = simulate(build_schedule("chimera", 4, 4), cost)
+        events = to_chrome_trace(result)
+        assert any(e["cat"] == "allreduce" for e in events)
+
+    def test_write_round_trips(self, tmp_path):
+        result = simulate(build_schedule("dapple", 2, 2), CostModel.practical())
+        path = tmp_path / "trace.json"
+        write_chrome_trace(result, str(path))
+        payload = json.loads(path.read_text())
+        assert payload["traceEvents"]
+        assert "dapple" in payload["otherData"]["schedule"]
+
+
+class TestCLI:
+    def test_show(self, capsys):
+        assert cli_main(["show", "--scheme", "chimera", "-D", "4", "-N", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "P0" in out and "makespan" in out
+
+    def test_simulate(self, capsys):
+        rc = cli_main(
+            ["simulate", "--scheme", "chimera", "-W", "8", "-D", "4", "-B", "8"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out and "bubble" in out
+
+    def test_select(self, capsys):
+        rc = cli_main(["select", "-P", "32", "--mini-batch", "512"])
+        assert rc == 0
+        assert "selected" in capsys.readouterr().out
+
+    def test_figure(self, capsys):
+        rc = cli_main(["figure", "table4"])
+        assert rc == 0
+        assert "bert-48" in capsys.readouterr().out
+
+    def test_trace(self, tmp_path, capsys):
+        out_file = tmp_path / "t.json"
+        rc = cli_main(["trace", "-D", "4", "-N", "4", "-o", str(out_file)])
+        assert rc == 0
+        assert out_file.exists()

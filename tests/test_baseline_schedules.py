@@ -1,0 +1,158 @@
+"""GPipe, DAPPLE, GEMS, PipeDream, PipeDream-2BW — Table 2 signatures."""
+
+import pytest
+
+from repro.common.errors import ScheduleError
+from repro.schedules import (
+    build_dapple_schedule,
+    build_gems_schedule,
+    build_gpipe_schedule,
+    build_pipedream_2bw_schedule,
+    build_pipedream_schedule,
+)
+from repro.schedules.ir import OpKind
+from repro.schedules.validate import validate_schedule
+from repro.sim.cost import CostModel
+from repro.sim.engine import simulate
+from repro.sim.memory import MemoryModel, analyze_memory
+from repro.sim.metrics import bubble_ratio
+
+
+@pytest.mark.parametrize("builder", [build_gpipe_schedule, build_dapple_schedule])
+@pytest.mark.parametrize("depth,n", [(4, 4), (4, 8), (8, 8), (8, 16)])
+def test_gpipe_dapple_bubble_formula(builder, depth, n):
+    """Both incur 2(D-1) bubbles: ratio (D-1)/(N+D-1) per pass (Table 2)."""
+    schedule = builder(depth, n)
+    result = simulate(schedule, CostModel.practical())
+    assert bubble_ratio(result) == pytest.approx((depth - 1) / (n + depth - 1))
+
+
+@pytest.mark.parametrize("depth,n", [(4, 4), (8, 8)])
+def test_gpipe_dapple_same_makespan_different_memory(depth, n):
+    cost = CostModel.practical()
+    gpipe = simulate(build_gpipe_schedule(depth, n), cost)
+    dapple = simulate(build_dapple_schedule(depth, n), cost)
+    assert gpipe.compute_makespan == pytest.approx(dapple.compute_makespan)
+    mm = MemoryModel(activation_bytes=1.0)
+    g = analyze_memory(build_gpipe_schedule(depth, n), mm)
+    d = analyze_memory(build_dapple_schedule(depth, n), mm)
+    assert max(w.activation_peak_units for w in g.workers) == n
+    assert max(w.activation_peak_units for w in d.workers) == min(depth, n)
+
+
+def test_gpipe_activation_proportional_to_n():
+    mm = MemoryModel(activation_bytes=1.0)
+    for n in (4, 8, 16):
+        report = analyze_memory(build_gpipe_schedule(4, n), mm)
+        assert all(w.activation_peak_units == n for w in report.workers)
+
+
+def test_dapple_activation_decreases_along_pipeline():
+    report = analyze_memory(
+        build_dapple_schedule(4, 8), MemoryModel(activation_bytes=1.0)
+    )
+    units = [w.activation_peak_units for w in report.workers]
+    assert units == [4, 3, 2, 1]
+
+
+class TestGEMS:
+    def test_two_replicas_opposite_directions(self):
+        schedule = build_gems_schedule(4, 4)
+        assert schedule.num_replicas == 2
+        assert schedule.placement.direction(0) == 1
+        assert schedule.placement.direction(1) == -1
+
+    def test_one_activation_stash(self):
+        """GEMS: at most one in-flight micro-batch -> Ma everywhere."""
+        report = analyze_memory(
+            build_gems_schedule(4, 8), MemoryModel(activation_bytes=1.0)
+        )
+        assert all(w.activation_peak_units == 1 for w in report.workers)
+
+    @pytest.mark.parametrize("depth", [4, 8])
+    def test_bubble_ratio_near_paper(self, depth):
+        """(D-1)/(D+1/2), independent of N (Table 2)."""
+        for n in (depth, 2 * depth):
+            result = simulate(build_gems_schedule(depth, n), CostModel.practical())
+            paper = (depth - 1) / (depth + 0.5)
+            assert bubble_ratio(result) == pytest.approx(paper, rel=0.08)
+
+    def test_bubbles_do_not_improve_with_n(self):
+        r1 = simulate(build_gems_schedule(4, 4), CostModel.practical())
+        r2 = simulate(build_gems_schedule(4, 16), CostModel.practical())
+        assert bubble_ratio(r2) >= bubble_ratio(r1) - 0.02
+
+    def test_odd_depth_rejected(self):
+        with pytest.raises(ScheduleError):
+            build_gems_schedule(5, 4)
+
+    def test_validates(self):
+        validate_schedule(build_gems_schedule(8, 6), require_sync_ops=True)
+
+
+class TestPipeDream:
+    def test_marked_asynchronous(self):
+        assert not build_pipedream_schedule(4, 8).synchronous
+
+    def test_sync_after_every_backward(self):
+        schedule = build_pipedream_schedule(4, 4)
+        for worker in range(4):
+            ops = schedule.ops_on(worker)
+            for i, op in enumerate(ops):
+                if op.is_backward:
+                    nxt = ops[i + 1]
+                    assert nxt.kind is OpKind.ALLREDUCE
+                    assert nxt.micro_batches == op.micro_batches
+
+    def test_steady_state_nearly_bubble_free(self):
+        schedule = build_pipedream_schedule(4, 32)
+        result = simulate(schedule, CostModel.practical())
+        assert bubble_ratio(result) < 0.12
+
+    def test_weight_stash_memory_is_depth_minus_stage(self):
+        mm = MemoryModel(
+            activation_bytes=0.0, weight_bytes=1.0, weight_stash_bytes=1.0
+        )
+        report = analyze_memory(build_pipedream_schedule(4, 8), mm)
+        assert [w.weight_bytes for w in report.workers] == [4.0, 3.0, 2.0, 1.0]
+
+    def test_validates(self):
+        validate_schedule(build_pipedream_schedule(4, 8))
+
+
+class TestPipeDream2BW:
+    def test_marked_asynchronous(self):
+        assert not build_pipedream_2bw_schedule(4, 8).synchronous
+
+    def test_double_buffered_weights(self):
+        mm = MemoryModel(
+            activation_bytes=0.0, weight_bytes=1.0, weight_stash_bytes=1.0
+        )
+        report = analyze_memory(build_pipedream_2bw_schedule(4, 8), mm)
+        assert all(w.weight_bytes == 2.0 for w in report.workers)
+
+    def test_steady_state_nearly_bubble_free(self):
+        result = simulate(
+            build_pipedream_2bw_schedule(4, 32), CostModel.practical()
+        )
+        assert bubble_ratio(result) < 0.12
+
+    def test_validates(self):
+        validate_schedule(build_pipedream_2bw_schedule(8, 16), require_sync_ops=True)
+
+
+@pytest.mark.parametrize(
+    "builder",
+    [
+        build_gpipe_schedule,
+        build_dapple_schedule,
+        build_gems_schedule,
+        build_pipedream_schedule,
+        build_pipedream_2bw_schedule,
+    ],
+)
+def test_builders_reject_bad_args(builder):
+    with pytest.raises(ScheduleError):
+        builder(0, 4)
+    with pytest.raises(ScheduleError):
+        builder(4, 0)

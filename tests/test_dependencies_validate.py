@@ -1,0 +1,134 @@
+"""Dependency extraction and structural validation."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.schedules.dependencies import EdgeKind, build_dependency_graph
+from repro.schedules.ir import Operation, OpKind, Schedule, freeze_worker_ops
+from repro.schedules.placement import StagePlacement
+from repro.schedules.registry import available_schemes, build_schedule
+from repro.schedules.validate import validate_schedule
+
+
+def F(mb, stage, replica=0):
+    return Operation(OpKind.FORWARD, replica, stage, micro_batches=(mb,))
+
+
+def B(mb, stage, replica=0, part=(0, 1)):
+    return Operation(OpKind.BACKWARD, replica, stage, micro_batches=(mb,), part=part)
+
+
+def toy(rows, depth=2, n=1):
+    return Schedule(
+        scheme="toy",
+        placement=StagePlacement.linear(depth),
+        num_micro_batches=n,
+        worker_ops=freeze_worker_ops(rows),
+    )
+
+
+class TestDependencyGraph:
+    def test_forward_chain_edges(self):
+        s = toy([[F(0, 0), B(0, 0)], [F(0, 1), B(0, 1)]])
+        g = build_dependency_graph(s)
+        deps = {e.kind for e in g.deps[F(0, 1).key()]}
+        assert deps == {EdgeKind.ACTIVATION}
+
+    def test_backward_needs_gradient_and_stash(self):
+        s = toy([[F(0, 0), B(0, 0)], [F(0, 1), B(0, 1)]])
+        g = build_dependency_graph(s)
+        kinds = sorted(e.kind.value for e in g.deps[B(0, 0).key()])
+        assert kinds == ["gradient", "stash"]
+
+    def test_last_stage_backward_needs_only_stash(self):
+        s = toy([[F(0, 0), B(0, 0)], [F(0, 1), B(0, 1)]])
+        g = build_dependency_graph(s)
+        kinds = [e.kind for e in g.deps[B(0, 1).key()]]
+        assert kinds == [EdgeKind.STASH]
+
+    def test_p2p_edges_cross_workers_only(self):
+        s = toy([[F(0, 0), B(0, 0)], [F(0, 1), B(0, 1)]])
+        g = build_dependency_graph(s)
+        p2p = list(g.p2p_edges())
+        assert len(p2p) == 2  # one activation, one gradient
+
+    def test_allreduce_depends_on_local_backwards(self):
+        sched = build_schedule("chimera", 4, 4)
+        g = build_dependency_graph(sched)
+        for worker, op in sched.all_ops():
+            if op.kind is OpKind.ALLREDUCE:
+                incoming = g.deps[op.key()]
+                assert incoming, f"allreduce {op.short()} has no producers"
+                assert all(e.kind is EdgeKind.SYNC for e in incoming)
+
+    def test_missing_forward_producer_raises(self):
+        # Stage-1 forward exists but stage-0 forward is missing entirely.
+        s = toy([[], [F(0, 1), B(0, 1)]])
+        with pytest.raises(ValidationError, match="no stage-0 producer"):
+            build_dependency_graph(s)
+
+    def test_duplicate_op_raises(self):
+        s = toy([[F(0, 0), F(0, 0)], []])
+        with pytest.raises(ValidationError):
+            build_dependency_graph(s)
+
+    def test_part_splits_resolve_per_part(self):
+        rows = [
+            [F(0, 0), B(0, 0, part=(0, 2)), B(0, 0, part=(1, 2))],
+            [F(0, 1), B(0, 1, part=(0, 2)), B(0, 1, part=(1, 2))],
+        ]
+        g = build_dependency_graph(toy(rows))
+        edge_kinds = [e.kind for e in g.deps[B(0, 0, part=(1, 2)).key()]]
+        assert EdgeKind.GRADIENT in edge_kinds
+
+
+class TestValidator:
+    @pytest.mark.parametrize("scheme", available_schemes())
+    def test_all_builders_produce_valid_schedules(self, scheme):
+        schedule = build_schedule(scheme, 4, 8)
+        validate_schedule(schedule, require_sync_ops=(scheme != "pipedream"))
+
+    def test_missing_backward_detected(self):
+        # The dependency builder already catches the missing gradient
+        # producer for the upstream backward.
+        s = toy([[F(0, 0), B(0, 0)], [F(0, 1)]])
+        with pytest.raises(ValidationError, match="gradient producer"):
+            validate_schedule(s)
+
+    def test_missing_final_backward_detected(self):
+        s = toy([[F(0, 0)], [F(0, 1)]])
+        with pytest.raises(ValidationError, match="no backward"):
+            validate_schedule(s)
+
+    def test_missing_micro_batch_detected(self):
+        s = toy([[F(0, 0), B(0, 0)], [F(0, 1), B(0, 1)]], n=2)
+        with pytest.raises(ValidationError, match="never enter"):
+            validate_schedule(s)
+
+    def test_wrong_worker_detected(self):
+        rows = [[F(0, 1), B(0, 1)], [F(0, 0), B(0, 0)]]
+        with pytest.raises(ValidationError, match="placed on worker"):
+            validate_schedule(toy(rows))
+
+    def test_incomplete_backward_parts_detected(self):
+        rows = [
+            [F(0, 0), B(0, 0, part=(0, 2))],
+            [F(0, 1), B(0, 1, part=(0, 2)), B(0, 1, part=(1, 2))],
+        ]
+        with pytest.raises(ValidationError, match="parts"):
+            validate_schedule(toy(rows))
+
+    def test_deadlock_detected(self):
+        # Worker 1 runs the backward before its own forward is even
+        # possible: B(0,1) needs F(0,1) which is ordered after it.
+        rows = [
+            [F(0, 0), B(0, 0)],
+            [B(0, 1), F(0, 1)],
+        ]
+        with pytest.raises(ValidationError, match="cycle|deadlock"):
+            validate_schedule(toy(rows))
+
+    def test_sync_coverage_enforced(self):
+        s = toy([[F(0, 0), B(0, 0)], [F(0, 1), B(0, 1)]])
+        with pytest.raises(ValidationError, match="synchronization"):
+            validate_schedule(s, require_sync_ops=True)

@@ -1,0 +1,120 @@
+"""Schedule IR: operation identity, work units, schedule views."""
+
+import pytest
+
+from repro.common.errors import ScheduleError
+from repro.schedules.ir import Operation, OpKind, Schedule, freeze_worker_ops
+from repro.schedules.placement import StagePlacement
+
+
+def F(mb, stage=0, replica=0, **kw):
+    return Operation(OpKind.FORWARD, replica, stage, micro_batches=(mb,), **kw)
+
+
+def B(mb, stage=0, replica=0, **kw):
+    return Operation(OpKind.BACKWARD, replica, stage, micro_batches=(mb,), **kw)
+
+
+class TestOperation:
+    def test_work_units_single(self):
+        assert F(0).work_units == 1.0
+
+    def test_work_units_chunk(self):
+        op = Operation(OpKind.FORWARD, 0, 0, micro_batches=(0, 1))
+        assert op.work_units == 2.0
+
+    def test_work_units_half(self):
+        op = Operation(OpKind.BACKWARD, 0, 0, micro_batches=(0,), part=(1, 2))
+        assert op.work_units == 0.5
+
+    def test_allreduce_work_units_zero(self):
+        assert Operation(OpKind.ALLREDUCE, 0, 2).work_units == 0.0
+
+    def test_key_distinguishes_parts(self):
+        a = Operation(OpKind.BACKWARD, 0, 0, micro_batches=(0,), part=(0, 2))
+        b = Operation(OpKind.BACKWARD, 0, 0, micro_batches=(0,), part=(1, 2))
+        assert a.key() != b.key()
+
+    def test_negative_stage_rejected(self):
+        with pytest.raises(ScheduleError):
+            Operation(OpKind.FORWARD, 0, -1, micro_batches=(0,))
+
+    def test_compute_op_needs_micro_batches(self):
+        with pytest.raises(ScheduleError):
+            Operation(OpKind.FORWARD, 0, 0)
+
+    def test_duplicate_micro_batches_rejected(self):
+        with pytest.raises(ScheduleError):
+            Operation(OpKind.FORWARD, 0, 0, micro_batches=(1, 1))
+
+    def test_invalid_part_rejected(self):
+        with pytest.raises(ScheduleError):
+            Operation(OpKind.BACKWARD, 0, 0, micro_batches=(0,), part=(2, 2))
+
+    def test_short_rendering(self):
+        assert F(3).short() == "F3"
+        assert B(3).short() == "B3"
+        half = Operation(OpKind.BACKWARD, 0, 0, micro_batches=(1,), part=(1, 2))
+        assert half.short() == "B1.1/2"
+        assert Operation(OpKind.ALLREDUCE, 1, 2).short() == "S2r1"
+
+    def test_with_recompute(self):
+        op = B(0)
+        assert not op.recompute
+        assert op.with_recompute().recompute
+
+
+class TestSchedule:
+    def _schedule(self):
+        placement = StagePlacement.linear(2)
+        rows = [
+            [F(0, 0), B(0, 0)],
+            [F(0, 1), B(0, 1)],
+        ]
+        return Schedule(
+            scheme="toy",
+            placement=placement,
+            num_micro_batches=1,
+            worker_ops=freeze_worker_ops(rows),
+        )
+
+    def test_views(self):
+        s = self._schedule()
+        assert s.num_stages == 2
+        assert s.num_workers == 2
+        assert s.num_replicas == 1
+        assert s.count(OpKind.FORWARD) == 2
+        assert s.count(OpKind.BACKWARD) == 2
+        assert s.work_units_on(0) == 2.0
+
+    def test_micro_batches_of_replica(self):
+        assert self._schedule().micro_batches_of_replica(0) == (0,)
+
+    def test_worker_count_mismatch_rejected(self):
+        placement = StagePlacement.linear(2)
+        with pytest.raises(ScheduleError):
+            Schedule(
+                scheme="bad",
+                placement=placement,
+                num_micro_batches=1,
+                worker_ops=((),),
+            )
+
+    def test_zero_micro_batches_rejected(self):
+        placement = StagePlacement.linear(1)
+        with pytest.raises(ScheduleError):
+            Schedule(
+                scheme="bad",
+                placement=placement,
+                num_micro_batches=0,
+                worker_ops=((),),
+            )
+
+    def test_with_metadata_merges(self):
+        s = self._schedule().with_metadata(alpha=1)
+        s2 = s.with_metadata(beta=2)
+        assert s2.metadata["alpha"] == 1 and s2.metadata["beta"] == 2
+
+    def test_describe_mentions_scheme_and_shape(self):
+        text = self._schedule().describe()
+        assert "toy" in text and "D=2" in text and "N=1" in text

@@ -1,0 +1,108 @@
+"""1F1B per-stage order generators."""
+
+import pytest
+
+from repro.common.errors import ScheduleError
+from repro.schedules.onefb import (
+    expanded_onefb_stage_order,
+    gpipe_stage_order,
+    onefb_stage_order,
+)
+
+
+def kinds(ops):
+    return "".join("F" if op.is_forward else "B" for op in ops)
+
+
+class TestOneFB:
+    def test_first_stage_warmup(self):
+        # warmup = D-1 = 3 forwards, one steady (F, B) pair, then the drain.
+        ops = onefb_stage_order(0, 4, range(4))
+        assert kinds(ops) == "FFF" + "FB" + "BBB"
+
+    def test_last_stage_alternates(self):
+        ops = onefb_stage_order(3, 4, range(4))
+        assert kinds(ops) == "FBFBFBFB"
+
+    def test_in_flight_cap_is_depth_minus_stage(self):
+        for stage in range(4):
+            ops = onefb_stage_order(stage, 4, range(8))
+            live = peak = 0
+            for op in ops:
+                live += 1 if op.is_forward else -1
+                peak = max(peak, live)
+            assert peak == min(4 - stage, 8)
+
+    def test_warmup_cap_limits_in_flight(self):
+        ops = onefb_stage_order(0, 8, range(8), warmup_cap=2)
+        live = peak = 0
+        for op in ops:
+            live += 1 if op.is_forward else -1
+            peak = max(peak, live)
+        assert peak == 3  # cap + the one-forward transient of an F-first pair
+
+    def test_backward_first_steady(self):
+        ops = onefb_stage_order(0, 4, range(4), warmup_cap=2, steady_backward_first=True)
+        assert kinds(ops) == "FF" + "BF" * 2 + "BB"
+
+    def test_backward_first_ignored_without_warmup(self):
+        ops = onefb_stage_order(3, 4, range(2), steady_backward_first=True)
+        assert kinds(ops) == "FBFB"
+
+    def test_each_micro_batch_once(self):
+        ops = onefb_stage_order(1, 4, range(6))
+        fwd = [op.micro_batches[0] for op in ops if op.is_forward]
+        bwd = [op.micro_batches[0] for op in ops if op.is_backward]
+        assert fwd == list(range(6))
+        assert bwd == list(range(6))
+
+    def test_recompute_flag_propagates(self):
+        ops = onefb_stage_order(0, 2, range(2), recompute=True)
+        assert all(op.recompute for op in ops if op.is_backward)
+
+    def test_stage_out_of_range(self):
+        with pytest.raises(ScheduleError):
+            onefb_stage_order(4, 4, range(2))
+
+
+class TestGPipe:
+    def test_all_forwards_then_backwards(self):
+        ops = gpipe_stage_order(0, 4, range(4))
+        assert kinds(ops) == "FFFFBBBB"
+
+    def test_stage_out_of_range(self):
+        with pytest.raises(ScheduleError):
+            gpipe_stage_order(9, 4, range(2))
+
+
+class TestExpanded:
+    def test_doubling_fuses_forwards(self):
+        ops = expanded_onefb_stage_order(0, 4, range(4), mode="doubling")
+        fwd = [op for op in ops if op.is_forward]
+        assert all(len(op.micro_batches) == 2 for op in fwd)
+        assert len(fwd) == 2
+
+    def test_doubling_backwards_recompute_singles(self):
+        ops = expanded_onefb_stage_order(0, 4, range(4), mode="doubling")
+        bwd = [op for op in ops if op.is_backward]
+        assert len(bwd) == 4
+        assert all(op.recompute and len(op.micro_batches) == 1 for op in bwd)
+
+    def test_doubling_needs_even_count(self):
+        with pytest.raises(ScheduleError):
+            expanded_onefb_stage_order(0, 4, range(3), mode="doubling")
+
+    def test_halving_backward_parts(self):
+        ops = expanded_onefb_stage_order(0, 4, range(2), mode="halving")
+        bwd = [op for op in ops if op.is_backward]
+        assert len(bwd) == 4
+        assert sorted(op.part for op in bwd) == [(0, 2), (0, 2), (1, 2), (1, 2)]
+        assert not any(op.recompute for op in bwd)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ScheduleError):
+            expanded_onefb_stage_order(0, 4, range(2), mode="tripling")
+
+    def test_last_stage_unit_alternation(self):
+        ops = expanded_onefb_stage_order(3, 4, range(4), mode="doubling")
+        assert kinds(ops) == "FBBFBB"

@@ -1,0 +1,138 @@
+"""Property-based tests for the NumPy kernels and collective algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.models import functional as Fn
+from repro.models.layers import LayerNorm, Linear
+from repro.models.loss import softmax_cross_entropy
+from repro.runtime.collective_algorithms import (
+    rabenseifner_allreduce,
+    ring_allreduce,
+)
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+small_floats = st.floats(
+    min_value=-3.0, max_value=3.0, allow_nan=False, allow_infinity=False
+)
+
+
+def arrays(shape):
+    return hnp.arrays(np.float64, shape, elements=small_floats)
+
+
+@SETTINGS
+@given(x=arrays((3, 7)))
+def test_softmax_is_distribution(x):
+    y = Fn.softmax(x)
+    assert np.all(y >= 0)
+    np.testing.assert_allclose(y.sum(axis=-1), 1.0, atol=1e-12)
+
+
+@SETTINGS
+@given(x=arrays((2, 5)), shift=small_floats)
+def test_softmax_shift_invariant(x, shift):
+    np.testing.assert_allclose(Fn.softmax(x), Fn.softmax(x + shift), atol=1e-10)
+
+
+@SETTINGS
+@given(x=arrays((4, 6)))
+def test_layernorm_output_standardized(x):
+    y, _ = Fn.layernorm(x, np.ones(6), np.zeros(6))
+    np.testing.assert_allclose(y.mean(axis=-1), 0.0, atol=1e-9)
+
+
+@SETTINGS
+@given(x=arrays((2, 4, 5)), dy=arrays((2, 4, 3)))
+def test_linear_backward_is_linear_in_dy(x, dy):
+    """d(backward)/d(dy) linearity: backward(a*dy) == a*backward(dy)."""
+    layer = Linear(5, 3, rng=np.random.default_rng(0))
+    _, cache = layer.forward(x)
+    layer.zero_grads()
+    dx1 = layer.backward(dy, cache)
+    layer.zero_grads()
+    dx2 = layer.backward(2.0 * dy, cache)
+    np.testing.assert_allclose(dx2, 2.0 * dx1, atol=1e-9)
+
+
+@SETTINGS
+@given(x=arrays((3, 6)))
+def test_layernorm_grad_orthogonal_to_constant(x):
+    """dx of LayerNorm sums to ~0 along the feature axis (projection
+    property of the normalization backward)."""
+    layer = LayerNorm(6)
+    y, cache = layer.forward(x)
+    layer.zero_grads()
+    dx = layer.backward(np.ones_like(y), cache)
+    np.testing.assert_allclose(dx.sum(axis=-1), 0.0, atol=1e-9)
+
+
+@SETTINGS
+@given(
+    logits=arrays((2, 3, 5)),
+    targets=hnp.arrays(np.int64, (2, 3), elements=st.integers(0, 4)),
+)
+def test_cross_entropy_gradient_rows_sum_to_zero(logits, targets):
+    _, dlogits = softmax_cross_entropy(logits, targets)
+    np.testing.assert_allclose(dlogits.sum(axis=-1), 0.0, atol=1e-12)
+
+
+@SETTINGS
+@given(
+    logits=arrays((2, 3, 5)),
+    targets=hnp.arrays(np.int64, (2, 3), elements=st.integers(0, 4)),
+)
+def test_cross_entropy_nonnegative(logits, targets):
+    loss, _ = softmax_cross_entropy(logits, targets)
+    assert loss >= 0.0
+
+
+@SETTINGS
+@given(
+    r=st.sampled_from([1, 2, 3, 4, 5, 8]),
+    n=st.integers(8, 64),
+    seed=st.integers(0, 1000),
+)
+def test_ring_allreduce_equals_sum(r, n, seed):
+    rng = np.random.default_rng(seed)
+    bufs = [rng.standard_normal(n) for _ in range(r)]
+    results, stats = ring_allreduce(bufs)
+    expected = np.sum(bufs, axis=0)
+    for res in results:
+        np.testing.assert_allclose(res, expected, atol=1e-10)
+    if r > 1:
+        assert stats.rounds == 2 * (r - 1)
+
+
+@SETTINGS
+@given(
+    power=st.integers(0, 4),
+    n=st.integers(8, 64),
+    seed=st.integers(0, 1000),
+)
+def test_rabenseifner_allreduce_equals_sum(power, n, seed):
+    r = 2**power
+    rng = np.random.default_rng(seed)
+    bufs = [rng.standard_normal(n) for _ in range(r)]
+    results, stats = rabenseifner_allreduce(bufs)
+    expected = np.sum(bufs, axis=0)
+    for res in results:
+        np.testing.assert_allclose(res, expected, atol=1e-10)
+    if r > 1:
+        assert stats.rounds == 2 * power
+
+
+@SETTINGS
+@given(
+    r=st.sampled_from([2, 4, 8]),
+    seed=st.integers(0, 100),
+)
+def test_algorithms_agree(r, seed):
+    rng = np.random.default_rng(seed)
+    bufs = [rng.standard_normal(16) for _ in range(r)]
+    ring_res, _ = ring_allreduce(bufs)
+    rab_res, _ = rabenseifner_allreduce(bufs)
+    np.testing.assert_allclose(ring_res[0], rab_res[0], atol=1e-10)

@@ -1,0 +1,65 @@
+"""Registry dispatch and the exception hierarchy."""
+
+import pytest
+
+from repro.common.errors import (
+    CommunicationError,
+    ConfigurationError,
+    DeadlockError,
+    MemoryModelError,
+    ReproError,
+    ScheduleError,
+    ValidationError,
+)
+from repro.schedules.registry import available_schemes, build_schedule
+
+
+class TestRegistry:
+    def test_all_schemes_listed_in_table2_order(self):
+        assert available_schemes() == (
+            "pipedream",
+            "pipedream_2bw",
+            "gpipe",
+            "gems",
+            "dapple",
+            "chimera",
+        )
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown scheme"):
+            build_schedule("megatron", 4, 4)
+
+    @pytest.mark.parametrize("scheme", available_schemes())
+    def test_dispatch_builds_named_scheme(self, scheme):
+        assert build_schedule(scheme, 4, 4).scheme == scheme
+
+    def test_options_forwarded_to_builder(self):
+        schedule = build_schedule("chimera", 4, 8, concat="halving")
+        assert schedule.metadata["concat"] == "halving"
+
+    def test_bad_option_surfaces(self):
+        with pytest.raises(TypeError):
+            build_schedule("gpipe", 4, 4, concat="halving")
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ScheduleError,
+            ValidationError,
+            CommunicationError,
+            DeadlockError,
+            MemoryModelError,
+            ConfigurationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_deadlock_is_a_communication_error(self):
+        assert issubclass(DeadlockError, CommunicationError)
+
+    def test_single_except_catches_everything(self):
+        with pytest.raises(ReproError):
+            build_schedule("chimera", 5, 5)  # odd depth -> ScheduleError

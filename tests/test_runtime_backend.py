@@ -1,0 +1,127 @@
+"""In-process backend and the executable collective algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import CommunicationError
+from repro.runtime.backend import InProcessBackend
+from repro.runtime.collective_algorithms import (
+    rabenseifner_allreduce,
+    ring_allreduce,
+)
+from repro.sim.collectives import rabenseifner_cost, ring_cost
+
+RNG = np.random.default_rng(3)
+
+
+class TestMailbox:
+    def test_send_recv_roundtrip(self):
+        b = InProcessBackend()
+        payload = RNG.standard_normal(5)
+        b.send(("a", 1), payload)
+        np.testing.assert_array_equal(b.recv(("a", 1)), payload)
+
+    def test_recv_consumes(self):
+        b = InProcessBackend()
+        b.send(("k",), np.zeros(1))
+        b.recv(("k",))
+        assert not b.can_recv(("k",))
+
+    def test_double_send_rejected(self):
+        b = InProcessBackend()
+        b.send(("k",), np.zeros(1))
+        with pytest.raises(CommunicationError):
+            b.send(("k",), np.zeros(1))
+
+    def test_recv_missing_rejected(self):
+        with pytest.raises(CommunicationError):
+            InProcessBackend().recv(("nope",))
+
+    def test_traffic_accounting(self):
+        b = InProcessBackend()
+        b.send(("k",), np.zeros(8))
+        assert b.messages_sent == 1
+        assert b.bytes_sent == 64
+
+
+class TestBackendCollectives:
+    def test_sum_written_to_all_members(self):
+        b = InProcessBackend()
+        bufs = [np.ones(3) * (i + 1) for i in range(3)]
+        for i, buf in enumerate(bufs):
+            b.allreduce_contribute(("g",), ("m", i), [buf], group_size=3)
+        assert b.allreduce_done(("g",))
+        for buf in bufs:
+            np.testing.assert_allclose(buf, 6.0)
+
+    def test_incomplete_group_pending(self):
+        b = InProcessBackend()
+        b.allreduce_contribute(("g",), ("m", 0), [np.ones(1)], group_size=2)
+        assert not b.allreduce_done(("g",))
+        assert b.unresolved_collectives() == [("g",)]
+
+    def test_double_contribution_rejected(self):
+        b = InProcessBackend()
+        b.allreduce_contribute(("g",), ("m", 0), [np.ones(1)], group_size=2)
+        with pytest.raises(CommunicationError):
+            b.allreduce_contribute(("g",), ("m", 0), [np.ones(1)], group_size=2)
+
+    def test_group_size_mismatch_rejected(self):
+        b = InProcessBackend()
+        b.allreduce_contribute(("g",), ("m", 0), [np.ones(1)], group_size=2)
+        with pytest.raises(CommunicationError):
+            b.allreduce_contribute(("g",), ("m", 1), [np.ones(1)], group_size=3)
+
+
+class TestAlgorithms:
+    @pytest.mark.parametrize("r", [1, 2, 3, 4, 7, 8])
+    def test_ring_computes_sum(self, r):
+        bufs = [RNG.standard_normal(24) for _ in range(r)]
+        results, _ = ring_allreduce(bufs)
+        expected = np.sum(bufs, axis=0)
+        for res in results:
+            np.testing.assert_allclose(res, expected, atol=1e-12)
+
+    @pytest.mark.parametrize("r", [1, 2, 4, 8, 16])
+    def test_rabenseifner_computes_sum(self, r):
+        bufs = [RNG.standard_normal(32) for _ in range(r)]
+        results, _ = rabenseifner_allreduce(bufs)
+        expected = np.sum(bufs, axis=0)
+        for res in results:
+            np.testing.assert_allclose(res, expected, atol=1e-12)
+
+    def test_rabenseifner_requires_power_of_two(self):
+        with pytest.raises(CommunicationError):
+            rabenseifner_allreduce([np.ones(4)] * 3)
+
+    @pytest.mark.parametrize("r", [2, 4, 8])
+    def test_ring_accounting_matches_cost_model(self, r):
+        """Executed rounds/bytes == the closed-form cost model terms."""
+        n = 64
+        bufs = [np.ones(n) for _ in range(r)]
+        _, stats = ring_allreduce(bufs)
+        assert stats.rounds == 2 * (r - 1)
+        expected_bytes = 2 * (r - 1) / r * n * bufs[0].itemsize
+        assert stats.bytes_per_rank == pytest.approx(expected_bytes)
+        # The cost model with alpha=1, beta=1 counts the same two terms.
+        cost = ring_cost(1.0, 1.0, n * bufs[0].itemsize, r)
+        assert cost == pytest.approx(stats.rounds + stats.bytes_per_rank)
+
+    @pytest.mark.parametrize("r", [2, 4, 8, 16])
+    def test_rabenseifner_accounting_matches_cost_model(self, r):
+        n = 64
+        bufs = [np.ones(n) for _ in range(r)]
+        _, stats = rabenseifner_allreduce(bufs)
+        assert stats.rounds == 2 * int(np.log2(r))
+        expected_bytes = 2 * (r - 1) / r * n * bufs[0].itemsize
+        assert stats.bytes_per_rank == pytest.approx(expected_bytes)
+        cost = rabenseifner_cost(1.0, 1.0, n * bufs[0].itemsize, r)
+        assert cost == pytest.approx(stats.rounds + stats.bytes_per_rank)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(CommunicationError):
+            ring_allreduce([])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(CommunicationError):
+            ring_allreduce([np.ones(3), np.ones(4)])

@@ -1,0 +1,141 @@
+"""StageModule and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ReproError
+from repro.models.layers import GELU, Linear
+from repro.runtime.optimizers import SGD, Adam, Momentum
+from repro.runtime.stage_module import StageModule
+
+RNG = np.random.default_rng(11)
+
+
+def make_stage(recompute=False):
+    rng = np.random.default_rng(5)
+    return StageModule(
+        [Linear(6, 6, rng=rng), GELU(), Linear(6, 6, rng=rng)], recompute=recompute
+    )
+
+
+class TestStageModule:
+    def test_forward_backward_roundtrip(self):
+        stage = make_stage()
+        x = RNG.standard_normal((2, 6))
+        y = stage.forward(0, x)
+        dy = RNG.standard_normal(y.shape)
+        dx = stage.backward(0, dy)
+        assert dx.shape == x.shape
+        assert stage.in_flight() == 0
+
+    def test_multiple_in_flight(self):
+        stage = make_stage()
+        stage.forward(0, RNG.standard_normal((2, 6)))
+        stage.forward(1, RNG.standard_normal((2, 6)))
+        assert stage.in_flight() == 2
+        stage.backward(0, np.ones((2, 6)))
+        assert stage.in_flight() == 1 and stage.is_in_flight(1)
+
+    def test_duplicate_forward_rejected(self):
+        stage = make_stage()
+        stage.forward(0, RNG.standard_normal((2, 6)))
+        with pytest.raises(ReproError):
+            stage.forward(0, RNG.standard_normal((2, 6)))
+
+    def test_backward_without_forward_rejected(self):
+        with pytest.raises(ReproError):
+            make_stage().backward(0, np.ones((2, 6)))
+
+    def test_recompute_matches_plain(self):
+        x = RNG.standard_normal((2, 6))
+        dy = RNG.standard_normal((2, 6))
+        plain, recomp = make_stage(False), make_stage(True)
+        yp = plain.forward(0, x)
+        yr = recomp.forward(0, x)
+        np.testing.assert_allclose(yp, yr)
+        dxp = plain.backward(0, dy)
+        dxr = recomp.backward(0, dy)
+        np.testing.assert_allclose(dxp, dxr)
+        for a, b in zip(plain.grad_arrays(), recomp.grad_arrays()):
+            np.testing.assert_allclose(a, b)
+
+    def test_part_backwards_release_after_all_parts(self):
+        stage = make_stage()
+        stage.forward(0, RNG.standard_normal((4, 6)))
+        stage.backward(0, np.ones((2, 6)), row_slice=slice(0, 2), fraction=0.5)
+        assert stage.is_in_flight(0)
+        stage.backward(0, np.ones((2, 6)), row_slice=slice(2, 4), fraction=0.5)
+        assert not stage.is_in_flight(0)
+
+    def test_snapshot_restore(self):
+        stage = make_stage()
+        snap = stage.snapshot_params()
+        for p in stage.param_arrays():
+            p += 1.0
+        stage.load_params(snap)
+        for p, s in zip(stage.param_arrays(), snap):
+            np.testing.assert_array_equal(p, s)
+
+    def test_scale_grads(self):
+        stage = make_stage()
+        stage.forward(0, RNG.standard_normal((2, 6)))
+        stage.backward(0, np.ones((2, 6)))
+        before = [g.copy() for g in stage.grad_arrays()]
+        stage.scale_grads(0.5)
+        for b, g in zip(before, stage.grad_arrays()):
+            np.testing.assert_allclose(g, b * 0.5)
+
+    def test_num_params(self):
+        assert make_stage().num_params() == 2 * (6 * 6 + 6)
+
+
+class TestOptimizers:
+    def _layer(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(3, 3, rng=rng)
+        layer.grads["W"][...] = 1.0
+        layer.grads["b"][...] = 1.0
+        return layer
+
+    def test_sgd_step(self):
+        layer = self._layer()
+        before = layer.params["W"].copy()
+        SGD(lr=0.1).step([layer])
+        np.testing.assert_allclose(layer.params["W"], before - 0.1)
+
+    def test_momentum_accumulates(self):
+        layer = self._layer()
+        opt = Momentum(lr=0.1, momentum=0.9)
+        before = layer.params["W"].copy()
+        opt.step([layer])  # v = g -> -0.1
+        layer.grads["W"][...] = 1.0
+        layer.grads["b"][...] = 1.0
+        opt.step([layer])  # v = 1.9 -> -0.19
+        np.testing.assert_allclose(layer.params["W"], before - 0.1 - 0.19)
+
+    def test_adam_first_step_is_lr(self):
+        layer = self._layer()
+        before = layer.params["W"].copy()
+        Adam(lr=0.01).step([layer])
+        np.testing.assert_allclose(
+            layer.params["W"], before - 0.01, atol=1e-8
+        )
+
+    def test_adam_state_per_parameter(self):
+        a, b = self._layer(), self._layer()
+        opt = Adam(lr=0.01)
+        opt.step([a])
+        opt.step([b])  # independent state; b takes its own first step
+        np.testing.assert_allclose(a.params["W"], b.params["W"], atol=1e-8)
+
+    def test_minimizes_quadratic(self):
+        rng = np.random.default_rng(1)
+        layer = Linear(2, 1, rng=rng)
+        target = np.array([[0.3], [0.7]])
+        opt = Adam(lr=0.05)
+        for _ in range(200):
+            layer.zero_grads()
+            # loss = ||W - target||^2 / 2
+            layer.grads["W"][...] = layer.params["W"] - target
+            opt.step([layer])
+        np.testing.assert_allclose(layer.params["W"], target, atol=1e-3)

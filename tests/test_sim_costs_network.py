@@ -1,0 +1,158 @@
+"""Cost models, network topologies, and collective cost formulas."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.schedules.ir import Operation, OpKind
+from repro.sim.collectives import (
+    allreduce_cost,
+    rabenseifner_cost,
+    recursive_doubling_cost,
+    ring_cost,
+)
+from repro.sim.cost import CostModel
+from repro.sim.network import FlatTopology, HierarchicalTopology, LinkSpec
+
+
+def F(mb=0, stage=0, **kw):
+    return Operation(OpKind.FORWARD, 0, stage, micro_batches=(mb,), **kw)
+
+
+def B(mb=0, stage=0, **kw):
+    return Operation(OpKind.BACKWARD, 0, stage, micro_batches=(mb,), **kw)
+
+
+class TestLinkSpec:
+    def test_time_is_alpha_plus_beta_l(self):
+        link = LinkSpec(alpha=1.0, beta=0.5)
+        assert link.time(10) == pytest.approx(6.0)
+
+    def test_from_bandwidth(self):
+        link = LinkSpec.from_bandwidth(alpha=0.0, bandwidth_bytes_per_sec=2e9)
+        assert link.time(2e9) == pytest.approx(1.0)
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkSpec(alpha=-1.0, beta=0.0)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkSpec.from_bandwidth(alpha=0.0, bandwidth_bytes_per_sec=0.0)
+
+
+class TestTopologies:
+    def test_flat_self_message_free(self):
+        topo = FlatTopology(LinkSpec(1.0, 1.0))
+        assert topo.p2p_time(2, 2, 100) == 0.0
+
+    def test_hierarchical_intra_vs_inter(self):
+        topo = HierarchicalTopology(
+            intra=LinkSpec(0.0, 1e-12), inter=LinkSpec(0.0, 1e-9), gpus_per_node=4
+        )
+        assert topo.p2p_time(0, 3, 1e9) < topo.p2p_time(3, 4, 1e9)
+
+    def test_group_link_escalates_to_inter(self):
+        topo = HierarchicalTopology(
+            intra=LinkSpec(0.0, 1.0), inter=LinkSpec(0.0, 2.0), gpus_per_node=4
+        )
+        assert topo.group_link((0, 1, 2)) is topo.intra
+        assert topo.group_link((0, 4)) is topo.inter
+
+
+class TestCollectiveCosts:
+    def test_rabenseifner_formula(self):
+        # 2 log2(r) alpha + 2 (r-1)/r beta L
+        got = rabenseifner_cost(alpha=2.0, beta=0.5, num_bytes=80, group_size=8)
+        assert got == pytest.approx(2 * 3 * 2.0 + 2 * (7 / 8) * 0.5 * 80)
+
+    def test_ring_formula(self):
+        got = ring_cost(alpha=1.0, beta=0.25, num_bytes=100, group_size=4)
+        assert got == pytest.approx(2 * 3 * 1.0 + 2 * (3 / 4) * 0.25 * 100)
+
+    def test_recursive_doubling_formula(self):
+        got = recursive_doubling_cost(alpha=1.0, beta=0.1, num_bytes=10, group_size=8)
+        assert got == pytest.approx(3 * (1.0 + 1.0))
+
+    def test_group_of_one_free(self):
+        for algo in ("rabenseifner", "ring", "recursive_doubling"):
+            assert allreduce_cost(algo, 1.0, 1.0, 100.0, 1) == 0.0
+
+    def test_rabenseifner_bandwidth_optimal_for_large_messages(self):
+        big = 1e9
+        rab = rabenseifner_cost(1e-6, 1e-10, big, 64)
+        rd = recursive_doubling_cost(1e-6, 1e-10, big, 64)
+        assert rab < rd
+
+    def test_ring_latency_heavy_for_large_groups(self):
+        rab = rabenseifner_cost(1e-3, 0.0, 1.0, 1024)
+        ring = ring_cost(1e-3, 0.0, 1.0, 1024)
+        assert ring > rab
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            allreduce_cost("gossip", 1.0, 1.0, 1.0, 4)
+
+    def test_invalid_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ring_cost(1.0, 1.0, 1.0, 0)
+
+
+class TestCostModel:
+    def test_forward_backward_ratio(self):
+        cm = CostModel(forward_time=2.0)
+        assert cm.compute_time(F()) == pytest.approx(2.0)
+        assert cm.compute_time(B()) == pytest.approx(4.0)
+
+    def test_recompute_ratio(self):
+        cm = CostModel(forward_time=1.0)
+        assert cm.compute_time(B(recompute=True)) == pytest.approx(3.0)
+
+    def test_chunk_scales_duration(self):
+        cm = CostModel(forward_time=1.0)
+        chunk = Operation(OpKind.FORWARD, 0, 0, micro_batches=(0, 1))
+        assert cm.compute_time(chunk) == pytest.approx(2.0)
+
+    def test_half_backward_scales_duration(self):
+        cm = CostModel(forward_time=1.0)
+        half = Operation(OpKind.BACKWARD, 0, 0, micro_batches=(0,), part=(0, 2))
+        assert cm.compute_time(half) == pytest.approx(1.0)
+
+    def test_allreduce_op_has_no_compute_time(self):
+        cm = CostModel(forward_time=1.0)
+        assert cm.compute_time(Operation(OpKind.ALLREDUCE, 0, 0)) == 0.0
+
+    def test_stage_scale_applied(self):
+        cm = CostModel(forward_time=1.0, stage_scale=(1.0, 2.5))
+        assert cm.compute_time(F(stage=1)) == pytest.approx(2.5)
+
+    def test_stage_scale_out_of_range(self):
+        cm = CostModel(forward_time=1.0, stage_scale=(1.0,))
+        with pytest.raises(ConfigurationError):
+            cm.compute_time(F(stage=3))
+
+    def test_allreduce_group_width_multiplier(self):
+        topo = FlatTopology(LinkSpec(0.0, 1.0))
+        narrow = CostModel(
+            forward_time=1.0, topology=topo, stage_grad_bytes=8.0,
+            data_parallel_width=1,
+        )
+        wide = narrow.with_(data_parallel_width=8)
+        assert wide.allreduce_time(0, (0, 1)) > narrow.allreduce_time(0, (0, 1))
+
+    def test_allreduce_trivial_group_free(self):
+        cm = CostModel(forward_time=1.0, stage_grad_bytes=8.0)
+        assert cm.allreduce_time(0, (3,)) == 0.0
+
+    def test_p2p_needs_topology(self):
+        cm = CostModel(forward_time=1.0, activation_message_bytes=100.0)
+        assert cm.p2p_time(0, 1, 1.0) == 0.0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(forward_time=0.0)
+        with pytest.raises(ConfigurationError):
+            CostModel(forward_time=1.0, backward_ratio=-1.0)
+        with pytest.raises(ConfigurationError):
+            CostModel(forward_time=1.0, data_parallel_width=0)

@@ -1,0 +1,138 @@
+"""Discrete-event engine: timing semantics, p2p delays, sync overlap."""
+
+import pytest
+
+from repro.schedules.registry import build_schedule
+from repro.sim.cost import CostModel
+from repro.sim.engine import simulate
+from repro.sim.network import FlatTopology, LinkSpec
+
+
+class TestComputeTiming:
+    def test_single_micro_batch_serial_chain(self):
+        """One micro-batch: D forwards then D backwards, strictly serial."""
+        s = build_schedule("dapple", 4, 1)
+        r = simulate(s, CostModel.practical())
+        assert r.compute_makespan == pytest.approx(4 * 1 + 4 * 2)
+
+    def test_worker_order_respected(self):
+        s = build_schedule("dapple", 4, 4)
+        r = simulate(s, CostModel.practical())
+        for w in range(4):
+            timed = r.timed_ops_on(w)
+            for a, b in zip(timed, timed[1:]):
+                assert b.start >= a.end - 1e-12
+
+    def test_dependencies_respected(self):
+        s = build_schedule("chimera", 4, 4)
+        r = simulate(s, CostModel.practical())
+        from repro.schedules.dependencies import build_dependency_graph
+
+        g = build_dependency_graph(s)
+        for key, edges in g.deps.items():
+            if key not in r.timed:
+                continue
+            for e in edges:
+                if e.src in r.timed and r.timed[key].op.is_compute:
+                    assert r.timed[key].start >= r.timed[e.src].end - 1e-12
+
+    def test_backward_ratio_scales_makespan(self):
+        s = build_schedule("gpipe", 2, 2)
+        fast = simulate(s, CostModel(forward_time=1.0, backward_ratio=1.0))
+        slow = simulate(s, CostModel(forward_time=1.0, backward_ratio=3.0))
+        assert slow.compute_makespan > fast.compute_makespan
+
+    def test_recompute_ratio_applies(self):
+        plain = simulate(build_schedule("dapple", 4, 4), CostModel.practical())
+        recomp = simulate(
+            build_schedule("dapple", 4, 4, recompute=True), CostModel.practical()
+        )
+        assert recomp.compute_makespan > plain.compute_makespan
+
+    def test_stage_scale_heterogeneity(self):
+        cost = CostModel(forward_time=1.0, stage_scale=(1.0, 3.0))
+        r = simulate(build_schedule("dapple", 2, 4), cost)
+        hom = simulate(build_schedule("dapple", 2, 4), CostModel.practical())
+        assert r.compute_makespan > hom.compute_makespan
+
+    def test_busy_plus_bubble_equals_makespan(self):
+        s = build_schedule("chimera", 8, 8)
+        r = simulate(s, CostModel.practical())
+        for w in range(8):
+            assert r.busy_time(w) + r.bubble_time(w) == pytest.approx(
+                r.compute_makespan
+            )
+
+
+class TestP2P:
+    def _cost(self, alpha):
+        topo = FlatTopology(LinkSpec(alpha=alpha, beta=0.0))
+        return CostModel(
+            forward_time=1.0, topology=topo, activation_message_bytes=1.0
+        )
+
+    def test_p2p_latency_stretches_pipeline(self):
+        s = build_schedule("dapple", 4, 1)
+        base = simulate(s, self._cost(0.0))
+        lat = simulate(s, self._cost(0.5))
+        # 3 forward hops + 3 backward hops, 0.5 each.
+        assert lat.compute_makespan == pytest.approx(base.compute_makespan + 3.0)
+
+    def test_p2p_can_hide_in_bubbles(self):
+        """With enough slack, p2p latency does not translate 1:1 into
+        iteration time for schedules with interior bubbles."""
+        s = build_schedule("chimera", 4, 4)
+        base = simulate(s, self._cost(0.0))
+        lat = simulate(s, self._cost(0.25))
+        stretch = lat.compute_makespan - base.compute_makespan
+        serial = 0.25 * 6 * 2  # every hop fully serialized
+        assert stretch < serial
+
+
+class TestSync:
+    def _cost(self, **kw):
+        topo = FlatTopology(LinkSpec(alpha=0.0, beta=1e-3))
+        return CostModel(
+            forward_time=1.0,
+            topology=topo,
+            stage_grad_bytes=100.0,
+            data_parallel_width=2,
+            **kw,
+        )
+
+    def test_nonblocking_sync_extends_iteration_not_compute(self):
+        s = build_schedule("chimera", 4, 4, sync_mode="lazy")
+        r = simulate(s, self._cost())
+        assert r.iteration_time > r.compute_makespan
+        assert r.sync_tail() > 0
+
+    def test_blocking_sync_slower_or_equal(self):
+        s = build_schedule("chimera", 4, 4, sync_mode="lazy")
+        nb = simulate(s, self._cost())
+        bl = simulate(s, self._cost(), blocking_sync=True)
+        assert bl.iteration_time >= nb.iteration_time - 1e-12
+
+    def test_launch_overhead_charged_to_worker(self):
+        s = build_schedule("chimera", 4, 4, sync_mode="eager")
+        base = simulate(s, self._cost())
+        heavy = simulate(s, self._cost(sync_launch_overhead=0.5))
+        assert heavy.iteration_time > base.iteration_time
+
+    def test_eager_sync_starts_collectives_earlier(self):
+        eager = simulate(build_schedule("chimera", 4, 4, sync_mode="eager"), self._cost())
+        lazy = simulate(build_schedule("chimera", 4, 4, sync_mode="lazy"), self._cost())
+        eager_first = min(c.start for c in eager.collectives)
+        lazy_first = min(c.start for c in lazy.collectives)
+        assert eager_first < lazy_first
+
+    def test_collective_records_have_full_groups(self):
+        s = build_schedule("chimera", 4, 4)
+        r = simulate(s, self._cost())
+        for c in r.collectives:
+            assert len(c.workers) == 2  # two stage replicas per stage (f=1)
+
+    def test_overlap_slowdown_penalizes_overlapped_collectives(self):
+        s = build_schedule("chimera", 4, 4, sync_mode="eager")
+        base = simulate(s, self._cost())
+        slowed = simulate(s, self._cost(sync_overlap_slowdown=0.5))
+        assert slowed.iteration_time >= base.iteration_time
