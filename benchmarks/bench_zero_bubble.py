@@ -1,0 +1,8 @@
+"""Bench for the zero-bubble (ZB-H1 / ZB-V) comparison table."""
+
+from benchmarks.conftest import run_and_print
+from repro.bench.experiments import zero_bubble_table
+
+
+def test_zero_bubble_vs_baselines(benchmark, fast_mode, report):
+    run_and_print(benchmark, zero_bubble_table.run, fast_mode, report)

@@ -1,11 +1,17 @@
 """repro — reproduction of Chimera bidirectional pipeline parallelism (SC'21).
 
+The layer stack (schedules IR -> sim -> runtime -> bench) is documented in
+``docs/architecture.md``; per-scheme bubble/memory formulas live in
+``docs/schedules.md``.
+
 Public API tour
 ---------------
-Schedules (the paper's contribution + every baseline of Table 2)::
+Schedules (the paper's contribution, every baseline of Table 2, and the
+zero-bubble family ``zb_h1``/``zb_v`` built on B/W backward splitting)::
 
     from repro import build_schedule, validate_schedule
     sched = build_schedule("chimera", depth=8, num_micro_batches=8)
+    zb = build_schedule("zb_h1", depth=8, num_micro_batches=8)
 
 Simulation (bubble ratios, memory, throughput on modelled clusters)::
 
@@ -41,6 +47,8 @@ from repro.schedules import (
     build_pipedream_2bw_schedule,
     build_pipedream_schedule,
     build_schedule,
+    build_zb_h1_schedule,
+    build_zb_v_schedule,
     validate_schedule,
 )
 from repro.sim import (
@@ -76,6 +84,8 @@ __all__ = [
     "build_pipedream_2bw_schedule",
     "build_pipedream_schedule",
     "build_schedule",
+    "build_zb_h1_schedule",
+    "build_zb_v_schedule",
     "validate_schedule",
     "CostModel",
     "MemoryModel",

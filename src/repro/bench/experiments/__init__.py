@@ -23,6 +23,7 @@ from repro.bench.experiments import (
     table2,
     table3,
     table4,
+    zero_bubble_table,
 )
 
 __all__ = [
@@ -41,4 +42,5 @@ __all__ = [
     "table2",
     "table3",
     "table4",
+    "zero_bubble_table",
 ]

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bench.harness import format_table
+from repro.schedules.analysis import bubble_ratio_formula
 from repro.schedules.registry import available_schemes, build_schedule
 from repro.sim.cost import CostModel
 from repro.sim.engine import simulate
@@ -38,6 +39,9 @@ def analytic_bubble_ratio(scheme: str, depth: int, n: int) -> float:
     if scheme == "chimera":
         # Practical schedule before middle-bubble removal (§2):
         return (d - 2) / (1.5 * n + d - 2)
+    if scheme in ("zb_h1", "zb_v"):
+        # Zero-bubble rows: b = w = F, see repro.schedules.analysis.
+        return bubble_ratio_formula(scheme, depth, n)
     return 0.0  # PipeDream family: ~0 in steady state
 
 

@@ -97,8 +97,13 @@ def _memory_report(cfg: ExperimentConfig, recompute: bool):
         recompute=recompute,
         **dict(cfg.options),
     )
+    # Calibrate per the schedule's own stage count: ZB-V splits the model
+    # into 2D chunks over D workers, so each chunk is half a stage.
     memory_model = calibrate_memory_model(
-        cfg.machine, cfg.workload, depth=cfg.depth, micro_batch=cfg.micro_batch
+        cfg.machine,
+        cfg.workload,
+        depth=schedule.num_stages,
+        micro_batch=cfg.micro_batch,
     )
     return schedule, analyze_memory(schedule, memory_model)
 
@@ -128,7 +133,7 @@ def run_configuration(cfg: ExperimentConfig) -> ExperimentResult:
     cost_model = calibrate_cost_model(
         cfg.machine,
         cfg.workload,
-        depth=cfg.depth,
+        depth=schedule.num_stages,
         micro_batch=cfg.micro_batch,
         data_parallel_width=cfg.width,
     )

@@ -43,6 +43,12 @@ def _schedule_args(parser: argparse.ArgumentParser) -> None:
         "--concat", choices=["direct", "doubling", "halving"], default="direct"
     )
     parser.add_argument("--pipelines", "-f", type=int, default=1)
+    parser.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=None,
+        help="zero-bubble schemes: cap on live activation stashes",
+    )
 
 
 def _build(args: argparse.Namespace):
@@ -50,6 +56,8 @@ def _build(args: argparse.Namespace):
     if args.scheme == "chimera":
         options["concat"] = args.concat
         options["num_down_pipelines"] = args.pipelines
+    if args.scheme in ("zb_h1", "zb_v") and args.max_in_flight is not None:
+        options["max_in_flight"] = args.max_in_flight
     return build_schedule(args.scheme, args.depth, args.micro_batches, **options)
 
 

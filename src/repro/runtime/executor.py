@@ -7,7 +7,11 @@ deadlock and raises with a per-worker report — by construction (validated
 schedules) this only fires on library bugs, and the tests rely on that.
 
 The executor is scheme-agnostic: PipeDream's weight stashing and per-micro-
-batch updates are injected through hooks by the trainer.
+batch updates are injected through hooks by the trainer. Split-backward
+schedules (zero-bubble family) execute ``BACKWARD_INPUT`` as a gradient-
+propagating backward whose parameter gradients are deferred inside the
+stage module, and ``BACKWARD_WEIGHT`` as the purely local accumulation of
+that deferred contribution.
 """
 
 from __future__ import annotations
@@ -71,6 +75,13 @@ class PipelineExecutor:
             if op.is_backward and op.recompute
             for mb in op.micro_batches
         }
+        if weight_stashing and any(
+            op.is_split_backward for _, op in schedule.all_ops()
+        ):
+            raise ReproError(
+                "weight stashing (PipeDream versioning) is not supported "
+                "with split-backward schedules"
+            )
         for group in range(width):
             for worker in range(schedule.num_workers):
                 for replica, stage in schedule.replicas_hosted_by(worker):
@@ -144,7 +155,9 @@ class PipelineExecutor:
 
     # ------------------------------------------------------------- execution
     def _executable(self, group: int, op: Operation) -> bool:
-        if op.kind is OpKind.ALLREDUCE:
+        if op.kind is OpKind.ALLREDUCE or op.is_backward_weight:
+            # Weight-gradient ops consume only local deferred state; program
+            # order (validated: W after its Bi) makes them always runnable.
             return True
         if op.is_forward:
             if op.stage == 0:
@@ -165,6 +178,8 @@ class PipelineExecutor:
             self._execute_sync(group, op)
         elif op.is_forward:
             self._execute_forward(group, op)
+        elif op.is_backward_weight:
+            self._execute_backward_weight(group, op)
         else:
             self._execute_backward(group, op)
 
@@ -217,7 +232,11 @@ class PipelineExecutor:
                 row_slice = _part_slice(batch, index, parts) if parts > 1 else None
 
             stash_key = (group, op.replica, op.stage, mb)
-            if self.weight_stashing and stash_key in self._stashes:
+            if op.is_backward_input:
+                dx = stage_module.backward_input(
+                    mb, dy, row_slice=row_slice, part=op.part
+                )
+            elif self.weight_stashing and stash_key in self._stashes:
                 current = stage_module.snapshot_params()
                 stage_module.load_params(self._stashes[stash_key])
                 dx = stage_module.backward(
@@ -234,6 +253,12 @@ class PipelineExecutor:
                 self.backend.send(
                     (group, op.replica, op.stage - 1, mb, "grad", op.part), dx
                 )
+
+    def _execute_backward_weight(self, group: int, op: Operation) -> None:
+        stage_module = self.stages[(group, op.replica, op.stage)]
+        _index, parts = op.part
+        for mb in op.micro_batches:
+            stage_module.backward_weight(mb, part=op.part, fraction=1.0 / parts)
 
     def _execute_sync(self, group: int, op: Operation) -> None:
         coll_key = (op.stage, op.micro_batches)

@@ -3,7 +3,18 @@
 The runtime counterpart of what each worker hosts per (replica, stage):
 weights, per-micro-batch activation caches (or just the stage input under
 recomputation), and accumulated gradients. Also provides the weight
-snapshot/restore hooks PipeDream's version stashing needs.
+snapshot/restore hooks PipeDream's version stashing needs, and the split
+backward the zero-bubble schedules use: :meth:`backward_input` computes and
+returns the input gradient while *deferring* the micro-batch's parameter-
+gradient contribution into a side buffer, and the matching
+:meth:`backward_weight` later folds that buffer into the accumulated
+gradients and releases the stash. Deferral keeps the numerics equivalent
+to the fused backward regardless of how far the schedule separates the two
+halves (no optimizer step can intervene within a synchronous iteration) —
+exact up to float-addition rounding: re-associating the accumulation when
+other micro-batches interleave between a ``Bi`` and its ``W`` can differ
+from fused in-place accumulation by ~1 ulp. The simulator's cost model,
+not this module, accounts for the true compute split between the halves.
 """
 
 from __future__ import annotations
@@ -26,6 +37,9 @@ class StageModule:
         self._inputs: dict[int, np.ndarray] = {}
         #: mb id -> backward fraction still outstanding (parts support).
         self._pending: dict[int, float] = {}
+        #: (mb, part) -> deferred parameter-gradient contribution of a
+        #: split backward_input, awaiting its backward_weight.
+        self._deferred_grads: dict[tuple[int, tuple[int, int]], list[np.ndarray]] = {}
 
     # ----------------------------------------------------------------- state
     def zero_grads(self) -> None:
@@ -87,13 +101,75 @@ class StageModule:
     def backward(
         self, mb: int, dy: np.ndarray, *, row_slice: slice | None = None, fraction: float = 1.0
     ) -> np.ndarray:
-        """Backward for (a part of) micro-batch ``mb``; returns ``d input``.
+        """Fused backward for (a part of) micro-batch ``mb``; returns ``d input``.
 
         Parameter gradients accumulate into the layers. ``row_slice``
         restricts to a batch-row slice (backward halving); ``fraction`` is
         the share of the micro-batch this call covers, used to release the
         stash once all parts ran.
         """
+        dy = self._backprop(mb, dy, row_slice)
+        self._release(mb, fraction)
+        return dy
+
+    def backward_input(
+        self,
+        mb: int,
+        dy: np.ndarray,
+        *,
+        row_slice: slice | None = None,
+        part: tuple[int, int] = (0, 1),
+    ) -> np.ndarray:
+        """Split backward, input-gradient half (zero-bubble ``Bi``).
+
+        Runs the backward walk for ``mb`` but diverts this call's
+        parameter-gradient contribution into a deferred buffer keyed by
+        ``(mb, part)`` instead of the accumulated gradients; the stash stays
+        live for the matching :meth:`backward_weight`. Returns ``d input``.
+        """
+        key = (mb, part)
+        if key in self._deferred_grads:
+            raise ReproError(
+                f"micro-batch {mb} part {part} already has a deferred "
+                f"weight gradient on this stage"
+            )
+        before = [g.copy() for g in self.grad_arrays()]
+        dy = self._backprop(mb, dy, row_slice)
+        deferred = []
+        for g, prev in zip(self.grad_arrays(), before):
+            deferred.append(g - prev)
+            g[...] = prev
+        self._deferred_grads[key] = deferred
+        return dy
+
+    def backward_weight(
+        self, mb: int, *, part: tuple[int, int] = (0, 1), fraction: float = 1.0
+    ) -> None:
+        """Split backward, weight-gradient half (zero-bubble ``W``).
+
+        Folds the gradients the matching :meth:`backward_input` deferred
+        into the accumulated per-layer gradients and releases this part's
+        share of the activation stash.
+        """
+        key = (mb, part)
+        deferred = self._deferred_grads.pop(key, None)
+        if deferred is None:
+            raise ReproError(
+                f"weight gradient for micro-batch {mb} part {part} without "
+                f"a matching input gradient"
+            )
+        for g, extra in zip(self.grad_arrays(), deferred):
+            g += extra
+        self._release(mb, fraction)
+
+    def deferred_weight_grads(self) -> int:
+        """Number of (mb, part) buffers awaiting their backward_weight."""
+        return len(self._deferred_grads)
+
+    def _backprop(
+        self, mb: int, dy: np.ndarray, row_slice: slice | None
+    ) -> np.ndarray:
+        """Reverse layer walk for ``mb`` (rematerializing if needed)."""
         if mb not in self._pending:
             raise ReproError(f"backward for micro-batch {mb} without a forward")
         if self.recompute and mb not in self._caches:
@@ -107,9 +183,12 @@ class StageModule:
         caches = self._caches[mb]
         for layer, cache in zip(reversed(self.layers), reversed(caches)):
             dy = layer.backward(dy, cache, row_slice=row_slice)
+        return dy
+
+    def _release(self, mb: int, fraction: float) -> None:
+        """Release ``fraction`` of ``mb``'s stash; free it when all ran."""
         self._pending[mb] -= fraction
         if self._pending[mb] <= 1e-9:
             del self._pending[mb]
             del self._caches[mb]
             del self._inputs[mb]
-        return dy

@@ -4,9 +4,10 @@
 per (group, replica) — exactly the memory layout the paper describes), the
 executor, and the per-scheme update semantics:
 
-* synchronous schemes — allreduce gradient sums across all stage copies,
-  scale to the mini-batch mean, one optimizer step per iteration
-  (algorithmically identical to sequential mini-batch SGD);
+* synchronous schemes (including the split-backward zero-bubble family) —
+  allreduce gradient sums across all stage copies, scale to the mini-batch
+  mean, one optimizer step per iteration (algorithmically identical to
+  sequential mini-batch SGD);
 * ``pipedream`` — weight stashing + an optimizer step after every
   micro-batch's backward (asynchronous, stale weights; runtime supports
   width 1, wider configurations are covered by the simulator);
@@ -69,12 +70,14 @@ class PipelineTrainer:
         self.optimizer = (optimizer_factory or (lambda: SGD(0.1)))()
         #: (group, replica, stage) -> StageModule. Every (group, replica)
         #: pair holds a full, identically initialized copy of the model.
+        #: Partitioning follows the *schedule's* stage count, which can
+        #: exceed ``depth`` (ZB-V folds 2 * depth chunks over the workers).
         self.stages: dict[tuple[int, int, int], StageModule] = {}
         for group in range(width):
             for replica in range(self.schedule.num_replicas):
                 layers = build_transformer_layers(model_config)
                 for stage, stage_layers in enumerate(
-                    partition_layers(layers, depth)
+                    partition_layers(layers, self.schedule.num_stages)
                 ):
                     self.stages[(group, replica, stage)] = StageModule(
                         stage_layers, recompute=recompute
@@ -159,7 +162,7 @@ class PipelineTrainer:
     def full_model_layers(self, *, group: int = 0, replica: int = 0) -> list[Layer]:
         """The layers of one model copy in forward order (for comparisons)."""
         layers: list[Layer] = []
-        for stage in range(self.depth):
+        for stage in range(self.schedule.num_stages):
             layers.extend(self.stages[(group, replica, stage)].layers)
         return layers
 
@@ -169,7 +172,7 @@ class PipelineTrainer:
         True for synchronous schemes after any number of iterations —
         replicas receive identical allreduced gradients.
         """
-        for stage in range(self.depth):
+        for stage in range(self.schedule.num_stages):
             reference = None
             for group in range(self.width):
                 for replica in range(self.schedule.num_replicas):

@@ -10,6 +10,10 @@ baseline it is compared against in Table 2 of the paper:
 * :mod:`repro.schedules.pipedream` — PipeDream [Narayanan et al. 2019]
 * :mod:`repro.schedules.pipedream_2bw` — PipeDream-2BW [Narayanan et al. 2020]
 
+plus the zero-bubble family built on the split backward
+(:mod:`repro.schedules.zero_bubble` — ZB-H1 / ZB-V [Qi et al. 2023]),
+the strongest modern baseline to compare Chimera against.
+
 All builders produce the same :class:`repro.schedules.ir.Schedule` IR, which
 the simulator (:mod:`repro.sim`), the training runtime
 (:mod:`repro.runtime`), and the memory model consume uniformly.
@@ -23,6 +27,7 @@ from repro.schedules.dapple import build_dapple_schedule
 from repro.schedules.gems import build_gems_schedule
 from repro.schedules.pipedream import build_pipedream_schedule
 from repro.schedules.pipedream_2bw import build_pipedream_2bw_schedule
+from repro.schedules.zero_bubble import build_zb_h1_schedule, build_zb_v_schedule
 from repro.schedules.registry import build_schedule, available_schemes
 from repro.schedules.validate import validate_schedule
 from repro.schedules.analysis import (
@@ -44,6 +49,8 @@ __all__ = [
     "build_gems_schedule",
     "build_pipedream_schedule",
     "build_pipedream_2bw_schedule",
+    "build_zb_h1_schedule",
+    "build_zb_v_schedule",
     "build_schedule",
     "available_schemes",
     "validate_schedule",

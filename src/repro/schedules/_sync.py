@@ -64,7 +64,9 @@ def insert_eager_sync(
                 (
                     i
                     for i, op in enumerate(ops)
-                    if op.is_backward and op.replica == replica and op.stage == stage
+                    if op.produces_weight_grads
+                    and op.replica == replica
+                    and op.stage == stage
                 ),
                 default=None,
             )

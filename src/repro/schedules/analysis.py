@@ -2,7 +2,13 @@
 
 These are the paper's analytic expressions, collected in one place so
 callers (and the test suite) can compare any simulated schedule against
-its theoretical signature without re-deriving the algebra.
+its theoretical signature without re-deriving the algebra. The zero-bubble
+entries (``zb_h1``/``zb_v``) are the signatures of this repository's greedy
+builders under the practical split ``b = w = F``: ZB-H1's makespan is
+``3N + 2(D-1)`` exactly (the tail ``W`` fill saves one of DAPPLE's three
+``(D-1)`` bubble terms at no activation-memory cost), while ZB-V's bubble
+is quoted as the ``(D-1)/(6N + D - 1)`` asymptote the greedy schedule
+tracks to within a couple of time units.
 """
 
 from __future__ import annotations
@@ -46,6 +52,10 @@ def bubble_ratio_formula(
         return (d - 2 * f) / (2 * f * n + d - 2 * f)
     if scheme in ("pipedream", "pipedream_2bw"):
         return 0.0
+    if scheme == "zb_h1":
+        return 2 * (d - 1) / (3 * n + 2 * (d - 1))
+    if scheme == "zb_v":
+        return (d - 1) / (6 * n + d - 1)
     raise ConfigurationError(f"no bubble formula for scheme {scheme!r}")
 
 
@@ -64,6 +74,14 @@ def activation_interval_formula(
         if n < d:
             return (1.0, float(min(d, n)))
         return (d - d / (2 * f) + 1.0, float(d))
+    if scheme == "zb_h1":
+        # Same signature as DAPPLE: the builder caps the full stash
+        # lifetime (forward to W) at the 1F1B bound D - s.
+        return (min(1.0, float(n)), float(min(d, n)))
+    if scheme == "zb_v":
+        # 2D chunk stashes per worker (constant in N), each covering half
+        # a conventional stage; perfectly balanced across workers.
+        return (float(min(2 * d, 2 * n)), float(min(2 * d, 2 * n)))
     raise ConfigurationError(f"no activation formula for scheme {scheme!r}")
 
 
@@ -73,12 +91,16 @@ def weight_copies_formula(scheme: str, *, num_down_pipelines: int = 1) -> float:
     PipeDream's extra stashed *versions* are raw parameters, not full
     state, and are modelled separately (:mod:`repro.sim.memory`).
     """
-    if scheme in ("gpipe", "dapple", "pipedream", "pipedream_2bw"):
+    if scheme in ("gpipe", "dapple", "pipedream", "pipedream_2bw", "zb_h1"):
         return 1.0
     if scheme == "gems":
         return 2.0
     if scheme == "chimera":
         return 2.0 * num_down_pipelines
+    if scheme == "zb_v":
+        # Two chunks per worker, but each is half a conventional stage: one
+        # full stage-equivalent of weights, like the linear placements.
+        return 1.0
     raise ConfigurationError(f"no weight formula for scheme {scheme!r}")
 
 

@@ -8,10 +8,16 @@ dependencies between operations:
   workers);
 * ``B(r, s, m)`` depends on ``B(r, s+1, m)`` — gradient transfer — and on
   ``F(r, s, m)`` — the stashed activation (or stashed stage input when
-  recomputation is on);
-* ``S(r, s)`` (allreduce) depends on every local backward of that stage
-  replica (or, for per-micro-batch synchronization as in PipeDream, on the
-  backward of its micro-batch).
+  recomputation is on). The same holds for the split input-gradient op
+  ``Bi``; fused and split backwards can feed each other across stages
+  (what matters is who produces the input gradient);
+* ``W(r, s, m)`` (split weight gradient) depends on its own stage's
+  ``Bi(r, s, m)`` — the deferred per-layer gradients of the backward walk —
+  a purely local edge that never becomes a message;
+* ``S(r, s)`` (allreduce) depends on every local *weight-gradient producer*
+  of that stage replica — the fused backward, or the ``W`` half under
+  backward splitting (or, for per-micro-batch synchronization as in
+  PipeDream, on the producer of its micro-batch).
 
 Worker-order dependencies (op ``i+1`` on a worker starts after op ``i``) are
 *not* materialized here; the simulator and the runtime both respect the list
@@ -40,6 +46,9 @@ class EdgeKind(enum.Enum):
     GRADIENT = "gradient"
     #: Locally stashed activation produced by the same stage's forward.
     STASH = "stash"
+    #: Deferred weight-gradient inputs a split ``W`` op takes from its own
+    #: stage's input-gradient half (local, never a message).
+    DEFERRAL = "deferral"
     #: Local weight gradients that feed a gradient-synchronization collective.
     SYNC = "sync"
 
@@ -104,9 +113,13 @@ def build_dependency_graph(schedule: Schedule) -> DependencyGraph:
     """
     location: dict[OpKey, tuple[int, int]] = {}
     # Per-micro-batch producer indexes. Forward doubling means several
-    # micro-batches can share one forward op, hence the per-mb map.
+    # micro-batches can share one forward op, hence the per-mb map. Input-
+    # gradient producers (fused B or split Bi) and weight-gradient producers
+    # (fused B or split W) are indexed separately so split and fused
+    # backwards compose through the same lookups.
     fwd_by_mb: dict[tuple[int, int, int], Operation] = {}  # (replica, stage, mb)
-    bwd_by_mb: dict[tuple[int, int, int, tuple[int, int]], Operation] = {}
+    grad_by_mb: dict[tuple[int, int, int, tuple[int, int]], Operation] = {}
+    wgrad_by_mb: dict[tuple[int, int, int, tuple[int, int]], Operation] = {}
 
     for worker, ops in enumerate(schedule.worker_ops):
         for pos, op in enumerate(ops):
@@ -126,15 +139,25 @@ def build_dependency_graph(schedule: Schedule) -> DependencyGraph:
                             f"{op.stage} of replica {op.replica}"
                         )
                     fwd_by_mb[fwd_key] = op
-            elif op.is_backward:
+            if op.is_backward:
                 for mb in op.micro_batches:
                     bkey = (op.replica, op.stage, mb, op.part)
-                    if bkey in bwd_by_mb:
+                    if bkey in grad_by_mb:
                         raise ValidationError(
                             f"micro-batch {mb} part {op.part} has two "
                             f"backwards at stage {op.stage} of replica {op.replica}"
                         )
-                    bwd_by_mb[bkey] = op
+                    grad_by_mb[bkey] = op
+            if op.produces_weight_grads:
+                for mb in op.micro_batches:
+                    bkey = (op.replica, op.stage, mb, op.part)
+                    if bkey in wgrad_by_mb:
+                        raise ValidationError(
+                            f"micro-batch {mb} part {op.part} has two "
+                            f"weight-gradient producers at stage {op.stage} "
+                            f"of replica {op.replica}"
+                        )
+                    wgrad_by_mb[bkey] = op
 
     depth = schedule.num_stages
     deps: dict[OpKey, tuple[Edge, ...]] = {}
@@ -161,7 +184,7 @@ def build_dependency_graph(schedule: Schedule) -> DependencyGraph:
                         )
                     incoming.append(Edge(fwd.key(), op.key(), EdgeKind.STASH))
                     if op.stage < depth - 1:
-                        producer = bwd_by_mb.get(
+                        producer = grad_by_mb.get(
                             (op.replica, op.stage + 1, mb, op.part)
                         )
                         if producer is None:
@@ -173,11 +196,23 @@ def build_dependency_graph(schedule: Schedule) -> DependencyGraph:
                         incoming.append(
                             Edge(producer.key(), op.key(), EdgeKind.GRADIENT)
                         )
+            elif op.is_backward_weight:
+                for mb in op.micro_batches:
+                    producer = grad_by_mb.get((op.replica, op.stage, mb, op.part))
+                    if producer is None or producer.kind is not OpKind.BACKWARD_INPUT:
+                        raise ValidationError(
+                            f"weight gradient of micro-batch {mb} part {op.part} "
+                            f"at stage {op.stage} (replica {op.replica}) has no "
+                            f"matching input-gradient (Bi) producer"
+                        )
+                    incoming.append(
+                        Edge(producer.key(), op.key(), EdgeKind.DEFERRAL)
+                    )
             elif op.kind is OpKind.ALLREDUCE:
                 targets = op.micro_batches or schedule.micro_batches_of_replica(
                     op.replica
                 )
-                for bkey, producer in bwd_by_mb.items():
+                for bkey, producer in wgrad_by_mb.items():
                     replica, stage, mb, _part = bkey
                     if replica != op.replica or stage != op.stage:
                         continue

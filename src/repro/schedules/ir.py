@@ -20,6 +20,11 @@ Design notes
 * ``ALLREDUCE`` operations model gradient synchronization across stage
   replicas; their position inside a worker's list encodes the eager /
   lazy synchronization strategies of paper §3.2.
+* The backward pass exists in two granularities: the fused ``BACKWARD``
+  (input + weight gradients in one op, used by all the paper's schemes) and
+  the split ``BACKWARD_INPUT`` / ``BACKWARD_WEIGHT`` pair that the
+  zero-bubble schedule family (:mod:`repro.schedules.zero_bubble`) uses to
+  move weight-gradient work into pipeline bubbles [Qi et al. 2023].
 """
 
 from __future__ import annotations
@@ -37,8 +42,16 @@ class OpKind(enum.Enum):
 
     #: Forward pass of one stage on one (or more) micro-batches.
     FORWARD = "F"
-    #: Backward pass of one stage on one micro-batch (or a fraction of one).
+    #: Fused backward pass of one stage on one micro-batch (or a fraction of
+    #: one): input gradient *and* weight gradient in a single operation.
     BACKWARD = "B"
+    #: Input-gradient half of a split backward (zero-bubble ``B``): computes
+    #: and propagates ``d input`` upstream; weight gradients are deferred.
+    BACKWARD_INPUT = "Bi"
+    #: Weight-gradient half of a split backward (zero-bubble ``W``):
+    #: accumulates the parameter gradients the matching ``Bi`` deferred.
+    #: Purely local — never sends a message.
+    BACKWARD_WEIGHT = "W"
     #: Gradient allreduce across the replicas of one stage.
     ALLREDUCE = "S"
 
@@ -67,9 +80,10 @@ class Operation:
         ``(index, num_parts)`` sub-micro-batch split. ``(0, 1)`` means the
         whole micro-batch; backward halving uses ``(0, 2)`` and ``(1, 2)``.
     recompute:
-        For ``BACKWARD``: the forward activations were discarded and must be
-        recomputed, increasing the op's cost (paper models B = 3F instead of
-        B = 2F when recomputation is on).
+        For ``BACKWARD`` / ``BACKWARD_INPUT``: the forward activations were
+        discarded and must be recomputed, increasing the op's cost (paper
+        models B = 3F instead of B = 2F when recomputation is on; a split
+        backward charges the rematerialization to its input-gradient half).
     """
 
     kind: OpKind
@@ -98,7 +112,38 @@ class Operation:
 
     @property
     def is_backward(self) -> bool:
-        return self.kind is OpKind.BACKWARD
+        """True for operations that compute the *input* gradient.
+
+        Covers the fused ``BACKWARD`` and the split ``BACKWARD_INPUT``:
+        both consume the upstream gradient message and the local activation
+        stash, and both send ``d input`` to the previous stage.
+        ``BACKWARD_WEIGHT`` is *not* a backward in this sense — see
+        :attr:`produces_weight_grads`.
+        """
+        return self.kind in (OpKind.BACKWARD, OpKind.BACKWARD_INPUT)
+
+    @property
+    def is_backward_input(self) -> bool:
+        return self.kind is OpKind.BACKWARD_INPUT
+
+    @property
+    def is_backward_weight(self) -> bool:
+        return self.kind is OpKind.BACKWARD_WEIGHT
+
+    @property
+    def is_split_backward(self) -> bool:
+        """True for either half of a split (zero-bubble) backward."""
+        return self.kind in (OpKind.BACKWARD_INPUT, OpKind.BACKWARD_WEIGHT)
+
+    @property
+    def produces_weight_grads(self) -> bool:
+        """True once this op completes the stage's parameter gradients.
+
+        The fused ``BACKWARD`` and the split ``BACKWARD_WEIGHT`` both leave
+        accumulated weight gradients behind; gradient-synchronization
+        placement (and the allreduce data dependencies) key off this.
+        """
+        return self.kind in (OpKind.BACKWARD, OpKind.BACKWARD_WEIGHT)
 
     @property
     def is_compute(self) -> bool:
@@ -109,7 +154,10 @@ class Operation:
         """Micro-batch-equivalents of compute covered by this op.
 
         Forward doubling ops count 2.0; backward-halving halves count 0.5;
-        allreduce counts 0 (it is communication, not compute).
+        allreduce counts 0 (it is communication, not compute). Split
+        backward halves each count their full micro-batch coverage — the
+        cost model decides how the fused backward's time divides between
+        them.
         """
         if self.kind is OpKind.ALLREDUCE:
             return 0.0
@@ -233,10 +281,17 @@ class Schedule:
         return replace(self, metadata=merged)
 
     def describe(self) -> str:
-        """One-line summary used in harness tables and error messages."""
+        """One-line summary used in harness tables and error messages.
+
+        Shows the worker count separately when it differs from the stage
+        count (ZB-V folds ``2P`` chunk stages over ``P`` workers).
+        """
+        workers = ""
+        if self.num_workers != self.num_stages:
+            workers = f"workers={self.num_workers}, "
         return (
             f"{self.scheme}(D={self.num_stages}, N={self.num_micro_batches}, "
-            f"replicas={self.num_replicas}, "
+            f"{workers}replicas={self.num_replicas}, "
             f"{'sync' if self.synchronous else 'async'})"
         )
 

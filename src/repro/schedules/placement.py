@@ -13,6 +13,12 @@ Paper mapping rules (§3.1 and §3.6):
   pipeline ``i`` (replica ``2i + 1``) uses exactly the reverse worker order
   of its down twin. ``f = 1`` is the Chimera default and also the GEMS
   placement (two model replicas in opposite directions).
+* *v-shaped* (zero-bubble ZB-V [Qi et al. 2024]) — one replica whose
+  ``2p`` model chunks fold back over ``p`` workers: worker ``i`` hosts
+  chunk ``i`` and chunk ``2p - 1 - i``, so the first and last chunks share
+  worker 0 and the pipeline turns around on worker ``p - 1``. This is the
+  one placement with more stages than workers (``num_workers`` is stored
+  explicitly).
 
 Data parallelism (width ``W``) replicates whole pipeline groups and is
 handled outside the placement — the allreduce *group size* used by the cost
@@ -32,25 +38,38 @@ class StagePlacement:
     """Immutable map from ``(replica, stage)`` to worker rank.
 
     ``table[r][s]`` is the worker hosting stage ``s`` of replica ``r``.
+    ``workers`` is ``None`` for the classic one-stage-per-worker placements
+    (worker count equals stage count, every replica's row is a permutation);
+    multi-chunk placements like :meth:`vshaped` set it explicitly and may
+    host several stages of one replica on the same worker.
     """
 
     num_stages: int
     table: tuple[tuple[int, ...], ...]
+    workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_stages < 1:
             raise ScheduleError("a placement needs at least one stage")
         if not self.table:
             raise ScheduleError("a placement needs at least one replica")
+        if self.workers is not None and self.workers < 1:
+            raise ScheduleError("a placement needs at least one worker")
         for replica, row in enumerate(self.table):
             if len(row) != self.num_stages:
                 raise ScheduleError(
                     f"replica {replica} maps {len(row)} stages, expected {self.num_stages}"
                 )
-            if sorted(row) != list(range(self.num_stages)):
+            if self.workers is None:
+                if sorted(row) != list(range(self.num_stages)):
+                    raise ScheduleError(
+                        f"replica {replica} must place its stages on distinct "
+                        f"workers 0..{self.num_stages - 1}, got {row}"
+                    )
+            elif sorted(set(row)) != list(range(self.workers)):
                 raise ScheduleError(
-                    f"replica {replica} must place its stages on distinct "
-                    f"workers 0..{self.num_stages - 1}, got {row}"
+                    f"replica {replica} must cover every worker "
+                    f"0..{self.workers - 1}, got {row}"
                 )
 
     # ------------------------------------------------------------ constructors
@@ -90,6 +109,22 @@ class StagePlacement:
             rows.append(up)
         return StagePlacement(depth, tuple(rows))
 
+    @staticmethod
+    def vshaped(num_workers: int) -> "StagePlacement":
+        """ZB-V placement: ``2p`` chunks folded over ``p`` workers.
+
+        Chunk ``s < p`` lives on worker ``s`` (the descending arm of the V);
+        chunk ``s >= p`` lives on worker ``2p - 1 - s`` (the ascending arm),
+        so worker 0 hosts both the first and the last chunk — the property
+        that lets ZB-V start the optimizer step without a cross-worker
+        round trip.
+        """
+        p = num_workers
+        if p < 1:
+            raise ScheduleError("v-shaped placement needs at least one worker")
+        row = tuple(s if s < p else 2 * p - 1 - s for s in range(2 * p))
+        return StagePlacement(2 * p, (row,), workers=p)
+
     # ----------------------------------------------------------------- queries
     @property
     def num_replicas(self) -> int:
@@ -97,7 +132,7 @@ class StagePlacement:
 
     @property
     def num_workers(self) -> int:
-        return self.num_stages
+        return self.num_stages if self.workers is None else self.workers
 
     def worker_of(self, replica: int, stage: int) -> int:
         """Worker hosting ``stage`` of ``replica``."""

@@ -2,7 +2,10 @@
 
 The benchmark harness sweeps over scheme names; this registry maps each name
 to its builder with a uniform ``(depth, num_micro_batches, **options)``
-signature.
+signature. ``_BUILDERS`` is ordered: its insertion order *is* the canonical
+presentation order (Table 2 comparison order, then the zero-bubble family),
+and both :func:`available_schemes` and error messages derive from it so the
+two can never drift apart.
 """
 
 from __future__ import annotations
@@ -17,20 +20,23 @@ from repro.schedules.gpipe import build_gpipe_schedule
 from repro.schedules.ir import Schedule
 from repro.schedules.pipedream import build_pipedream_schedule
 from repro.schedules.pipedream_2bw import build_pipedream_2bw_schedule
+from repro.schedules.zero_bubble import build_zb_h1_schedule, build_zb_v_schedule
 
 _BUILDERS: dict[str, Callable[..., Schedule]] = {
-    "chimera": build_chimera_schedule,
-    "gpipe": build_gpipe_schedule,
-    "dapple": build_dapple_schedule,
-    "gems": build_gems_schedule,
     "pipedream": build_pipedream_schedule,
     "pipedream_2bw": build_pipedream_2bw_schedule,
+    "gpipe": build_gpipe_schedule,
+    "gems": build_gems_schedule,
+    "dapple": build_dapple_schedule,
+    "chimera": build_chimera_schedule,
+    "zb_h1": build_zb_h1_schedule,
+    "zb_v": build_zb_v_schedule,
 }
 
 
 def available_schemes() -> tuple[str, ...]:
-    """All registered scheme names, in Table 2 comparison order."""
-    return ("pipedream", "pipedream_2bw", "gpipe", "gems", "dapple", "chimera")
+    """All registered scheme names, in canonical comparison order."""
+    return tuple(_BUILDERS)
 
 
 def build_schedule(
@@ -40,12 +46,12 @@ def build_schedule(
 
     Options are forwarded to the scheme's builder (e.g. ``recompute=True``
     for any scheme, ``concat=``/``num_down_pipelines=``/``sync_mode=`` for
-    Chimera).
+    Chimera, ``max_in_flight=`` for the zero-bubble family).
     """
     try:
         builder = _BUILDERS[scheme]
     except KeyError:
         raise ConfigurationError(
-            f"unknown scheme {scheme!r}; available: {sorted(_BUILDERS)}"
+            f"unknown scheme {scheme!r}; available: {list(available_schemes())}"
         ) from None
     return builder(depth, num_micro_batches, **options)

@@ -7,7 +7,10 @@ strict mode. It enforces the invariants that make a schedule executable:
    the dependency graph).
 2. **Completeness** — every micro-batch ``0..N-1`` receives exactly one
    forward and a full set of backward parts at *every* stage of exactly one
-   replica.
+   replica. A stage's backward may be fused (``B``) or split
+   (``Bi`` + ``W``); under splitting the weight-gradient parts must mirror
+   the input-gradient parts exactly, and fused/split must not mix for one
+   (stage, micro-batch).
 3. **Acyclicity** — data dependencies plus each worker's program order admit
    a topological order (i.e. the schedule can actually run without
    deadlock).
@@ -83,24 +86,44 @@ def _check_completeness(schedule: Schedule) -> None:
         )
 
     fwd_seen: dict[tuple[int, int], int] = defaultdict(int)  # (stage, mb) -> count
-    bwd_parts: dict[tuple[int, int], set[tuple[int, int]]] = defaultdict(set)
+    fused_parts: dict[tuple[int, int], set[tuple[int, int]]] = defaultdict(set)
+    input_parts: dict[tuple[int, int], set[tuple[int, int]]] = defaultdict(set)
+    weight_parts: dict[tuple[int, int], set[tuple[int, int]]] = defaultdict(set)
     for _, op in schedule.all_ops():
+        if op.kind is OpKind.ALLREDUCE:
+            continue
+        for mb in op.micro_batches:
+            if op.replica != owner.get(mb):
+                raise ValidationError(
+                    f"{op.short()} of micro-batch {mb} at stage {op.stage} runs "
+                    f"on replica {op.replica}, owner is {owner.get(mb)}"
+                )
         if op.is_forward:
             for mb in op.micro_batches:
-                if op.replica != owner.get(mb):
-                    raise ValidationError(
-                        f"forward of micro-batch {mb} at stage {op.stage} runs "
-                        f"on replica {op.replica}, owner is {owner.get(mb)}"
-                    )
                 fwd_seen[(op.stage, mb)] += 1
-        elif op.is_backward:
+        elif op.kind is OpKind.BACKWARD:
             for mb in op.micro_batches:
-                if op.replica != owner.get(mb):
-                    raise ValidationError(
-                        f"backward of micro-batch {mb} at stage {op.stage} runs "
-                        f"on replica {op.replica}, owner is {owner.get(mb)}"
-                    )
-                bwd_parts[(op.stage, mb)].add(op.part)
+                fused_parts[(op.stage, mb)].add(op.part)
+        elif op.is_backward_input:
+            for mb in op.micro_batches:
+                input_parts[(op.stage, mb)].add(op.part)
+        elif op.is_backward_weight:
+            for mb in op.micro_batches:
+                weight_parts[(op.stage, mb)].add(op.part)
+
+    def check_parts(parts: set[tuple[int, int]], stage: int, mb: int, what: str) -> None:
+        num_parts = {p[1] for p in parts}
+        if len(num_parts) != 1:
+            raise ValidationError(
+                f"micro-batch {mb} mixes {what} splits {sorted(parts)} "
+                f"at stage {stage}"
+            )
+        total = num_parts.pop()
+        if {p[0] for p in parts} != set(range(total)):
+            raise ValidationError(
+                f"micro-batch {mb} {what} parts {sorted(parts)} do not "
+                f"cover 0..{total - 1} at stage {stage}"
+            )
 
     for stage in range(depth):
         for mb in range(n):
@@ -109,23 +132,28 @@ def _check_completeness(schedule: Schedule) -> None:
                     f"micro-batch {mb} has {fwd_seen[(stage, mb)]} forwards at "
                     f"stage {stage} (expected exactly 1)"
                 )
-            parts = bwd_parts[(stage, mb)]
-            if not parts:
+            fused = fused_parts[(stage, mb)]
+            split_in = input_parts[(stage, mb)]
+            split_w = weight_parts[(stage, mb)]
+            if fused and (split_in or split_w):
+                raise ValidationError(
+                    f"micro-batch {mb} mixes fused and split backwards at "
+                    f"stage {stage}"
+                )
+            if split_in or split_w:
+                check_parts(split_in | split_w, stage, mb, "backward")
+                if split_in != split_w:
+                    raise ValidationError(
+                        f"micro-batch {mb} split-backward halves disagree at "
+                        f"stage {stage}: input parts {sorted(split_in)} vs "
+                        f"weight parts {sorted(split_w)}"
+                    )
+                continue
+            if not fused:
                 raise ValidationError(
                     f"micro-batch {mb} has no backward at stage {stage}"
                 )
-            num_parts = {p[1] for p in parts}
-            if len(num_parts) != 1:
-                raise ValidationError(
-                    f"micro-batch {mb} mixes backward splits {sorted(parts)} "
-                    f"at stage {stage}"
-                )
-            total = num_parts.pop()
-            if {p[0] for p in parts} != set(range(total)):
-                raise ValidationError(
-                    f"micro-batch {mb} backward parts {sorted(parts)} do not "
-                    f"cover 0..{total - 1} at stage {stage}"
-                )
+            check_parts(fused, stage, mb, "backward")
 
 
 def _check_acyclic(graph: DependencyGraph) -> None:

@@ -33,6 +33,14 @@ class CostModel:
         ``F_t`` — seconds for one micro-batch forward on one stage.
     backward_ratio / recompute_backward_ratio:
         ``B_t = ratio * F_t`` without / with activation recomputation.
+    backward_input_ratio / backward_weight_ratio:
+        ``b_t``/``w_t`` — split-backward (zero-bubble) durations as
+        multiples of ``F_t``. ``None`` (default) halves ``backward_ratio``
+        between the two, so a fused backward always costs exactly
+        ``b + w`` and splitting is cost-neutral; setting them explicitly
+        models measured asymmetry (the fused ``BACKWARD`` then costs their
+        sum). Rematerialization under recomputation is charged to the
+        input-gradient half.
     stage_scale:
         Optional per-stage compute multiplier (e.g. the embedding-heavy
         first stage of a language model); ``None`` means balanced stages.
@@ -60,6 +68,8 @@ class CostModel:
     forward_time: float = 1.0
     backward_ratio: float = 2.0
     recompute_backward_ratio: float = 3.0
+    backward_input_ratio: float | None = None
+    backward_weight_ratio: float | None = None
     stage_scale: tuple[float, ...] | None = None
     activation_message_bytes: float = 0.0
     topology: Topology | None = None
@@ -78,6 +88,9 @@ class CostModel:
             raise ConfigurationError("forward_time must be positive")
         if self.backward_ratio <= 0 or self.recompute_backward_ratio <= 0:
             raise ConfigurationError("backward ratios must be positive")
+        for ratio in (self.backward_input_ratio, self.backward_weight_ratio):
+            if ratio is not None and ratio <= 0:
+                raise ConfigurationError("split-backward ratios must be positive")
         if self.data_parallel_width < 1:
             raise ConfigurationError("data_parallel_width must be >= 1")
 
@@ -108,15 +121,49 @@ class CostModel:
                 f"{stage} was simulated"
             ) from None
 
+    # --------------------------------------------------------- split backward
+    def input_grad_ratio(self) -> float:
+        """``b_t / F_t`` — duration ratio of a split input-gradient op."""
+        if self.backward_input_ratio is not None:
+            return self.backward_input_ratio
+        return self.backward_ratio / 2.0
+
+    def weight_grad_ratio(self) -> float:
+        """``w_t / F_t`` — duration ratio of a split weight-gradient op."""
+        if self.backward_weight_ratio is not None:
+            return self.backward_weight_ratio
+        return self.backward_ratio / 2.0
+
+    def fused_backward_ratio(self) -> float:
+        """``B_t / F_t`` of the fused backward: ``b + w`` when the split is
+        configured explicitly, the legacy ``backward_ratio`` otherwise."""
+        if self.backward_input_ratio is None and self.backward_weight_ratio is None:
+            return self.backward_ratio
+        return self.input_grad_ratio() + self.weight_grad_ratio()
+
     def compute_time(self, op: Operation) -> float:
-        """Simulated duration of a FORWARD/BACKWARD op (0 for ALLREDUCE)."""
+        """Simulated duration of a compute op (0 for ALLREDUCE).
+
+        Recomputation adds one extra forward-equivalent
+        (``recompute_backward_ratio - backward_ratio``) to the fused
+        backward — or, under splitting, to the input-gradient half (the
+        weight-gradient half reuses the rematerialized activations).
+        """
         if op.kind is OpKind.ALLREDUCE:
             return 0.0
         base = self.forward_time * self._scale(op.stage) * op.work_units
         if op.is_forward:
             return base
-        ratio = self.recompute_backward_ratio if op.recompute else self.backward_ratio
-        return base * ratio
+        remat = (
+            self.recompute_backward_ratio - self.backward_ratio
+            if op.recompute
+            else 0.0
+        )
+        if op.is_backward_input:
+            return base * (self.input_grad_ratio() + remat)
+        if op.is_backward_weight:
+            return base * self.weight_grad_ratio()
+        return base * (self.fused_backward_ratio() + remat)
 
     # ---------------------------------------------------------- communication
     def p2p_time(self, src_worker: int, dst_worker: int, payload_units: float) -> float:

@@ -7,7 +7,11 @@ Semantics
   as the worker is free and all of its data dependencies are satisfied.
 * A cross-worker dependency (activation or input-gradient transfer) delays
   the consumer by the alpha-beta p2p time — matching the paper's model where
-  ``Comm_p2p`` sits on the critical path between stages.
+  ``Comm_p2p`` sits on the critical path between stages. Split-backward
+  schedules need no special casing: a ``BACKWARD_INPUT`` produces the
+  gradient message, and its deferred ``BACKWARD_WEIGHT`` is held back only
+  by the local ``DEFERRAL`` edge plus worker order, which is what lets the
+  zero-bubble schedules park ``W`` ops inside bubbles.
 * ``ALLREDUCE`` operations are non-blocking by default: reaching one in the
   list *launches* it (consuming ``sync_launch_overhead`` of worker time);
   the collective itself starts once every group member has launched and

@@ -2,8 +2,10 @@
 
 Reproduces the style of the paper's Figures 2, 3, 7 and 8: one row per
 worker, forward cells as the micro-batch number, backward cells shaded
-(``*`` suffix), bubbles as dots. Used by the quickstart example and
-invaluable when debugging schedule builders.
+(``*`` suffix), bubbles as dots. Split zero-bubble backwards render their
+input-gradient half with a ``b`` suffix and the weight-gradient half with a
+``w`` suffix. Used by the quickstart example and invaluable when debugging
+schedule builders.
 """
 
 from __future__ import annotations
@@ -78,4 +80,8 @@ def _label(op) -> str:
         if op.part != (0, 1):
             suffix = f"*{op.part[0]}"
         return f"{mbs}{suffix}"
+    if op.kind is OpKind.BACKWARD_INPUT:
+        return f"{mbs}b"
+    if op.kind is OpKind.BACKWARD_WEIGHT:
+        return f"{mbs}w"
     return mbs

@@ -7,7 +7,11 @@ Two components:
   last part of) its backward on each stage. Peak liveness is counted by
   walking each worker's operation order. With recomputation only the stage
   *input* is stashed, plus a transient full-activation buffer while a
-  backward rematerializes.
+  backward rematerializes. Under backward splitting the input-gradient op
+  (``Bi``) keeps the stash alive — the weight-gradient half still needs the
+  layer inputs — and only the matching ``W`` releases it; this is why the
+  zero-bubble schedules trade activation lifetime for bubble time. A ``Bi``
+  that rematerializes keeps the full activations live until its ``W``.
 * **Weights** — each hosted stage replica stores parameters (+ gradients +
   optimizer state); PipeDream additionally stashes up to ``D - s`` weight
   versions at stage ``s`` for version consistency, PipeDream-2BW exactly 2.
@@ -173,7 +177,26 @@ def analyze_memory(schedule: Schedule, model: MemoryModel) -> MemoryReport:
                     live_units += 1.0
                 peak_bytes = max(peak_bytes, live_bytes)
                 peak_units = max(peak_units, live_units)
+            elif op.is_backward_input:
+                # Split input gradient: consumes the stash but does not
+                # release it (the weight-gradient half still needs the layer
+                # inputs). Rematerialized activations must survive to W too.
+                for mb in op.micro_batches:
+                    key = (op.replica, op.stage, mb)
+                    if key not in remaining_parts:
+                        raise MemoryModelError(
+                            f"input gradient of micro-batch {mb} at stage "
+                            f"{op.stage} without a live forward stash on "
+                            f"worker {worker}"
+                        )
+                    full = model.act(op.stage)
+                    if key in recompute and stash_of[key] < full:
+                        live_bytes += (full - stash_of[key]) * remaining_parts[key]
+                        stash_of[key] = full
+                peak_bytes = max(peak_bytes, live_bytes)
             else:
+                # Fused backward or split weight gradient: releases this
+                # part's share of the stash once it completes.
                 fraction = 1.0 / op.part[1]
                 transient = 0.0
                 for mb in op.micro_batches:
@@ -183,7 +206,7 @@ def analyze_memory(schedule: Schedule, model: MemoryModel) -> MemoryReport:
                             f"backward of micro-batch {mb} at stage {op.stage} "
                             f"without a live forward stash on worker {worker}"
                         )
-                    if key in recompute:
+                    if op.kind is OpKind.BACKWARD and key in recompute:
                         # Rematerialized activations live only during this op.
                         transient += model.act(op.stage) - stash_of[key]
                 peak_bytes = max(peak_bytes, live_bytes + max(0.0, transient))

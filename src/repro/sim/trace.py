@@ -26,13 +26,17 @@ def to_chrome_trace(result: SimulationResult) -> list[dict]:
         op = timed.op
         if op.kind is OpKind.ALLREDUCE:
             continue
-        name = ("F" if op.is_forward else "B") + ",".join(
-            str(m) for m in op.micro_batches
-        )
+        name = op.kind.value + ",".join(str(m) for m in op.micro_batches)
+        if op.is_forward:
+            cat = "forward"
+        elif op.is_backward_weight:
+            cat = "weight_grad"
+        else:
+            cat = "backward"
         events.append(
             {
                 "name": name,
-                "cat": "forward" if op.is_forward else "backward",
+                "cat": cat,
                 "ph": "X",
                 "ts": timed.start * _SCALE,
                 "dur": max(1.0, timed.duration * _SCALE),

@@ -23,11 +23,20 @@ class TestRegistry:
             "gems",
             "dapple",
             "chimera",
+            "zb_h1",
+            "zb_v",
         )
 
     def test_unknown_scheme_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown scheme"):
             build_schedule("megatron", 4, 4)
+
+    def test_unknown_scheme_error_lists_canonical_order(self):
+        """The error message must enumerate schemes in the same order as
+        available_schemes(), not alphabetically."""
+        with pytest.raises(ConfigurationError) as err:
+            build_schedule("megatron", 4, 4)
+        assert str(list(available_schemes())) in str(err.value)
 
     @pytest.mark.parametrize("scheme", available_schemes())
     def test_dispatch_builds_named_scheme(self, scheme):

@@ -1,0 +1,340 @@
+"""B/W backward splitting: IR, dependencies, validation, cost, memory, runtime."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ReproError, ScheduleError, ValidationError
+from repro.schedules.dependencies import EdgeKind, build_dependency_graph
+from repro.schedules.ir import Operation, OpKind, Schedule, freeze_worker_ops
+from repro.schedules.placement import StagePlacement
+from repro.schedules.registry import build_schedule
+from repro.schedules.validate import validate_schedule
+from repro.sim.cost import CostModel
+from repro.sim.engine import simulate
+from repro.sim.memory import MemoryModel, analyze_memory
+from repro.models.layers import GELU, LayerNorm, Linear
+from repro.runtime.stage_module import StageModule
+
+
+def F(mb, stage, replica=0):
+    return Operation(OpKind.FORWARD, replica, stage, micro_batches=(mb,))
+
+
+def B(mb, stage, replica=0, part=(0, 1)):
+    return Operation(OpKind.BACKWARD, replica, stage, micro_batches=(mb,), part=part)
+
+
+def Bi(mb, stage, replica=0, part=(0, 1)):
+    return Operation(
+        OpKind.BACKWARD_INPUT, replica, stage, micro_batches=(mb,), part=part
+    )
+
+
+def W(mb, stage, replica=0, part=(0, 1)):
+    return Operation(
+        OpKind.BACKWARD_WEIGHT, replica, stage, micro_batches=(mb,), part=part
+    )
+
+
+def toy(rows, depth=2, n=1):
+    return Schedule(
+        scheme="toy",
+        placement=StagePlacement.linear(depth),
+        num_micro_batches=n,
+        worker_ops=freeze_worker_ops(rows),
+    )
+
+
+class TestSplitOpsIR:
+    def test_round_trip_through_ir(self):
+        """B/W ops survive construction, freezing, and key identity."""
+        rows = [
+            [F(0, 0), Bi(0, 0), W(0, 0)],
+            [F(0, 1), Bi(0, 1), W(0, 1)],
+        ]
+        schedule = toy(rows)
+        ops = [op for _, op in schedule.all_ops()]
+        assert [op.kind for op in ops[:3]] == [
+            OpKind.FORWARD,
+            OpKind.BACKWARD_INPUT,
+            OpKind.BACKWARD_WEIGHT,
+        ]
+        # key() distinguishes the two halves, short() renders them apart.
+        assert Bi(0, 0).key() != W(0, 0).key()
+        assert Bi(0, 0).short() == "Bi0"
+        assert W(0, 0).short() == "W0"
+        assert schedule.count(OpKind.BACKWARD_INPUT) == 2
+        assert schedule.count(OpKind.BACKWARD_WEIGHT) == 2
+
+    def test_split_properties(self):
+        assert Bi(0, 0).is_backward and not W(0, 0).is_backward
+        assert W(0, 0).produces_weight_grads and not Bi(0, 0).produces_weight_grads
+        assert B(0, 0).is_backward and B(0, 0).produces_weight_grads
+        assert Bi(0, 0).is_split_backward and W(0, 0).is_split_backward
+        assert not B(0, 0).is_split_backward
+        assert Bi(0, 0).is_compute and W(0, 0).is_compute
+        assert Bi(0, 0).work_units == 1.0 and W(0, 0).work_units == 1.0
+
+    def test_split_ops_need_micro_batches(self):
+        with pytest.raises(ScheduleError):
+            Operation(OpKind.BACKWARD_INPUT, 0, 0)
+
+
+class TestSplitDependencies:
+    def rows(self):
+        return [
+            [F(0, 0), Bi(0, 0), W(0, 0)],
+            [F(0, 1), Bi(0, 1), W(0, 1)],
+        ]
+
+    def test_input_grad_edges_mirror_fused_backward(self):
+        g = build_dependency_graph(toy(self.rows()))
+        kinds = sorted(e.kind.value for e in g.deps[Bi(0, 0).key()])
+        assert kinds == ["gradient", "stash"]
+
+    def test_weight_grad_depends_on_own_input_grad(self):
+        g = build_dependency_graph(toy(self.rows()))
+        edges = g.deps[W(0, 0).key()]
+        assert [e.kind for e in edges] == [EdgeKind.DEFERRAL]
+        assert edges[0].src == Bi(0, 0).key()
+        # Local edge: never a p2p message.
+        assert not edges[0].is_p2p_candidate
+
+    def test_allreduce_waits_for_weight_half(self):
+        rows = self.rows()
+        rows[0].append(Operation(OpKind.ALLREDUCE, 0, 0))
+        rows[1].append(Operation(OpKind.ALLREDUCE, 0, 1))
+        g = build_dependency_graph(toy(rows))
+        sync_key = Operation(OpKind.ALLREDUCE, 0, 0).key()
+        srcs = [e.src for e in g.deps[sync_key] if e.kind is EdgeKind.SYNC]
+        assert srcs == [W(0, 0).key()]
+
+    def test_weight_without_input_grad_rejected(self):
+        rows = [[F(0, 0), W(0, 0)], [F(0, 1), B(0, 1)]]
+        with pytest.raises(ValidationError, match="input-gradient"):
+            build_dependency_graph(toy(rows))
+
+    def test_fused_plus_weight_half_rejected(self):
+        """A fused B already produced the weight gradients; an extra W is a
+        duplicate producer."""
+        rows = [[F(0, 0), B(0, 0), W(0, 0)], [F(0, 1), B(0, 1)]]
+        with pytest.raises(ValidationError, match="two weight-gradient"):
+            build_dependency_graph(toy(rows))
+
+    def test_fused_upstream_feeds_split_downstream(self):
+        """A split Bi at stage 0 can consume a fused B's gradient at stage 1."""
+        rows = [
+            [F(0, 0), Bi(0, 0), W(0, 0)],
+            [F(0, 1), B(0, 1)],
+        ]
+        validate_schedule(toy(rows))
+
+
+class TestSplitValidation:
+    def test_weight_before_input_grad_rejected(self):
+        rows = [
+            [F(0, 0), W(0, 0), Bi(0, 0)],
+            [F(0, 1), Bi(0, 1), W(0, 1)],
+        ]
+        with pytest.raises(ValidationError, match="cycle|deadlock"):
+            validate_schedule(toy(rows))
+
+    def test_missing_weight_half_rejected(self):
+        rows = [
+            [F(0, 0), Bi(0, 0), W(0, 0)],
+            [F(0, 1), Bi(0, 1)],
+        ]
+        with pytest.raises(ValidationError, match="disagree|input-gradient"):
+            validate_schedule(toy(rows))
+
+    def test_mixed_fused_and_split_rejected(self):
+        rows = [
+            [F(0, 0), B(0, 0)],
+            [F(0, 1), B(0, 1), Bi(0, 1), W(0, 1)],
+        ]
+        with pytest.raises(ValidationError):
+            validate_schedule(toy(rows))
+
+    def test_split_parts_must_match(self):
+        rows = [
+            [F(0, 0), Bi(0, 0, part=(0, 2)), Bi(0, 0, part=(1, 2)), W(0, 0)],
+            [
+                F(0, 1),
+                Bi(0, 1, part=(0, 2)),
+                Bi(0, 1, part=(1, 2)),
+                W(0, 1, part=(0, 2)),
+                W(0, 1, part=(1, 2)),
+            ],
+        ]
+        with pytest.raises(ValidationError, match="disagree|input-gradient"):
+            validate_schedule(toy(rows))
+
+    def test_valid_split_schedule_passes(self):
+        rows = [
+            [F(0, 0), F(1, 0), Bi(0, 0), W(0, 0), Bi(1, 0), W(1, 0)],
+            [F(0, 1), Bi(0, 1), F(1, 1), Bi(1, 1), W(0, 1), W(1, 1)],
+        ]
+        validate_schedule(toy(rows, n=2))
+
+
+class TestSplitCostModel:
+    def test_default_split_halves_fused_backward(self):
+        cm = CostModel.practical()  # F=1, B=2
+        assert cm.compute_time(Bi(0, 0)) == pytest.approx(1.0)
+        assert cm.compute_time(W(0, 0)) == pytest.approx(1.0)
+        assert cm.compute_time(B(0, 0)) == pytest.approx(2.0)
+
+    def test_explicit_split_sums_to_fused(self):
+        cm = CostModel(
+            forward_time=1.0, backward_input_ratio=1.2, backward_weight_ratio=0.7
+        )
+        assert cm.compute_time(Bi(0, 0)) == pytest.approx(1.2)
+        assert cm.compute_time(W(0, 0)) == pytest.approx(0.7)
+        # Back-compat contract: fused B = b + w.
+        assert cm.compute_time(B(0, 0)) == pytest.approx(1.9)
+
+    def test_recompute_charged_to_input_half(self):
+        cm = CostModel.practical()  # recompute B = 3F
+        bi = Operation(
+            OpKind.BACKWARD_INPUT, 0, 0, micro_batches=(0,), recompute=True
+        )
+        assert cm.compute_time(bi) == pytest.approx(2.0)  # b + one remat F
+        assert cm.compute_time(W(0, 0)) == pytest.approx(1.0)
+
+    def test_invalid_split_ratio_rejected(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CostModel(backward_input_ratio=0.0)
+
+
+class TestSplitSimEquivalence:
+    @staticmethod
+    def split_adjacent(fused: Schedule) -> Schedule:
+        """Replace every fused B by Bi immediately followed by W."""
+        rows = []
+        for ops in fused.worker_ops:
+            row = []
+            for op in ops:
+                if op.kind is OpKind.BACKWARD:
+                    for kind in (OpKind.BACKWARD_INPUT, OpKind.BACKWARD_WEIGHT):
+                        row.append(
+                            Operation(
+                                kind,
+                                op.replica,
+                                op.stage,
+                                micro_batches=op.micro_batches,
+                                part=op.part,
+                            )
+                        )
+                else:
+                    row.append(op)
+            rows.append(row)
+        return Schedule(
+            scheme=f"{fused.scheme}_split",
+            placement=fused.placement,
+            num_micro_batches=fused.num_micro_batches,
+            worker_ops=freeze_worker_ops(rows),
+        )
+
+    def test_single_stage_split_is_cost_neutral(self):
+        """With no pipeline to overlap, Bi + W adjacent == fused exactly."""
+        fused = build_schedule("dapple", 1, 4)
+        split = self.split_adjacent(fused)
+        validate_schedule(split)
+        cost = CostModel.practical()
+        assert simulate(split, cost).compute_makespan == pytest.approx(
+            simulate(fused, cost).compute_makespan
+        )
+
+    @pytest.mark.parametrize("depth,n", [(2, 2), (4, 4), (4, 8)])
+    def test_adjacent_split_conserves_work_never_slower(self, depth, n):
+        """Splitting with W adjacent to its Bi keeps every worker's busy
+        time identical (b + w = B) and can only shorten the makespan: the
+        input gradient leaves for the upstream stage before W runs, which
+        is precisely the mechanism the zero-bubble schedules exploit."""
+        fused = build_schedule("dapple", depth, n)
+        split = self.split_adjacent(fused)
+        validate_schedule(split)
+        cost = CostModel.practical()
+        a = simulate(fused, cost)
+        b = simulate(split, cost)
+        for w in range(depth):
+            assert b.busy_time(w) == pytest.approx(a.busy_time(w))
+        assert b.compute_makespan <= a.compute_makespan + 1e-9
+
+
+class TestSplitMemoryModel:
+    def test_weight_half_releases_stash(self):
+        rows = [
+            [F(0, 0), F(1, 0), Bi(0, 0), Bi(1, 0), W(0, 0), W(1, 0)],
+            [F(0, 1), Bi(0, 1), W(0, 1), F(1, 1), Bi(1, 1), W(1, 1)],
+        ]
+        report = analyze_memory(toy(rows, n=2), MemoryModel(activation_bytes=1.0))
+        # Worker 0 holds both stashes through the Bi ops (released at W);
+        # worker 1 releases each before forwarding the next.
+        assert report.workers[0].activation_peak_units == 2
+        assert report.workers[1].activation_peak_units == 1
+
+    def test_weight_without_stash_rejected(self):
+        rows = [
+            [F(0, 0), B(0, 0), W(0, 0)],
+            [F(0, 1), Bi(0, 1), W(0, 1)],
+        ]
+        with pytest.raises(Exception, match="stash|forward"):
+            analyze_memory(toy(rows), MemoryModel())
+
+
+class TestStageModuleSplit:
+    def make_stage(self, seed=0):
+        rng = np.random.default_rng(seed)
+        return (
+            StageModule([Linear(8, 8, rng=rng), GELU(), LayerNorm(8)]),
+            np.random.default_rng(seed + 1),
+        )
+
+    def test_split_matches_fused_numerics(self):
+        fused, rng = self.make_stage()
+        split, _ = self.make_stage()
+        x = rng.standard_normal((2, 8))
+        dy = rng.standard_normal((2, 8))
+
+        fused.forward(0, x)
+        dx_fused = fused.backward(0, dy)
+
+        split.forward(0, x)
+        dx_split = split.backward_input(0, dy)
+        assert np.allclose(dx_fused, dx_split)
+        # Before W, no parameter gradients have landed.
+        assert all(np.all(g == 0.0) for g in split.grad_arrays())
+        assert split.is_in_flight(0)
+        split.backward_weight(0)
+        assert not split.is_in_flight(0)
+        for gf, gs in zip(fused.grad_arrays(), split.grad_arrays()):
+            assert np.allclose(gf, gs)
+
+    def test_duplicate_input_grad_rejected(self):
+        stage, rng = self.make_stage()
+        x = rng.standard_normal((2, 8))
+        stage.forward(0, x)
+        stage.backward_input(0, x)
+        with pytest.raises(ReproError, match="deferred"):
+            stage.backward_input(0, x)
+
+    def test_weight_grad_without_input_grad_rejected(self):
+        stage, rng = self.make_stage()
+        stage.forward(0, rng.standard_normal((2, 8)))
+        with pytest.raises(ReproError, match="without"):
+            stage.backward_weight(0)
+
+    def test_deferred_buffer_accounting(self):
+        stage, rng = self.make_stage()
+        for mb in range(3):
+            stage.forward(mb, rng.standard_normal((2, 8)))
+        for mb in range(3):
+            stage.backward_input(mb, rng.standard_normal((2, 8)))
+        assert stage.deferred_weight_grads() == 3
+        for mb in range(3):
+            stage.backward_weight(mb)
+        assert stage.deferred_weight_grads() == 0
+        assert stage.in_flight() == 0

@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""CI docs check: every module under ``src/repro/`` has a module docstring.
+
+Run from the repository root (no third-party dependencies):
+
+    python tools/check_docstrings.py
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+
+def missing_docstrings(root: pathlib.Path) -> list[pathlib.Path]:
+    """Paths of ``*.py`` files under ``root`` lacking a module docstring."""
+    bad: list[pathlib.Path] = []
+    for path in sorted(root.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        if ast.get_docstring(tree) is None:
+            bad.append(path)
+    return bad
+
+
+def main() -> int:
+    root = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+    bad = missing_docstrings(root)
+    if bad:
+        print("modules missing a module docstring:")
+        for path in bad:
+            print(f"  {path}")
+        return 1
+    count = sum(1 for _ in root.rglob("*.py"))
+    print(f"ok: all {count} modules under src/repro/ have module docstrings")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
