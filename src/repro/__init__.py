@@ -19,6 +19,13 @@ Simulation (bubble ratios, memory, throughput on modelled clusters)::
     result = simulate(sched, CostModel.practical())
     print(render_gantt(result))
 
+Explicit communication (lowering pass: SEND/RECV ops, link contention,
+comm lanes in the Gantt/trace output)::
+
+    from repro import lower_schedule
+    lowered = lower_schedule(sched)
+    contended = simulate(lowered, CostModel.practical())
+
 Real training (NumPy transformer through any schedule)::
 
     from repro import PipelineTrainer, TransformerLMConfig
@@ -49,12 +56,15 @@ from repro.schedules import (
     build_schedule,
     build_zb_h1_schedule,
     build_zb_v_schedule,
+    is_lowered,
+    lower_schedule,
     validate_schedule,
 )
 from repro.sim import (
     CostModel,
     MemoryModel,
     SimulationResult,
+    TransferRecord,
     analyze_memory,
     bubble_ratio,
     render_gantt,
@@ -86,10 +96,13 @@ __all__ = [
     "build_schedule",
     "build_zb_h1_schedule",
     "build_zb_v_schedule",
+    "is_lowered",
+    "lower_schedule",
     "validate_schedule",
     "CostModel",
     "MemoryModel",
     "SimulationResult",
+    "TransferRecord",
     "analyze_memory",
     "bubble_ratio",
     "render_gantt",

@@ -20,6 +20,7 @@ from repro.common.errors import ConfigurationError, ScheduleError
 from repro.bench.machines import MachineSpec
 from repro.bench.workloads import TransformerSpec
 from repro.perf.calibration import calibrate_cost_model, calibrate_memory_model
+from repro.schedules.lowering import lower_schedule
 from repro.schedules.registry import build_schedule
 from repro.sim.engine import simulate
 from repro.sim.memory import analyze_memory
@@ -39,6 +40,10 @@ class ExperimentConfig:
     mini_batch: int  # B̂
     #: None = auto (use recomputation only if needed to fit memory).
     recompute: bool | None = None
+    #: Simulate with explicit SEND/RECV communication (lowering pass):
+    #: p2p transfers then contend for link bandwidth instead of being a
+    #: pure consumer-side delay.
+    lowered: bool = False
     options: Mapping[str, object] = field(default_factory=dict)
 
     @property
@@ -140,6 +145,8 @@ def run_configuration(cfg: ExperimentConfig) -> ExperimentResult:
     # PipeDream's per-micro-batch synchronization sits on the critical path
     # (the immediately following update feeds the next forward), so its
     # collectives block; all other schemes launch non-blocking (§3.2).
+    if cfg.lowered:
+        schedule = lower_schedule(schedule)
     result = simulate(
         schedule, cost_model, blocking_sync=(cfg.scheme == "pipedream")
     )
@@ -190,6 +197,8 @@ def _steady_state_throughput(
         schedule = build_schedule(
             cfg.scheme, cfg.depth, n, recompute=recompute, **dict(cfg.options)
         )
+        if cfg.lowered:
+            schedule = lower_schedule(schedule)
         sims.append(
             simulate(schedule, cost_model, blocking_sync=(cfg.scheme == "pipedream"))
         )

@@ -8,6 +8,15 @@ Commands
 ``select``    Rank (W, D, B) configurations with the §3.4 model.
 ``figure``    Regenerate one of the paper's tables/figures.
 ``trace``     Export a simulated schedule as Chrome-tracing JSON.
+
+``show``, ``trace`` and ``simulate`` accept ``--lower`` / ``--no-lower``
+(default off) to run the schedule through the communication lowering pass
+first: p2p transfers become explicit SEND/RECV ops that contend for link
+bandwidth, and the Gantt/trace outputs grow per-worker comm lanes.
+``show``/``trace`` take the link model from ``--link-alpha``/``--link-beta``
+(in forward-time units; both default to 0, i.e. free links — set them to
+see transfers on the wire), while ``simulate`` derives it from
+``--machine``.
 """
 
 from __future__ import annotations
@@ -20,10 +29,12 @@ from repro.bench.harness import ExperimentConfig, run_configuration
 from repro.bench.machines import PIZ_DAINT, V100_CLUSTER
 from repro.bench.workloads import BERT48, GPT2_32, GPT2_64
 from repro.perf.selector import select_configuration
+from repro.schedules.lowering import lower_schedule
 from repro.schedules.registry import available_schemes, build_schedule
 from repro.sim.cost import CostModel
 from repro.sim.engine import simulate
 from repro.sim.gantt import render_gantt
+from repro.sim.network import FlatTopology, LinkSpec
 from repro.sim.trace import write_chrome_trace
 
 MACHINES = {"piz-daint": PIZ_DAINT, "v100": V100_CLUSTER}
@@ -49,6 +60,48 @@ def _schedule_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="zero-bubble schemes: cap on live activation stashes",
     )
+    _lower_arg(parser)
+    _link_args(parser)
+
+
+def _lower_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--lower",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="rewrite p2p communication into explicit SEND/RECV ops "
+        "(link contention, comm lanes)",
+    )
+
+
+def _link_args(parser: argparse.ArgumentParser) -> None:
+    """p2p link model for show/trace (simulate derives it from --machine)."""
+    parser.add_argument(
+        "--link-alpha",
+        type=float,
+        default=0.0,
+        help="p2p latency in F_t units (show/trace render comm lanes when "
+        "a link model is set)",
+    )
+    parser.add_argument(
+        "--link-beta",
+        type=float,
+        default=0.0,
+        help="p2p transfer time per micro-batch message in F_t units "
+        "(the portion that occupies the link)",
+    )
+
+
+def _cost_model(args: argparse.Namespace) -> CostModel:
+    cost_model = CostModel.practical()
+    if args.link_alpha > 0 or args.link_beta > 0:
+        cost_model = cost_model.with_(
+            topology=FlatTopology(
+                LinkSpec(alpha=args.link_alpha, beta=args.link_beta)
+            ),
+            activation_message_bytes=1.0,
+        )
+    return cost_model
 
 
 def _build(args: argparse.Namespace):
@@ -58,16 +111,19 @@ def _build(args: argparse.Namespace):
         options["num_down_pipelines"] = args.pipelines
     if args.scheme in ("zb_h1", "zb_v") and args.max_in_flight is not None:
         options["max_in_flight"] = args.max_in_flight
-    return build_schedule(args.scheme, args.depth, args.micro_batches, **options)
+    schedule = build_schedule(args.scheme, args.depth, args.micro_batches, **options)
+    if args.lower:
+        schedule = lower_schedule(schedule)
+    return schedule
 
 
 def cmd_show(args: argparse.Namespace) -> int:
-    print(render_gantt(_build(args)))
+    print(render_gantt(_build(args), cost_model=_cost_model(args)))
     return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    result = simulate(_build(args), CostModel.practical())
+    result = simulate(_build(args), _cost_model(args))
     write_chrome_trace(result, args.output)
     print(f"wrote {args.output} (open in chrome://tracing or Perfetto)")
     return 0
@@ -82,6 +138,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         depth=args.depth,
         micro_batch=args.micro_batch,
         mini_batch=args.mini_batch,
+        lowered=args.lower,
     )
     r = run_configuration(cfg)
     print(f"configuration : {r.label()}")
@@ -137,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--depth", "-D", type=int, default=4)
     p.add_argument("--micro-batch", "-B", type=int, default=8)
     p.add_argument("--mini-batch", type=int, default=512)
+    _lower_arg(p)
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("select", help="rank (W, D, B) configurations")

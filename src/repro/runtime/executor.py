@@ -12,6 +12,15 @@ schedules (zero-bubble family) execute ``BACKWARD_INPUT`` as a gradient-
 propagating backward whose parameter gradients are deferred inside the
 stage module, and ``BACKWARD_WEIGHT`` as the purely local accumulation of
 that deferred contribution.
+
+Lowered schedules (:mod:`repro.schedules.lowering`) run with *explicit*
+transfer steps: a producer whose consumer lives on another worker parks
+its tensor in a local outbox, the scheduled ``SEND`` moves it into the
+backend (the wire), the ``RECV`` moves it from the backend into the
+consumer's inbox, and the consumer reads the inbox. Stage pairs sharing a
+worker (the ZB-V fold) keep the direct backend path — exactly the edges
+the lowering pass leaves implicit. Both paths produce bit-identical
+training results; the parity tests assert it.
 """
 
 from __future__ import annotations
@@ -69,6 +78,12 @@ class PipelineExecutor:
         self.backend = backend or InProcessBackend()
         self.weight_stashing = weight_stashing
         self.on_sync_complete = on_sync_complete
+        self.lowered = schedule.lowered
+        #: Lowered mode: producer output awaiting its SEND, keyed like the
+        #: backend message it becomes.
+        self._outbox: dict[tuple, np.ndarray] = {}
+        #: Lowered mode: received message awaiting its consumer.
+        self._inbox: dict[tuple, np.ndarray] = {}
         self._recompute_mbs: set[tuple[int, int, int]] = {
             (op.replica, op.stage, mb)
             for _, op in schedule.all_ops()
@@ -112,6 +127,8 @@ class PipelineExecutor:
         self._logits: dict[tuple[int, int], np.ndarray] = {}
         self._losses: dict[tuple[int, int], float] = {}
         self._stashes: dict[tuple, list[np.ndarray]] = {}
+        self._outbox.clear()
+        self._inbox.clear()
         self.backend.reset_collectives()
 
         pointers = {
@@ -147,6 +164,11 @@ class PipelineExecutor:
             raise DeadlockError(
                 f"iteration finished with unresolved collectives: {unresolved}"
             )
+        if self._outbox or self._inbox:
+            raise DeadlockError(
+                f"iteration finished with undelivered transfers: "
+                f"{len(self._outbox)} parked, {len(self._inbox)} unconsumed"
+            )
         mean_group_losses = [
             sum(self._losses[(g, mb)] for mb in range(n)) / n
             for g in range(self.width)
@@ -154,34 +176,123 @@ class PipelineExecutor:
         return float(np.mean(mean_group_losses))
 
     # ------------------------------------------------------------- execution
+    def _cross_worker(self, replica: int, src_stage: int, dst_stage: int) -> bool:
+        """Does a message between these stages leave its worker?"""
+        return self.schedule.worker_of(replica, src_stage) != self.schedule.worker_of(
+            replica, dst_stage
+        )
+
+    def _message_key(
+        self, group: int, op: Operation, mb: int, payload: str, stage: int
+    ) -> tuple:
+        if payload == "act":
+            return (group, op.replica, stage, mb, "act")
+        return (group, op.replica, stage, mb, "grad", op.part)
+
+    # The three routing helpers own the lowered-vs-implicit decision: a
+    # cross-worker message of a lowered schedule stages through the
+    # outbox/wire/inbox pipeline, anything else uses the backend directly.
+    def _routes_via_comm_ops(
+        self, replica: int, src_stage: int, dst_stage: int
+    ) -> bool:
+        return self.lowered and self._cross_worker(replica, src_stage, dst_stage)
+
+    def _input_ready(
+        self, key: tuple, replica: int, src_stage: int, dst_stage: int
+    ) -> bool:
+        if self._routes_via_comm_ops(replica, src_stage, dst_stage):
+            return key in self._inbox
+        return self.backend.can_recv(key)
+
+    def _take_input(
+        self, key: tuple, replica: int, src_stage: int, dst_stage: int
+    ) -> np.ndarray:
+        if self._routes_via_comm_ops(replica, src_stage, dst_stage):
+            return self._inbox.pop(key)
+        return self.backend.recv(key)
+
+    def _emit_output(
+        self,
+        key: tuple,
+        replica: int,
+        src_stage: int,
+        dst_stage: int,
+        value: np.ndarray,
+    ) -> None:
+        if self._routes_via_comm_ops(replica, src_stage, dst_stage):
+            self._outbox[key] = value
+        else:
+            self.backend.send(key, value)
+
     def _executable(self, group: int, op: Operation) -> bool:
         if op.kind is OpKind.ALLREDUCE or op.is_backward_weight:
             # Weight-gradient ops consume only local deferred state; program
             # order (validated: W after its Bi) makes them always runnable.
             return True
+        if op.kind is OpKind.SEND:
+            # Program order puts the SEND after its producer, which filled
+            # the outbox; checked anyway so a deadlock report names it.
+            return all(
+                self._message_key(group, op, mb, op.payload, op.peer_stage)
+                in self._outbox
+                for mb in op.micro_batches
+            )
+        if op.kind is OpKind.RECV:
+            return all(
+                self.backend.can_recv(
+                    self._message_key(group, op, mb, op.payload, op.stage)
+                )
+                for mb in op.micro_batches
+            )
         if op.is_forward:
             if op.stage == 0:
                 return True
             return all(
-                self.backend.can_recv((group, op.replica, op.stage, mb, "act"))
+                self._input_ready(
+                    (group, op.replica, op.stage, mb, "act"),
+                    op.replica,
+                    op.stage - 1,
+                    op.stage,
+                )
                 for mb in op.micro_batches
             )
         if op.stage == self.schedule.num_stages - 1:
             return True
         return all(
-            self.backend.can_recv((group, op.replica, op.stage, mb, "grad", op.part))
+            self._input_ready(
+                (group, op.replica, op.stage, mb, "grad", op.part),
+                op.replica,
+                op.stage + 1,
+                op.stage,
+            )
             for mb in op.micro_batches
         )
 
     def _execute(self, group: int, worker: int, op: Operation) -> None:
         if op.kind is OpKind.ALLREDUCE:
             self._execute_sync(group, op)
+        elif op.kind is OpKind.SEND:
+            self._execute_send(group, op)
+        elif op.kind is OpKind.RECV:
+            self._execute_recv(group, op)
         elif op.is_forward:
             self._execute_forward(group, op)
         elif op.is_backward_weight:
             self._execute_backward_weight(group, op)
         else:
             self._execute_backward(group, op)
+
+    def _execute_send(self, group: int, op: Operation) -> None:
+        """Move the producer's parked tensor onto the wire (the backend)."""
+        for mb in op.micro_batches:
+            key = self._message_key(group, op, mb, op.payload, op.peer_stage)
+            self.backend.send(key, self._outbox.pop(key))
+
+    def _execute_recv(self, group: int, op: Operation) -> None:
+        """Take the arrived message off the wire into the consumer's inbox."""
+        for mb in op.micro_batches:
+            key = self._message_key(group, op, mb, op.payload, op.stage)
+            self._inbox[key] = self.backend.recv(key)
 
     def _execute_forward(self, group: int, op: Operation) -> None:
         depth = self.schedule.num_stages
@@ -190,7 +301,12 @@ class PipelineExecutor:
             if op.stage == 0:
                 x = self._data[group][mb][0]
             else:
-                x = self.backend.recv((group, op.replica, op.stage, mb, "act"))
+                x = self._take_input(
+                    (group, op.replica, op.stage, mb, "act"),
+                    op.replica,
+                    op.stage - 1,
+                    op.stage,
+                )
             if self.weight_stashing:
                 self._stashes[(group, op.replica, op.stage, mb)] = (
                     stage_module.snapshot_params()
@@ -199,7 +315,13 @@ class PipelineExecutor:
             stage_module.recompute = recompute
             y = stage_module.forward(mb, x)
             if op.stage < depth - 1:
-                self.backend.send((group, op.replica, op.stage + 1, mb, "act"), y)
+                self._emit_output(
+                    (group, op.replica, op.stage + 1, mb, "act"),
+                    op.replica,
+                    op.stage,
+                    op.stage + 1,
+                    y,
+                )
             else:
                 self._logits[(group, mb)] = y
 
@@ -225,8 +347,11 @@ class PipelineExecutor:
                 dy = dlogits
                 row_slice = rows if parts > 1 else None
             else:
-                dy = self.backend.recv(
-                    (group, op.replica, op.stage, mb, "grad", op.part)
+                dy = self._take_input(
+                    (group, op.replica, op.stage, mb, "grad", op.part),
+                    op.replica,
+                    op.stage + 1,
+                    op.stage,
                 )
                 batch = self._data[group][mb][0].shape[0]
                 row_slice = _part_slice(batch, index, parts) if parts > 1 else None
@@ -250,8 +375,12 @@ class PipelineExecutor:
                     mb, dy, row_slice=row_slice, fraction=1.0 / parts
                 )
             if op.stage > 0:
-                self.backend.send(
-                    (group, op.replica, op.stage - 1, mb, "grad", op.part), dx
+                self._emit_output(
+                    (group, op.replica, op.stage - 1, mb, "grad", op.part),
+                    op.replica,
+                    op.stage,
+                    op.stage - 1,
+                    dx,
                 )
 
     def _execute_backward_weight(self, group: int, op: Operation) -> None:

@@ -31,12 +31,20 @@ from repro.models.transformer import (
 from repro.runtime.executor import PipelineExecutor
 from repro.runtime.optimizers import SGD, Optimizer
 from repro.runtime.stage_module import StageModule
+from repro.schedules.lowering import lower_schedule
 from repro.schedules.registry import build_schedule
 from repro.schedules.validate import validate_schedule
 
 
 class PipelineTrainer:
-    """Train a :class:`TransformerLMConfig` model under any scheme."""
+    """Train a :class:`TransformerLMConfig` model under any scheme.
+
+    ``lowered=True`` runs the schedule through the communication lowering
+    pass first, so the executor performs every cross-worker transfer as an
+    explicit SEND/RECV step — numerically identical to the implicit path
+    (the parity tests assert it), and the configuration to use when
+    comparing against a lowered simulation.
+    """
 
     def __init__(
         self,
@@ -48,6 +56,7 @@ class PipelineTrainer:
         width: int = 1,
         optimizer_factory: Callable[[], Optimizer] | None = None,
         recompute: bool = False,
+        lowered: bool = False,
         schedule_options: dict | None = None,
     ) -> None:
         if width < 1:
@@ -60,6 +69,8 @@ class PipelineTrainer:
         self.schedule = build_schedule(
             scheme, depth, num_micro_batches, recompute=recompute, **options
         )
+        if lowered:
+            self.schedule = lower_schedule(self.schedule)
         validate_schedule(self.schedule, require_sync_ops=False)
         if scheme == "pipedream" and width != 1:
             raise ConfigurationError(

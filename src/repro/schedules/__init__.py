@@ -16,7 +16,11 @@ the strongest modern baseline to compare Chimera against.
 
 All builders produce the same :class:`repro.schedules.ir.Schedule` IR, which
 the simulator (:mod:`repro.sim`), the training runtime
-(:mod:`repro.runtime`), and the memory model consume uniformly.
+(:mod:`repro.runtime`), and the memory model consume uniformly. The
+lowering pass (:mod:`repro.schedules.lowering`) rewrites any of them —
+without per-builder code — into a form with explicit ``SEND``/``RECV``
+communication ops, enabling link-contention simulation and comm-lane
+rendering.
 """
 
 from repro.schedules.ir import Operation, OpKind, Schedule
@@ -29,6 +33,7 @@ from repro.schedules.pipedream import build_pipedream_schedule
 from repro.schedules.pipedream_2bw import build_pipedream_2bw_schedule
 from repro.schedules.zero_bubble import build_zb_h1_schedule, build_zb_v_schedule
 from repro.schedules.registry import build_schedule, available_schemes
+from repro.schedules.lowering import is_lowered, lower_schedule
 from repro.schedules.validate import validate_schedule
 from repro.schedules.analysis import (
     bubble_ratio_formula,
@@ -53,6 +58,8 @@ __all__ = [
     "build_zb_v_schedule",
     "build_schedule",
     "available_schemes",
+    "lower_schedule",
+    "is_lowered",
     "validate_schedule",
     "bubble_ratio_formula",
     "activation_interval_formula",

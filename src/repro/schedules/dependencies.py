@@ -19,6 +19,18 @@ dependencies between operations:
   backward splitting (or, for per-micro-batch synchronization as in
   PipeDream, on the producer of its micro-batch).
 
+Lowered schedules (:mod:`repro.schedules.lowering`) additionally contain
+explicit ``SEND``/``RECV`` pairs, and the graph builder wires them in:
+
+* ``SEND`` depends on its local producer (``ENQUEUE`` — the forward whose
+  activations it ships, or the input-gradient backward);
+* ``RECV`` depends on its matching ``SEND`` (``TRANSFER`` — the one edge
+  kind that travels over a link and carries a payload);
+* the consumer depends on its ``RECV`` (``DELIVERY``, local) *instead of*
+  holding a direct cross-worker ``ACTIVATION``/``GRADIENT`` edge. Edges
+  between stages that share a worker are never lowered and keep their
+  original kind.
+
 Worker-order dependencies (op ``i+1`` on a worker starts after op ``i``) are
 *not* materialized here; the simulator and the runtime both respect the list
 order directly. The validator combines both edge sets for its acyclicity
@@ -40,9 +52,11 @@ OpKey = tuple
 class EdgeKind(enum.Enum):
     """Why one operation must wait for another."""
 
-    #: Forward output of the previous stage (p2p activation message).
+    #: Forward output of the previous stage (p2p activation message when the
+    #: stages live on different workers; rewritten by lowering).
     ACTIVATION = "activation"
-    #: Input-gradient from the next stage (p2p gradient message).
+    #: Input-gradient from the next stage (p2p gradient message when the
+    #: stages live on different workers; rewritten by lowering).
     GRADIENT = "gradient"
     #: Locally stashed activation produced by the same stage's forward.
     STASH = "stash"
@@ -51,20 +65,38 @@ class EdgeKind(enum.Enum):
     DEFERRAL = "deferral"
     #: Local weight gradients that feed a gradient-synchronization collective.
     SYNC = "sync"
+    #: A ``SEND``'s local handoff from the op that produced its payload.
+    ENQUEUE = "enqueue"
+    #: The wire: ``SEND -> RECV``. The only edge kind that occupies a link.
+    TRANSFER = "transfer"
+    #: A consumer's local handoff from the ``RECV`` that delivered its input.
+    DELIVERY = "delivery"
 
 
 @dataclass(frozen=True)
 class Edge:
-    """A directed dependency ``src -> dst`` (dst waits for src)."""
+    """A directed dependency ``src -> dst`` (dst waits for src).
+
+    ``payload_units`` is the number of micro-batch-equivalents the edge
+    moves (shared micro-batches scaled by the consumer's part split),
+    precomputed here once so the simulator never re-derives micro-batch
+    intersections inside its scheduling loop. Non-message edges carry 0.
+    """
 
     src: OpKey
     dst: OpKey
     kind: EdgeKind
+    payload_units: float = 0.0
 
     @property
     def is_p2p_candidate(self) -> bool:
         """Edges that cross workers become point-to-point messages."""
         return self.kind in (EdgeKind.ACTIVATION, EdgeKind.GRADIENT)
+
+    @property
+    def is_transfer(self) -> bool:
+        """True for the explicit ``SEND -> RECV`` wire edge."""
+        return self.kind is EdgeKind.TRANSFER
 
 
 @dataclass
@@ -93,12 +125,28 @@ class DependencyGraph:
             yield from incoming
 
     def p2p_edges(self) -> Iterator[Edge]:
-        """Dependency edges that cross a worker boundary."""
+        """Implicit dependency edges that cross a worker boundary.
+
+        These are exactly the edges the lowering pass rewrites; on a fully
+        lowered schedule this yields nothing (see :meth:`transfer_edges`).
+        """
         for edge in self.edges():
             if not edge.is_p2p_candidate:
                 continue
             if self.worker_of_key(edge.src) != self.worker_of_key(edge.dst):
                 yield edge
+
+    def transfer_edges(self) -> Iterator[Edge]:
+        """The explicit ``SEND -> RECV`` wire edges of a lowered schedule."""
+        for edge in self.edges():
+            if edge.is_transfer:
+                yield edge
+
+
+def _payload_between(src: Operation, dst: Operation) -> float:
+    """Micro-batch units moved along a producer -> consumer edge."""
+    shared = len(set(src.micro_batches) & set(dst.micro_batches))
+    return shared / dst.part[1]
 
 
 def build_dependency_graph(schedule: Schedule) -> DependencyGraph:
@@ -108,8 +156,8 @@ def build_dependency_graph(schedule: Schedule) -> DependencyGraph:
     ------
     ValidationError
         If an operation's producer is missing from the schedule (e.g. a
-        backward whose forward was never scheduled) or an operation appears
-        twice.
+        backward whose forward was never scheduled, or a ``RECV`` with no
+        matching ``SEND``) or an operation appears twice.
     """
     location: dict[OpKey, tuple[int, int]] = {}
     # Per-micro-batch producer indexes. Forward doubling means several
@@ -120,6 +168,11 @@ def build_dependency_graph(schedule: Schedule) -> DependencyGraph:
     fwd_by_mb: dict[tuple[int, int, int], Operation] = {}  # (replica, stage, mb)
     grad_by_mb: dict[tuple[int, int, int, tuple[int, int]], Operation] = {}
     wgrad_by_mb: dict[tuple[int, int, int, tuple[int, int]], Operation] = {}
+    # Comm-op indexes (lowered schedules only). Sends are looked up by their
+    # full identity when wiring a RECV's TRANSFER edge; recvs are looked up
+    # per micro-batch when redirecting a consumer's cross-worker edge.
+    send_index: dict[tuple, Operation] = {}
+    recv_by_mb: dict[tuple[int, int, int, tuple[int, int], str], Operation] = {}
 
     for worker, ops in enumerate(schedule.worker_ops):
         for pos, op in enumerate(ops):
@@ -158,6 +211,19 @@ def build_dependency_graph(schedule: Schedule) -> DependencyGraph:
                             f"of replica {op.replica}"
                         )
                     wgrad_by_mb[bkey] = op
+            if op.kind is OpKind.SEND:
+                send_index[
+                    (op.replica, op.stage, op.micro_batches, op.part, op.payload)
+                ] = op
+            if op.kind is OpKind.RECV:
+                for mb in op.micro_batches:
+                    rkey = (op.replica, op.stage, mb, op.part, op.payload)
+                    if rkey in recv_by_mb:
+                        raise ValidationError(
+                            f"micro-batch {mb} has two {op.payload} receives "
+                            f"at stage {op.stage} of replica {op.replica}"
+                        )
+                    recv_by_mb[rkey] = op
 
     depth = schedule.num_stages
     deps: dict[OpKey, tuple[Edge, ...]] = {}
@@ -173,7 +239,20 @@ def build_dependency_graph(schedule: Schedule) -> DependencyGraph:
                             f"forward of micro-batch {mb} at stage {op.stage} "
                             f"(replica {op.replica}) has no stage-{op.stage - 1} producer"
                         )
-                    incoming.append(Edge(producer.key(), op.key(), EdgeKind.ACTIVATION))
+                    recv = recv_by_mb.get((op.replica, op.stage, mb, op.part, "act"))
+                    if recv is not None:
+                        incoming.append(
+                            Edge(recv.key(), op.key(), EdgeKind.DELIVERY)
+                        )
+                    else:
+                        incoming.append(
+                            Edge(
+                                producer.key(),
+                                op.key(),
+                                EdgeKind.ACTIVATION,
+                                _payload_between(producer, op),
+                            )
+                        )
             elif op.is_backward:
                 for mb in op.micro_batches:
                     fwd = fwd_by_mb.get((op.replica, op.stage, mb))
@@ -193,9 +272,22 @@ def build_dependency_graph(schedule: Schedule) -> DependencyGraph:
                                 f"stage {op.stage} (replica {op.replica}) has no "
                                 f"stage-{op.stage + 1} gradient producer"
                             )
-                        incoming.append(
-                            Edge(producer.key(), op.key(), EdgeKind.GRADIENT)
+                        recv = recv_by_mb.get(
+                            (op.replica, op.stage, mb, op.part, "grad")
                         )
+                        if recv is not None:
+                            incoming.append(
+                                Edge(recv.key(), op.key(), EdgeKind.DELIVERY)
+                            )
+                        else:
+                            incoming.append(
+                                Edge(
+                                    producer.key(),
+                                    op.key(),
+                                    EdgeKind.GRADIENT,
+                                    _payload_between(producer, op),
+                                )
+                            )
             elif op.is_backward_weight:
                 for mb in op.micro_batches:
                     producer = grad_by_mb.get((op.replica, op.stage, mb, op.part))
@@ -208,6 +300,40 @@ def build_dependency_graph(schedule: Schedule) -> DependencyGraph:
                     incoming.append(
                         Edge(producer.key(), op.key(), EdgeKind.DEFERRAL)
                     )
+            elif op.kind is OpKind.SEND:
+                for mb in op.micro_batches:
+                    if op.payload == "act":
+                        producer = fwd_by_mb.get((op.replica, op.stage, mb))
+                    else:
+                        producer = grad_by_mb.get(
+                            (op.replica, op.stage, mb, op.part)
+                        )
+                    if producer is None:
+                        raise ValidationError(
+                            f"{op.short()} (replica {op.replica}) has no local "
+                            f"{op.payload} producer for micro-batch {mb}"
+                        )
+                    incoming.append(
+                        Edge(producer.key(), op.key(), EdgeKind.ENQUEUE)
+                    )
+            elif op.kind is OpKind.RECV:
+                src_stage = op.peer_stage
+                send = send_index.get(
+                    (op.replica, src_stage, op.micro_batches, op.part, op.payload)
+                )
+                if send is None:
+                    raise ValidationError(
+                        f"{op.short()} (replica {op.replica}) has no matching "
+                        f"SEND at stage {src_stage}"
+                    )
+                incoming.append(
+                    Edge(
+                        send.key(),
+                        op.key(),
+                        EdgeKind.TRANSFER,
+                        len(op.micro_batches) / op.part[1],
+                    )
+                )
             elif op.kind is OpKind.ALLREDUCE:
                 targets = op.micro_batches or schedule.micro_batches_of_replica(
                     op.replica

@@ -25,6 +25,16 @@ Design notes
   the split ``BACKWARD_INPUT`` / ``BACKWARD_WEIGHT`` pair that the
   zero-bubble schedule family (:mod:`repro.schedules.zero_bubble`) uses to
   move weight-gradient work into pipeline bubbles [Qi et al. 2023].
+* ``SEND`` / ``RECV`` make point-to-point transfers first-class schedule
+  operations. Builders never emit them — the lowering pass
+  (:mod:`repro.schedules.lowering`) rewrites every cross-worker
+  activation/gradient dependency into an explicit pair, which is what lets
+  the simulator model link contention and the Gantt/trace renderers draw
+  communication lanes. A comm op's ``payload`` says what travels
+  (``"act"`` or ``"grad"``); its ``stage`` is the *endpoint it runs on*
+  (the producer's stage for ``SEND``, the consumer's for ``RECV``) so the
+  placement invariant — every op runs on the worker hosting its
+  ``(replica, stage)`` — holds for comm ops too.
 """
 
 from __future__ import annotations
@@ -54,6 +64,12 @@ class OpKind(enum.Enum):
     BACKWARD_WEIGHT = "W"
     #: Gradient allreduce across the replicas of one stage.
     ALLREDUCE = "S"
+    #: Explicit point-to-point send, produced by the lowering pass. Runs on
+    #: the producer's worker; launches a transfer that occupies the link.
+    SEND = "Tx"
+    #: Explicit point-to-point receive, produced by the lowering pass. Runs
+    #: on the consumer's worker; completes when the transfer arrives.
+    RECV = "Rx"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -84,6 +100,10 @@ class Operation:
         discarded and must be recomputed, increasing the op's cost (paper
         models B = 3F instead of B = 2F when recomputation is on; a split
         backward charges the rematerialization to its input-gradient half).
+    payload:
+        For ``SEND`` / ``RECV``: what travels — ``"act"`` (forward
+        activations, stage ``s`` to ``s + 1``) or ``"grad"`` (input
+        gradients, stage ``s`` to ``s - 1``). Empty for every other kind.
     """
 
     kind: OpKind
@@ -92,6 +112,7 @@ class Operation:
     micro_batches: tuple[int, ...] = ()
     part: tuple[int, int] = (0, 1)
     recompute: bool = False
+    payload: str = ""
 
     def __post_init__(self) -> None:
         if self.stage < 0:
@@ -105,6 +126,14 @@ class Operation:
             raise ScheduleError(f"{self.kind} op must cover micro-batches: {self!r}")
         if len(set(self.micro_batches)) != len(self.micro_batches):
             raise ScheduleError(f"duplicate micro-batches in {self!r}")
+        if self.is_comm:
+            if self.payload not in ("act", "grad"):
+                raise ScheduleError(
+                    f"comm op needs payload 'act' or 'grad', got "
+                    f"{self.payload!r} in {self!r}"
+                )
+        elif self.payload:
+            raise ScheduleError(f"payload on non-comm op {self!r}")
 
     @property
     def is_forward(self) -> bool:
@@ -146,26 +175,55 @@ class Operation:
         return self.kind in (OpKind.BACKWARD, OpKind.BACKWARD_WEIGHT)
 
     @property
+    def is_comm(self) -> bool:
+        """True for the explicit point-to-point ops (``SEND`` / ``RECV``)."""
+        return self.kind in (OpKind.SEND, OpKind.RECV)
+
+    @property
+    def peer_stage(self) -> int:
+        """The other endpoint's stage of a comm op.
+
+        Single source of the direction convention: activations flow to
+        ``stage + 1``, gradients to ``stage - 1``, and a ``RECV`` names the
+        consumer's stage so its peer sits on the opposite side. Everything
+        that resolves a comm op's peer worker — the engine, the executor,
+        the validator, the dependency builder — goes through here.
+        """
+        if not self.is_comm:
+            raise ScheduleError(f"peer_stage on non-comm op {self!r}")
+        step = 1 if self.payload == "act" else -1
+        if self.kind is OpKind.SEND:
+            return self.stage + step
+        return self.stage - step
+
+    @property
     def is_compute(self) -> bool:
-        return self.kind is not OpKind.ALLREDUCE
+        return self.kind not in (OpKind.ALLREDUCE, OpKind.SEND, OpKind.RECV)
 
     @property
     def work_units(self) -> float:
         """Micro-batch-equivalents of compute covered by this op.
 
         Forward doubling ops count 2.0; backward-halving halves count 0.5;
-        allreduce counts 0 (it is communication, not compute). Split
+        allreduce and send/recv count 0 (communication, not compute). Split
         backward halves each count their full micro-batch coverage — the
         cost model decides how the fused backward's time divides between
         them.
         """
-        if self.kind is OpKind.ALLREDUCE:
+        if not self.is_compute:
             return 0.0
         return len(self.micro_batches) / self.part[1]
 
     def key(self) -> tuple:
         """Hashable identity used for dependency lookups and uniqueness."""
-        return (self.kind, self.replica, self.stage, self.micro_batches, self.part)
+        return (
+            self.kind,
+            self.replica,
+            self.stage,
+            self.micro_batches,
+            self.part,
+            self.payload,
+        )
 
     def short(self) -> str:
         """Compact human-readable form used by the Gantt renderer."""
@@ -175,6 +233,8 @@ class Operation:
             suffix = f".{self.part[0]}/{self.part[1]}"
         if self.kind is OpKind.ALLREDUCE:
             return f"S{self.stage}r{self.replica}"
+        if self.is_comm:
+            return f"{self.kind.value}[{self.payload}]{mbs}s{self.stage}{suffix}"
         return f"{self.kind.value}{mbs}{suffix}"
 
     def with_recompute(self, recompute: bool = True) -> "Operation":
@@ -249,6 +309,17 @@ class Schedule:
         for worker, op in self.all_ops():
             if op.is_compute:
                 yield worker, op
+
+    def comm_ops(self) -> Iterator[tuple[int, Operation]]:
+        """Yield only SEND/RECV operations with their worker."""
+        for worker, op in self.all_ops():
+            if op.is_comm:
+                yield worker, op
+
+    @property
+    def lowered(self) -> bool:
+        """True once the lowering pass made p2p communication explicit."""
+        return bool(self.metadata.get("lowered", False))
 
     def worker_of(self, replica: int, stage: int) -> int:
         """The worker hosting ``stage`` of ``replica``."""

@@ -15,8 +15,16 @@ strict mode. It enforces the invariants that make a schedule executable:
    a topological order (i.e. the schedule can actually run without
    deadlock).
 4. **Placement consistency** — every compute op is scheduled on the worker
-   its placement assigns to ``(replica, stage)``.
-5. Optionally, **synchronization coverage** — every hosted stage replica has
+   its placement assigns to ``(replica, stage)``. Comm ops carry the stage
+   of the endpoint they run on, so the same rule pins the ``SEND`` to the
+   producer's worker and the ``RECV`` to the consumer's.
+5. For lowered schedules (:mod:`repro.schedules.lowering`), **lowering
+   completeness** — every cross-worker activation/gradient flow has exactly
+   one ``SEND``/``RECV`` pair, no comm op covers a same-worker (local) hop,
+   and comm ops appear only in schedules marked lowered. (That each ``RECV``
+   has a matching ``SEND`` and each ``SEND`` a local producer is enforced
+   while building the dependency graph.)
+6. Optionally, **synchronization coverage** — every hosted stage replica has
    a gradient allreduce op (synchronous schemes only).
 """
 
@@ -44,6 +52,7 @@ def validate_schedule(
     graph = build_dependency_graph(schedule)
     _check_placement(schedule)
     _check_completeness(schedule)
+    _check_lowering(schedule)
     _check_acyclic(graph)
     if require_sync_ops:
         _check_sync_coverage(schedule)
@@ -90,7 +99,7 @@ def _check_completeness(schedule: Schedule) -> None:
     input_parts: dict[tuple[int, int], set[tuple[int, int]]] = defaultdict(set)
     weight_parts: dict[tuple[int, int], set[tuple[int, int]]] = defaultdict(set)
     for _, op in schedule.all_ops():
-        if op.kind is OpKind.ALLREDUCE:
+        if op.kind is OpKind.ALLREDUCE or op.is_comm:
             continue
         for mb in op.micro_batches:
             if op.replica != owner.get(mb):
@@ -154,6 +163,93 @@ def _check_completeness(schedule: Schedule) -> None:
                     f"micro-batch {mb} has no backward at stage {stage}"
                 )
             check_parts(fused, stage, mb, "backward")
+
+
+def _check_lowering(schedule: Schedule) -> None:
+    """Completeness of the explicit comm ops in a lowered schedule.
+
+    Recomputes, from the schedule structure alone, which activation and
+    gradient flows cross a worker boundary, and checks the comm ops cover
+    exactly those flows — nothing missing, nothing local lowered.
+    """
+    has_comm = any(op.is_comm for _, op in schedule.all_ops())
+    if not schedule.lowered:
+        if has_comm:
+            raise ValidationError(
+                "schedule contains SEND/RECV ops but is not marked lowered "
+                "(run it through repro.schedules.lowering.lower_schedule)"
+            )
+        return
+
+    depth = schedule.num_stages
+    sends: set[tuple] = set()  # (replica, src_stage, mb, part, payload)
+    recvs: set[tuple] = set()
+
+    def add_flow(flows: set[tuple], op, flow: tuple) -> None:
+        # "Exactly one" pair per flow: a second comm op covering an
+        # already-claimed flow (e.g. a stray single-mb SEND next to the
+        # doubling chunk's SEND) must fail here, not as an executor
+        # KeyError at run time.
+        if flow in flows:
+            raise ValidationError(
+                f"{op.short()} (replica {op.replica}) duplicates a flow "
+                f"already covered by another comm op: {flow}"
+            )
+        flows.add(flow)
+
+    for _, op in schedule.all_ops():
+        if op.kind is OpKind.SEND:
+            src, dst = op.stage, op.peer_stage
+            if not 0 <= dst < depth:
+                raise ValidationError(
+                    f"{op.short()} targets stage {dst} outside 0..{depth - 1}"
+                )
+            if schedule.worker_of(op.replica, src) == schedule.worker_of(
+                op.replica, dst
+            ):
+                raise ValidationError(
+                    f"{op.short()} lowers a local hop (stages {src} and {dst} "
+                    f"of replica {op.replica} share a worker)"
+                )
+            for mb in op.micro_batches:
+                add_flow(sends, op, (op.replica, src, mb, op.part, op.payload))
+        elif op.kind is OpKind.RECV:
+            src = op.peer_stage
+            for mb in op.micro_batches:
+                add_flow(recvs, op, (op.replica, src, mb, op.part, op.payload))
+
+    required: set[tuple] = set()
+    for _, op in schedule.all_ops():
+        if op.is_forward and op.stage > 0:
+            if schedule.worker_of(op.replica, op.stage - 1) != schedule.worker_of(
+                op.replica, op.stage
+            ):
+                for mb in op.micro_batches:
+                    required.add((op.replica, op.stage - 1, mb, op.part, "act"))
+        elif op.is_backward and op.stage < depth - 1:
+            if schedule.worker_of(op.replica, op.stage + 1) != schedule.worker_of(
+                op.replica, op.stage
+            ):
+                for mb in op.micro_batches:
+                    required.add((op.replica, op.stage + 1, mb, op.part, "grad"))
+
+    for name, have in (("SEND", sends), ("RECV", recvs)):
+        missing = required - have
+        if missing:
+            replica, stage, mb, part, payload = sorted(missing)[0]
+            raise ValidationError(
+                f"lowered schedule is missing a {name} for the {payload} of "
+                f"micro-batch {mb} part {part} out of stage {stage} "
+                f"(replica {replica}); {len(missing)} flow(s) uncovered"
+            )
+        extra = have - required
+        if extra:
+            replica, stage, mb, part, payload = sorted(extra)[0]
+            raise ValidationError(
+                f"lowered schedule has a {name} with no consumer: {payload} "
+                f"of micro-batch {mb} part {part} out of stage {stage} "
+                f"(replica {replica}); {len(extra)} stray flow(s)"
+            )
 
 
 def _check_acyclic(graph: DependencyGraph) -> None:

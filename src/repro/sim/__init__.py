@@ -9,6 +9,14 @@ overlap. This substitutes for the paper's 2,048-node Piz Daint runs: every
 quantity the paper reports (bubble ratio, throughput, peak memory, the
 performance-model error) is a deterministic function of the schedule
 structure and these cost models.
+
+The engine is a heap-based event queue (:func:`~repro.sim.engine.simulate`;
+the seed's polling loop survives as
+:func:`~repro.sim.engine.simulate_polling` for differential testing). For
+*lowered* schedules (:mod:`repro.schedules.lowering`) it additionally
+models per-link channel contention: explicit SEND/RECV transfers occupy
+link bandwidth, queue FIFO per channel, contend with collectives, and
+overlap with compute (:class:`~repro.sim.engine.TransferRecord`).
 """
 
 from repro.sim.cost import CostModel
@@ -19,7 +27,14 @@ from repro.sim.collectives import (
     ring_cost,
     recursive_doubling_cost,
 )
-from repro.sim.engine import SimulationResult, TimedOp, simulate
+from repro.sim.engine import (
+    CollectiveRecord,
+    SimulationResult,
+    TimedOp,
+    TransferRecord,
+    simulate,
+    simulate_polling,
+)
 from repro.sim.memory import MemoryModel, MemoryReport, WorkerMemory, analyze_memory
 from repro.sim.metrics import bubble_ratio, throughput_samples_per_sec, worker_busy_times
 from repro.sim.gantt import render_gantt
@@ -36,7 +51,10 @@ __all__ = [
     "recursive_doubling_cost",
     "SimulationResult",
     "TimedOp",
+    "CollectiveRecord",
+    "TransferRecord",
     "simulate",
+    "simulate_polling",
     "MemoryModel",
     "MemoryReport",
     "WorkerMemory",

@@ -63,6 +63,12 @@ class CostModel:
         Worker-blocking seconds consumed by posting a non-blocking
         allreduce (initialization / progression threading, §3.2 — the
         reason eager-sync-opt skips middle stages).
+    comm_launch_overhead:
+        Worker-blocking seconds consumed by posting an explicit ``SEND``
+        or ``RECV`` op of a lowered schedule (descriptor setup, the CPU
+        side of an isend/irecv). The transfer itself runs on the link, not
+        the worker; 0.0 (default) makes lowering timing-neutral under
+        contention-free links.
     """
 
     forward_time: float = 1.0
@@ -77,6 +83,7 @@ class CostModel:
     data_parallel_width: int = 1
     allreduce_algorithm: str = "rabenseifner"
     sync_launch_overhead: float = 0.0
+    comm_launch_overhead: float = 0.0
     #: Fraction of compute slowdown while a non-blocking collective is in
     #: flight on a worker (asynchronous progression contends with compute —
     #: the §3.2 effect that makes eager middle-stage synchronization a net
@@ -148,9 +155,13 @@ class CostModel:
         (``recompute_backward_ratio - backward_ratio``) to the fused
         backward — or, under splitting, to the input-gradient half (the
         weight-gradient half reuses the rematerialized activations).
+        Comm ops block the worker only for ``comm_launch_overhead`` — the
+        transfer itself is timed by the engine on the link.
         """
         if op.kind is OpKind.ALLREDUCE:
             return 0.0
+        if op.is_comm:
+            return self.comm_launch_overhead
         base = self.forward_time * self._scale(op.stage) * op.work_units
         if op.is_forward:
             return base
@@ -173,6 +184,27 @@ class CostModel:
         return self.topology.p2p_time(
             src_worker, dst_worker, self.activation_message_bytes * payload_units
         )
+
+    def p2p_occupancy(
+        self, src_worker: int, dst_worker: int, payload_units: float
+    ) -> float:
+        """Seconds a transfer holds its link channel (the bandwidth term).
+
+        The latency term pipelines; only the serialization time
+        ``beta * L`` excludes other transfers from the channel. Zero when
+        communication is free or the endpoints share a worker.
+        """
+        if self.topology is None or src_worker == dst_worker:
+            return 0.0
+        return self.topology.link_of(src_worker, dst_worker).occupancy(
+            self.activation_message_bytes * payload_units
+        )
+
+    def p2p_channel(self, src_worker: int, dst_worker: int) -> tuple | None:
+        """Contention channel of a transfer, or None when links are free."""
+        if self.topology is None or src_worker == dst_worker:
+            return None
+        return self.topology.channel(src_worker, dst_worker)
 
     def grad_bytes(self, stage: int) -> float:
         if isinstance(self.stage_grad_bytes, (int, float)):

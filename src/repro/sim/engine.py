@@ -12,24 +12,48 @@ Semantics
   gradient message, and its deferred ``BACKWARD_WEIGHT`` is held back only
   by the local ``DEFERRAL`` edge plus worker order, which is what lets the
   zero-bubble schedules park ``W`` ops inside bubbles.
+* **Lowered schedules** (:mod:`repro.schedules.lowering`) carry explicit
+  ``SEND``/``RECV`` ops. A ``SEND`` blocks its worker only for
+  ``comm_launch_overhead``, then launches a transfer that occupies the
+  link's contention channel for the bandwidth term (``beta * L``, the
+  latency ``alpha`` pipelines) — transfers on one channel are serviced
+  FIFO, contend with each other, and overlap with compute. The matching
+  ``RECV`` completes when the transfer arrives. With ``beta = 0`` the
+  occupancy vanishes and lowered timing equals the implicit model exactly.
 * ``ALLREDUCE`` operations are non-blocking by default: reaching one in the
   list *launches* it (consuming ``sync_launch_overhead`` of worker time);
   the collective itself starts once every group member has launched and
-  completes ``allreduce_time`` later, in the background. The iteration ends
-  when all compute **and** all collectives are done — exactly the
+  completes ``allreduce_time`` later, in the background. In a lowered
+  simulation a collective additionally waits for the p2p transfers still
+  in flight on its members' interfaces — point-to-point traffic and
+  collectives contend for the same links. The iteration ends when all
+  compute **and** all collectives are done — exactly the
   ``max(Comm_unoverlapped)`` term of Equation (1). ``blocking_sync=True``
   turns them into synchronous collectives for ablation.
+
+Engine
+------
+``simulate`` is a heap-based event-queue simulator: every operation
+completion (and collective resolution) is one event, and each event does
+O(out-degree) work plus a heap push/pop — O(E log E) overall for a
+schedule with E dependency edges. The seed's round-robin polling loop is
+preserved as :func:`simulate_polling` (a reference implementation for
+differential tests and the ``bench_sim_engine`` baseline); it re-scans
+every worker per round, O(workers x rounds), which the event queue
+replaces for large schedules.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import ScheduleError
 from repro.schedules.dependencies import (
     DependencyGraph,
     EdgeKind,
+    OpKey,
     build_dependency_graph,
 )
 from repro.schedules.ir import Operation, OpKind, Schedule
@@ -66,18 +90,44 @@ class CollectiveRecord:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class TransferRecord:
+    """One explicit point-to-point transfer of a lowered schedule."""
+
+    src_worker: int
+    dst_worker: int
+    payload: str  # "act" or "grad"
+    micro_batches: tuple[int, ...]
+    part: tuple[int, int]
+    #: Moment the message's bytes start serializing onto the link (after
+    #: any queueing behind earlier transfers on the same channel).
+    start: float
+    #: Arrival at the destination (start + alpha + beta * L).
+    end: float
+    #: Seconds the contention channel was held (beta * L).
+    occupancy: float
+    #: Channel id from the topology, or None when links are free.
+    channel: tuple | None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
 @dataclass
 class SimulationResult:
     """Timed schedule plus the derived iteration-level quantities."""
 
     schedule: Schedule
     cost_model: CostModel
-    timed: dict  # op.key() -> TimedOp
+    timed: dict[OpKey, TimedOp]
     collectives: list[CollectiveRecord]
     #: Last compute (forward/backward) completion across all workers.
     compute_makespan: float
     #: Iteration time including non-overlapped gradient synchronization.
     iteration_time: float
+    #: Explicit p2p transfers (lowered schedules only; empty otherwise).
+    transfers: tuple[TransferRecord, ...] = ()
 
     def timed_ops_on(self, worker: int) -> list[TimedOp]:
         """This worker's timed compute ops, in execution order."""
@@ -86,6 +136,13 @@ class SimulationResult:
             for op in self.schedule.ops_on(worker)
             if op.is_compute
         ]
+
+    def transfers_from(self, worker: int) -> list[TransferRecord]:
+        """Outgoing transfers of ``worker``, ordered by wire time."""
+        return sorted(
+            (t for t in self.transfers if t.src_worker == worker),
+            key=lambda t: (t.start, t.end),
+        )
 
     def busy_time(self, worker: int) -> float:
         """Total compute seconds on ``worker``."""
@@ -102,6 +159,127 @@ class SimulationResult:
     def worker_compute_end(self, worker: int) -> float:
         ops = self.timed_ops_on(worker)
         return ops[-1].end if ops else 0.0
+
+
+def _clear_of_transfers(
+    start: float,
+    workers,
+    nic_busy: dict[int, list[tuple[float, float]]],
+) -> float:
+    """Push ``start`` past in-flight transfer occupancy on any member.
+
+    The single implementation of the collective-vs-p2p contention rule: a
+    collective cannot start while a message is still serializing on a
+    member's interface. Used both when resolving blocking collectives in
+    the event loop and when recording background collectives afterwards.
+    """
+    moved = True
+    while moved:
+        moved = False
+        for w in workers:
+            for s, e in nic_busy.get(w, ()):
+                if s <= start < e:
+                    start = e
+                    moved = True
+    return start
+
+
+#: Kind codes of the dense representation (branch on ints, not enums).
+_PLAIN, _ALLREDUCE, _SEND, _RECV = 0, 1, 2, 3
+
+
+class _DenseSchedule:
+    """Cost-model-independent dense form of a dependency graph.
+
+    Assigns every operation an integer id and flattens the op lists and
+    edge lists into parallel arrays, so the event loop branches on ints
+    and indexes lists instead of hashing ``op.key()`` tuples. Built once
+    per graph and cached on it — repeated simulations of one schedule
+    under many cost models (calibration sweeps, ablations) pay only the
+    per-cost-model arrays.
+    """
+
+    def __init__(self, graph: DependencyGraph):
+        schedule = graph.schedule
+        self.ops_flat: list[Operation] = []
+        self.op_worker: list[int] = []
+        self.row_ids: list[list[int]] = []
+        id_of: dict[OpKey, int] = {}
+        for worker, row in enumerate(schedule.worker_ops):
+            ids = []
+            for op in row:
+                oid = len(self.ops_flat)
+                id_of[op.key()] = oid
+                self.ops_flat.append(op)
+                self.op_worker.append(worker)
+                ids.append(oid)
+            self.row_ids.append(ids)
+        total = len(self.ops_flat)
+        self.total = total
+
+        self.kind_code = [_PLAIN] * total
+        #: Duration-memoization key: everything compute_time() reads.
+        self.shape: list[tuple] = [()] * total
+        for oid, op in enumerate(self.ops_flat):
+            if op.kind is OpKind.ALLREDUCE:
+                self.kind_code[oid] = _ALLREDUCE
+            elif op.kind is OpKind.SEND:
+                self.kind_code[oid] = _SEND
+            elif op.kind is OpKind.RECV:
+                self.kind_code[oid] = _RECV
+            self.shape[oid] = (op.kind, op.stage, op.work_units, op.recompute)
+
+        self.in_count = [0] * total
+        #: Local edges: satisfied at the producer's end time.
+        self.out_local: list[list[int]] = [[] for _ in range(total)]
+        #: Implicit cross-worker edges: (dst, src_worker, dst_worker, units).
+        self.out_remote: list[list[tuple[int, int, int, float]]] = [
+            [] for _ in range(total)
+        ]
+        #: SEND id -> RECV id of its TRANSFER edge (-1 when absent).
+        self.transfer_out = [-1] * total
+        #: SEND id -> (dst_worker, payload units) for the wire. Filled from
+        #: the TRANSFER edge so the payload size has exactly one source of
+        #: truth: Edge.payload_units, precomputed at graph build.
+        self.send_info: dict[int, tuple[int, float]] = {}
+        for key, incoming in graph.deps.items():
+            dst = id_of[key]
+            self.in_count[dst] = len(incoming)
+            dst_worker = self.op_worker[dst]
+            for edge in incoming:
+                src = id_of[edge.src]
+                kind = edge.kind
+                if kind is EdgeKind.TRANSFER:
+                    self.transfer_out[src] = dst
+                    self.send_info[src] = (dst_worker, edge.payload_units)
+                elif (
+                    kind is EdgeKind.ACTIVATION or kind is EdgeKind.GRADIENT
+                ) and self.op_worker[src] != dst_worker:
+                    self.out_remote[src].append(
+                        (dst, self.op_worker[src], dst_worker, edge.payload_units)
+                    )
+                else:
+                    self.out_local[src].append(dst)
+
+        self.group_of: dict[int, tuple] = {}
+        self.sync_group_members: dict[tuple, list[tuple[int, Operation]]] = (
+            defaultdict(list)
+        )
+        for oid, op in enumerate(self.ops_flat):
+            if op.kind is OpKind.ALLREDUCE:
+                group_key = (op.stage, op.micro_batches)
+                self.sync_group_members[group_key].append(
+                    (self.op_worker[oid], op)
+                )
+                self.group_of[oid] = group_key
+
+
+def _dense_of(graph: DependencyGraph) -> _DenseSchedule:
+    dense = getattr(graph, "_dense", None)
+    if dense is None:
+        dense = _DenseSchedule(graph)
+        graph._dense = dense  # type: ignore[attr-defined]
+    return dense
 
 
 def simulate(
@@ -125,30 +303,387 @@ def simulate(
     """
     if graph is None:
         graph = build_dependency_graph(schedule)
+    dense = _dense_of(graph)
 
-    edge_payload: dict[tuple, float] = {}
-    producers: dict[tuple, Operation] = {}
-    for _, op in schedule.all_ops():
-        producers[op.key()] = op
+    num_workers = schedule.num_workers
+    worker_rows = schedule.worker_ops
+    ops_flat = dense.ops_flat
+    op_worker = dense.op_worker
+    row_ids = dense.row_ids
+    kind_code = dense.kind_code
+    out_local = dense.out_local
+    out_remote = dense.out_remote
+    transfer_out = dense.transfer_out
+    total = dense.total
+
+    # ---- per-cost-model arrays ------------------------------------------
+    # Durations memoized by op shape (kind, stage, work units, recompute):
+    # a schedule has thousands of ops but only a handful of shapes.
+    dur_of_shape: dict[tuple, float] = {}
+    duration = [0.0] * total
+    for oid, op in enumerate(ops_flat):
+        code = kind_code[oid]
+        if code == _ALLREDUCE:
+            duration[oid] = cost_model.sync_launch_overhead
+        elif code == _SEND or code == _RECV:
+            duration[oid] = cost_model.comm_launch_overhead
+        else:
+            shape = dense.shape[oid]
+            d = dur_of_shape.get(shape)
+            if d is None:
+                d = cost_model.compute_time(op)
+                dur_of_shape[shape] = d
+            duration[oid] = d
+
+    # Implicit p2p delays and wire parameters, memoized per (src, dst,
+    # units) — topologies expose few distinct worker-pair classes.
+    p2p_cache: dict[tuple, float] = {}
+
+    def p2p_delay(src_w: int, dst_w: int, units: float) -> float:
+        mkey = (src_w, dst_w, units)
+        d = p2p_cache.get(mkey)
+        if d is None:
+            d = cost_model.p2p_time(src_w, dst_w, units)
+            p2p_cache[mkey] = d
+        return d
+
+    send_wire: dict[int, tuple[int, float, float, tuple | None]] = {}
+    for oid, (dst_w, units) in dense.send_info.items():
+        src_w = op_worker[oid]
+        send_wire[oid] = (
+            dst_w,
+            p2p_delay(src_w, dst_w, units),
+            cost_model.p2p_occupancy(src_w, dst_w, units),
+            cost_model.p2p_channel(src_w, dst_w),
+        )
+
+    sync_group_members = dense.sync_group_members
+    group_of = dense.group_of
+    sync_launches: dict[tuple, dict[int, float]] = defaultdict(dict)
+    group_waiters: dict[tuple, list[int]] = defaultdict(list)
+    #: Blocking collectives resolved during the loop: group -> (start, end).
+    #: _finalize records these verbatim so the released workers and the
+    #: collective records can never contradict each other.
+    loop_resolved: dict[tuple, tuple[float, float]] = {}
+
+    # Link channels: FIFO occupancy for explicit transfers. nic_busy_loop
+    # mirrors each transfer's occupancy per endpoint worker so blocking
+    # collectives can apply _clear_of_transfers without rescanning the
+    # global transfer list.
+    channel_free: dict[tuple, float] = defaultdict(float)
+    transfers: list[TransferRecord] = []
+    nic_busy_loop: dict[int, list[tuple[float, float]]] = defaultdict(list)
+
+    # ---- event loop ------------------------------------------------------
+    unmet = list(dense.in_count)
+    ready = [0.0] * total
+    pointers = [0] * num_workers
+    free_at = [0.0] * num_workers
+    started = [False] * num_workers
+    blocked = [False] * num_workers
+    start_of = [0.0] * total
+    end_of_id = [0.0] * total
+
+    heap: list[tuple[float, int]] = []  # (end time, worker)
+    push = heapq.heappush
+    pop = heapq.heappop
+
+    def try_start(worker: int) -> None:
+        if started[worker] or blocked[worker]:
+            return
+        ids = row_ids[worker]
+        ptr = pointers[worker]
+        if ptr >= len(ids):
+            return
+        oid = ids[ptr]
+        if unmet[oid] > 0:
+            return
+        start = free_at[worker]
+        if ready[oid] > start:
+            start = ready[oid]
+        end = start + duration[oid]
+        start_of[oid] = start
+        end_of_id[oid] = end
+        free_at[worker] = end
+        started[worker] = True
+        push(heap, (end, worker))
+
+    def resolve_group(group_key: tuple) -> None:
+        """All members launched a blocking collective: release them.
+
+        The collective starts once every member launched *and* no p2p
+        transfer is still serializing on a member's interface (lowered
+        schedules — transfers already on the wire win the link), so the
+        blocking ablation sees the same p2p/collective contention as the
+        background path. Contention-free links (zero occupancy) leave the
+        start at ``max(launches)``, preserving lowered/implicit parity.
+        """
+        launches = sync_launches[group_key]
+        stage, _ = group_key
+        workers = tuple(w for w, _ in sync_group_members[group_key])
+        start = _clear_of_transfers(max(launches.values()), workers, nic_busy_loop)
+        end = start + cost_model.allreduce_time(stage, workers)
+        loop_resolved[group_key] = (start, end)
+        for waiter in group_waiters.pop(group_key, []):
+            blocked[waiter] = False
+            free_at[waiter] = max(free_at[waiter], end)
+            try_start(waiter)
+
+    done = 0
+    for worker in range(num_workers):
+        try_start(worker)
+
+    while heap:
+        _now, worker = pop(heap)
+        oid = row_ids[worker][pointers[worker]]
+        end = end_of_id[oid]
+        started[worker] = False
+        pointers[worker] += 1
+        done += 1
+
+        code = kind_code[oid]
+        if code == _ALLREDUCE:
+            group_key = group_of[oid]
+            sync_launches[group_key][worker] = start_of[oid]
+            if blocking_sync:
+                blocked[worker] = True
+                group_waiters[group_key].append(worker)
+                if len(sync_launches[group_key]) == len(
+                    sync_group_members[group_key]
+                ):
+                    resolve_group(group_key)
+        elif code == _SEND and oid in send_wire:
+            op = ops_flat[oid]
+            dst_w, wire_time, occupancy, channel = send_wire[oid]
+            wire_start = end
+            if channel is not None:
+                if channel_free[channel] > wire_start:
+                    wire_start = channel_free[channel]
+                channel_free[channel] = wire_start + occupancy
+            arrival = wire_start + wire_time
+            if occupancy > 0:
+                interval = (wire_start, wire_start + occupancy)
+                nic_busy_loop[worker].append(interval)
+                nic_busy_loop[dst_w].append(interval)
+            transfers.append(
+                TransferRecord(
+                    src_worker=worker,
+                    dst_worker=dst_w,
+                    payload=op.payload,
+                    micro_batches=op.micro_batches,
+                    part=op.part,
+                    start=wire_start,
+                    end=arrival,
+                    occupancy=occupancy,
+                    channel=channel,
+                )
+            )
+            recv = transfer_out[oid]
+            if recv >= 0:
+                if arrival > ready[recv]:
+                    ready[recv] = arrival
+                unmet[recv] -= 1
+                if unmet[recv] == 0:
+                    try_start(op_worker[recv])
+
+        for dst in out_local[oid]:
+            if end > ready[dst]:
+                ready[dst] = end
+            unmet[dst] -= 1
+            if unmet[dst] == 0:
+                try_start(op_worker[dst])
+        for dst, src_w, dst_w, units in out_remote[oid]:
+            at = end + p2p_delay(src_w, dst_w, units)
+            if at > ready[dst]:
+                ready[dst] = at
+            unmet[dst] -= 1
+            if unmet[dst] == 0:
+                try_start(op_worker[dst])
+        try_start(worker)
+
+    if done < total:
+        stuck = [
+            (w, worker_rows[w][pointers[w]].short())
+            for w in range(num_workers)
+            if pointers[w] < len(worker_rows[w])
+        ]
+        raise ScheduleError(
+            f"simulation deadlock; {total - done} ops pending, heads: {stuck[:8]}"
+        )
+
+    timed: dict[OpKey, TimedOp] = {}
+    for oid, op in enumerate(ops_flat):
+        timed[op.key()] = TimedOp(
+            op, op_worker[oid], start_of[oid], end_of_id[oid]
+        )
+    compute_makespan = max(
+        (
+            end_of_id[oid]
+            for oid in range(total)
+            if kind_code[oid] == _PLAIN
+        ),
+        default=0.0,
+    )
+
+    return _finalize(
+        schedule,
+        cost_model,
+        timed,
+        sync_group_members,
+        sync_launches,
+        transfers,
+        blocking_sync=blocking_sync,
+        compute_makespan=compute_makespan,
+        resolved=loop_resolved,
+    )
+
+
+def _finalize(
+    schedule: Schedule,
+    cost_model: CostModel,
+    timed: dict[OpKey, TimedOp],
+    sync_group_members: dict[tuple, list[tuple[int, Operation]]],
+    sync_launches: dict[tuple, dict[int, float]],
+    transfers: list[TransferRecord],
+    *,
+    blocking_sync: bool,
+    compute_makespan: float | None = None,
+    resolved: dict[tuple, tuple[float, float]] | None = None,
+) -> SimulationResult:
+    """Resolve collectives and assemble the :class:`SimulationResult`.
+
+    Shared by the event-queue engine and the polling reference so both
+    apply identical collective-overlap semantics. ``resolved`` carries the
+    blocking collectives the event loop already timed (start, end) — those
+    are recorded verbatim, because the member workers were released from
+    exactly those times; re-deriving them here could contradict the
+    compute timeline.
+    """
+    num_workers = schedule.num_workers
+    resolved = resolved or {}
+    if compute_makespan is None:
+        compute_makespan = max(
+            (t.end for t in timed.values() if t.op.is_compute), default=0.0
+        )
+
+    # Per-worker interface busy intervals from explicit p2p transfers: a
+    # collective cannot start while a message is still serializing on a
+    # member's link (transfers scheduled first win the channel; traffic
+    # launched after the collective's start is not re-queued behind it).
+    # Blocking collectives saw the same rule inside the event loop.
+    nic_busy: dict[int, list[tuple[float, float]]] = defaultdict(list)
+    for t in transfers:
+        if t.occupancy > 0:
+            interval = (t.start, t.start + t.occupancy)
+            nic_busy[t.src_worker].append(interval)
+            nic_busy[t.dst_worker].append(interval)
+
+    # Resolve collective completions (non-blocking case; for blocking they
+    # are already folded into the cursors, but recording them is useful).
+    # Collectives sharing a worker are serviced serially — one network
+    # interface per node — in ready-time order.
+    pending = []
+    for group_key, members in sync_group_members.items():
+        stage, micro_batches = group_key
+        launches = sync_launches[group_key]
+        workers = tuple(w for w, _ in members)
+        ready = max(launches.values())
+        cost = cost_model.allreduce_time(stage, workers)
+        pending.append((ready, stage, micro_batches, workers, launches, cost))
+    pending.sort(key=lambda t: (t[0], t[1], t[2]))
+
+    collectives: list[CollectiveRecord] = []
+    iteration_time = compute_makespan
+    link_free = [0.0] * num_workers
+    for ready, stage, micro_batches, workers, launches, cost in pending:
+        if (stage, micro_batches) in resolved:
+            start, end = resolved[(stage, micro_batches)]
+        else:
+            start = max([ready] + [link_free[w] for w in workers])
+            start = _clear_of_transfers(start, workers, nic_busy)
+            end = start + cost
+        for w in workers:
+            link_free[w] = max(link_free[w], end)
+        collectives.append(
+            CollectiveRecord(
+                stage=stage,
+                micro_batches=micro_batches,
+                workers=workers,
+                launch_times=tuple(launches[w] for w in workers),
+                start=start,
+                end=end,
+            )
+        )
+        iteration_time = max(iteration_time, end)
+
+    # Progression contention: a collective in flight slows the compute it
+    # overlaps with (§3.2). Charged per worker proportionally to the
+    # overlapped span; extends both that worker's effective finish and the
+    # iteration.
+    if cost_model.sync_overlap_slowdown > 0 and collectives and not blocking_sync:
+        worker_compute_end = [0.0] * num_workers
+        for t in timed.values():
+            if t.op.is_compute:
+                worker_compute_end[t.worker] = max(
+                    worker_compute_end[t.worker], t.end
+                )
+        for record in collectives:
+            for w in record.workers:
+                overlap = max(
+                    0.0, min(record.end, worker_compute_end[w]) - record.start
+                )
+                penalty = cost_model.sync_overlap_slowdown * overlap
+                worker_compute_end[w] += penalty
+        compute_makespan = max(compute_makespan, max(worker_compute_end))
+        iteration_time = max(iteration_time, compute_makespan)
+
+    collectives.sort(key=lambda c: (c.start, c.stage))
+    transfers.sort(key=lambda t: (t.start, t.end, t.src_worker, t.dst_worker))
+    return SimulationResult(
+        schedule=schedule,
+        cost_model=cost_model,
+        timed=timed,
+        collectives=collectives,
+        compute_makespan=compute_makespan,
+        iteration_time=iteration_time,
+        transfers=tuple(transfers),
+    )
+
+
+def simulate_polling(
+    schedule: Schedule,
+    cost_model: CostModel,
+    *,
+    graph: DependencyGraph | None = None,
+    blocking_sync: bool = False,
+) -> SimulationResult:
+    """The seed's round-robin polling simulator, kept as a reference.
+
+    Semantically identical to :func:`simulate` for implicit-communication
+    schedules (the differential tests assert this); it re-scans every
+    worker per round — O(workers x rounds) — which is what the event queue
+    replaces. Lowered schedules are rejected: link-channel contention needs
+    the event queue.
+    """
+    if schedule.lowered:
+        raise ScheduleError(
+            "simulate_polling does not support lowered schedules; use simulate()"
+        )
+    if graph is None:
+        graph = build_dependency_graph(schedule)
 
     num_workers = schedule.num_workers
     pointers = [0] * num_workers
     cursor = [0.0] * num_workers  # when the worker becomes free
-    end_of: dict[tuple, float] = {}
-    timed: dict = {}
+    end_of: dict[OpKey, float] = {}
+    timed: dict[OpKey, TimedOp] = {}
 
-    # Collective bookkeeping: group allreduce ops by (stage, micro_batches).
     sync_group_members: dict[tuple, list[tuple[int, Operation]]] = defaultdict(list)
     for worker, op in schedule.all_ops():
         if op.kind is OpKind.ALLREDUCE:
             sync_group_members[(op.stage, op.micro_batches)].append((worker, op))
     sync_launches: dict[tuple, dict[int, float]] = defaultdict(dict)
     collective_end_cache: dict[tuple, float] = {}
-
-    def payload_between(src: Operation, dst: Operation) -> float:
-        """Micro-batch units moved along a dependency edge."""
-        shared = len(set(src.micro_batches) & set(dst.micro_batches))
-        return shared / dst.part[1]
 
     def deps_ready_time(worker: int, op: Operation) -> float | None:
         """Earliest start permitted by data dependencies, or None if a
@@ -158,11 +693,10 @@ def simulate(
             src_end = end_of.get(edge.src)
             if src_end is None:
                 return None
-            if edge.kind in (EdgeKind.ACTIVATION, EdgeKind.GRADIENT):
+            if edge.is_p2p_candidate:
                 src_worker = graph.location[edge.src][0]
-                src_op = producers[edge.src]
                 src_end = src_end + cost_model.p2p_time(
-                    src_worker, worker, payload_between(src_op, op)
+                    src_worker, worker, edge.payload_units
                 )
             ready = max(ready, src_end)
         return ready
@@ -245,71 +779,12 @@ def simulate(
                 f"simulation deadlock; {total - done} ops pending, heads: {stuck[:8]}"
             )
 
-    compute_makespan = max(
-        (t.end for t in timed.values() if t.op.is_compute), default=0.0
-    )
-
-    # Resolve collective completions (non-blocking case; for blocking they
-    # are already folded into the cursors, but recording them is useful).
-    # Collectives sharing a worker are serviced serially — one network
-    # interface per node — in ready-time order.
-    pending = []
-    for group_key, members in sync_group_members.items():
-        stage, micro_batches = group_key
-        launches = sync_launches[group_key]
-        workers = tuple(w for w, _ in members)
-        ready = max(launches.values())
-        cost = cost_model.allreduce_time(stage, workers)
-        pending.append((ready, stage, micro_batches, workers, launches, cost))
-    pending.sort(key=lambda t: (t[0], t[1], t[2]))
-
-    collectives: list[CollectiveRecord] = []
-    iteration_time = compute_makespan
-    link_free = [0.0] * num_workers
-    for ready, stage, micro_batches, workers, launches, cost in pending:
-        start = max([ready] + [link_free[w] for w in workers])
-        end = start + cost
-        for w in workers:
-            link_free[w] = end
-        collectives.append(
-            CollectiveRecord(
-                stage=stage,
-                micro_batches=micro_batches,
-                workers=workers,
-                launch_times=tuple(launches[w] for w in workers),
-                start=start,
-                end=end,
-            )
-        )
-        iteration_time = max(iteration_time, end)
-
-    # Progression contention: a collective in flight slows the compute it
-    # overlaps with (§3.2). Charged per worker proportionally to the
-    # overlapped span; extends both that worker's effective finish and the
-    # iteration.
-    if cost_model.sync_overlap_slowdown > 0 and collectives and not blocking_sync:
-        worker_compute_end = [0.0] * num_workers
-        for t in timed.values():
-            if t.op.is_compute:
-                worker_compute_end[t.worker] = max(
-                    worker_compute_end[t.worker], t.end
-                )
-        for record in collectives:
-            for w in record.workers:
-                overlap = max(
-                    0.0, min(record.end, worker_compute_end[w]) - record.start
-                )
-                penalty = cost_model.sync_overlap_slowdown * overlap
-                worker_compute_end[w] += penalty
-        compute_makespan = max(compute_makespan, max(worker_compute_end))
-        iteration_time = max(iteration_time, compute_makespan)
-
-    collectives.sort(key=lambda c: (c.start, c.stage))
-    return SimulationResult(
-        schedule=schedule,
-        cost_model=cost_model,
-        timed=timed,
-        collectives=collectives,
-        compute_makespan=compute_makespan,
-        iteration_time=iteration_time,
+    return _finalize(
+        schedule,
+        cost_model,
+        timed,
+        sync_group_members,
+        sync_launches,
+        [],
+        blocking_sync=blocking_sync,
     )

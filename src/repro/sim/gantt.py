@@ -6,6 +6,17 @@ worker, forward cells as the micro-batch number, backward cells shaded
 input-gradient half with a ``b`` suffix and the weight-gradient half with a
 ``w`` suffix. Used by the quickstart example and invaluable when debugging
 schedule builders.
+
+Lowered schedules (:mod:`repro.schedules.lowering`) additionally get
+**communication lanes** per worker (the ``P0>`` rows under ``P0``) showing
+that worker's outgoing transfers on the wire: ``a``/``g`` for
+activation/gradient payloads, the micro-batches, and the destination
+worker — e.g. ``a0>1`` is micro-batch 0's activations heading to worker 1.
+A transfer cell spans the interval the message is on the link, so queueing
+behind an earlier transfer (link contention) is directly visible as a
+right-shifted cell; transfers whose wire intervals overlap (the latency
+term pipelines) stack onto additional ``P0>`` rows rather than
+overwriting each other.
 """
 
 from __future__ import annotations
@@ -21,6 +32,7 @@ def render_gantt(
     cost_model: CostModel | None = None,
     cell_width: int = 4,
     time_step: float | None = None,
+    comm_lanes: bool | None = None,
 ) -> str:
     """Render a schedule (or a simulation result) as an ASCII Gantt chart.
 
@@ -33,6 +45,10 @@ def render_gantt(
         Characters per time cell.
     time_step:
         Seconds per cell; defaults to the smallest op duration.
+    comm_lanes:
+        Draw per-worker transfer lanes. Defaults to True exactly when the
+        simulation produced transfers with nonzero wire time (i.e. a
+        lowered schedule under a topology with communication costs).
     """
     if isinstance(source, SimulationResult):
         result = source
@@ -46,10 +62,15 @@ def render_gantt(
         time_step = min(t.duration for t in compute if t.duration > 0)
     horizon = result.compute_makespan
     num_cells = max(1, round(horizon / time_step))
+    if comm_lanes is None:
+        comm_lanes = any(t.duration > 0 for t in result.transfers)
 
     lines = []
     header = f"{result.schedule.describe()}  (1 cell = {time_step:g}s)"
     lines.append(header)
+    # Row prefixes share one width so comm lanes align with their compute
+    # row at any worker count.
+    tag_width = max(4, len(f"P{result.schedule.num_workers - 1}>"))
     for worker in range(result.schedule.num_workers):
         cells = ["." * cell_width] * num_cells
         for t in result.timed_ops_on(worker):
@@ -58,7 +79,39 @@ def render_gantt(
             last = max(first, min(num_cells - 1, round(t.end / time_step) - 1))
             for c in range(first, last + 1):
                 cells[c] = label[:cell_width].center(cell_width)
-        lines.append(f"P{worker:<3}|" + "|".join(cells) + "|")
+        lines.append(f"P{worker}".ljust(tag_width) + "|" + "|".join(cells) + "|")
+        if comm_lanes:
+            # Overlapping transfers (only the beta term serializes; alpha
+            # pipelines) stack onto extra lanes instead of overwriting.
+            lanes: list[list[str]] = []
+            lane_free: list[float] = []
+            for t in result.transfers_from(worker):
+                if t.duration <= 0:
+                    continue
+                for index, free in enumerate(lane_free):
+                    if t.start >= free - 1e-12:
+                        lane = index
+                        break
+                else:
+                    lanes.append([" " * cell_width] * num_cells)
+                    lane_free.append(0.0)
+                    lane = len(lanes) - 1
+                lane_free[lane] = t.end
+                label = (
+                    f"{'a' if t.payload == 'act' else 'g'}"
+                    f"{','.join(str(m) for m in t.micro_batches)}"
+                    f">{t.dst_worker}"
+                )
+                first = min(num_cells - 1, round(t.start / time_step))
+                last = max(
+                    first, min(num_cells - 1, round(t.end / time_step) - 1)
+                )
+                for c in range(first, last + 1):
+                    lanes[lane][c] = label[:cell_width].center(cell_width)
+            for row in lanes:
+                lines.append(
+                    f"P{worker}>".ljust(tag_width) + "|" + "|".join(row) + "|"
+                )
     # Synchronization summary line.
     if result.collectives:
         syncs = ", ".join(
@@ -66,6 +119,12 @@ def render_gantt(
         )
         more = "" if len(result.collectives) <= 8 else ", ..."
         lines.append(f"allreduce: {syncs}{more}")
+    if result.transfers:
+        lines.append(
+            f"p2p transfers: {len(result.transfers)} "
+            f"(wire time {sum(t.duration for t in result.transfers):g}s, "
+            f"occupancy {sum(t.occupancy for t in result.transfers):g}s)"
+        )
     lines.append(
         f"compute makespan={result.compute_makespan:g}s  "
         f"iteration={result.iteration_time:g}s"

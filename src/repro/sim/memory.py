@@ -161,7 +161,9 @@ def analyze_memory(schedule: Schedule, model: MemoryModel) -> MemoryReport:
         remaining_parts: dict[tuple[int, int, int], float] = {}
         stash_of: dict[tuple[int, int, int], float] = {}
         for op in schedule.worker_ops[worker]:
-            if op.kind is OpKind.ALLREDUCE:
+            # Collectives and explicit SEND/RECV (lowered schedules) neither
+            # create nor release activation stashes.
+            if not op.is_compute:
                 continue
             if op.is_forward:
                 for mb in op.micro_batches:

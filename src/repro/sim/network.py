@@ -7,6 +7,25 @@ a reasonable model of Piz Daint's Aries dragonfly, which the paper also
 treats as "bidirectional and direct point-to-point communication between
 compute nodes") and a hierarchical topology for the V100 cluster
 (NVLink inside a server, InfiniBand between servers, Figure 16).
+
+Channels and contention
+-----------------------
+For *lowered* schedules (explicit SEND/RECV ops) the event-queue simulator
+treats each link as a serially reusable **channel**: a transfer occupies
+its channel for the bandwidth term ``beta * L`` (the serialization time on
+the wire) while the latency term ``alpha`` pipelines — two messages can be
+in flight, but their bytes cannot interleave. ``duplex`` selects the
+channel granularity:
+
+* ``"full"`` (default) — each *direction* of a worker pair is its own
+  channel; ``a -> b`` and ``b -> a`` never contend (Aries/NVLink/IB are
+  full-duplex).
+* ``"half"`` — both directions share one channel, modelling half-duplex
+  interconnects or a shared bus.
+
+With ``beta = 0`` (infinite bandwidth) occupancy vanishes and the lowered
+simulation reproduces the implicit-communication timing exactly — the
+contention-free limit used by the parity tests.
 """
 
 from __future__ import annotations
@@ -14,6 +33,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.common.errors import ConfigurationError
+
+#: Valid values for a topology's ``duplex`` mode.
+DUPLEX_MODES = ("full", "half")
 
 
 @dataclass(frozen=True)
@@ -42,6 +64,10 @@ class LinkSpec:
         """Time to move ``num_bytes`` over this link."""
         return self.alpha + self.beta * num_bytes
 
+    def occupancy(self, num_bytes: float) -> float:
+        """Seconds the link's channel is held: the bandwidth term only."""
+        return self.beta * num_bytes
+
     @staticmethod
     def from_bandwidth(alpha: float, bandwidth_bytes_per_sec: float) -> "LinkSpec":
         """Build a link from a latency and a bandwidth (bytes/s)."""
@@ -50,17 +76,41 @@ class LinkSpec:
         return LinkSpec(alpha=alpha, beta=1.0 / bandwidth_bytes_per_sec)
 
 
+def _check_duplex(duplex: str) -> str:
+    if duplex not in DUPLEX_MODES:
+        raise ConfigurationError(
+            f"duplex must be one of {DUPLEX_MODES}, got {duplex!r}"
+        )
+    return duplex
+
+
+def _channel(src: int, dst: int, duplex: str) -> tuple[int, int]:
+    """Contention-channel id for a ``src -> dst`` transfer."""
+    if duplex == "half" and src > dst:
+        return (dst, src)
+    return (src, dst)
+
+
 class FlatTopology:
     """All worker pairs share one link class."""
 
-    def __init__(self, link: LinkSpec):
+    def __init__(self, link: LinkSpec, *, duplex: str = "full"):
         self.link = link
+        self.duplex = _check_duplex(duplex)
 
     def p2p_time(self, src: int, dst: int, num_bytes: float) -> float:
         """Point-to-point message time between two workers."""
         if src == dst:
             return 0.0
         return self.link.time(num_bytes)
+
+    def link_of(self, src: int, dst: int) -> LinkSpec:
+        """The link class carrying a ``src -> dst`` transfer."""
+        return self.link
+
+    def channel(self, src: int, dst: int) -> tuple[int, int]:
+        """The contention channel a ``src -> dst`` transfer occupies."""
+        return _channel(src, dst, self.duplex)
 
     def group_link(self, workers: tuple[int, ...]) -> LinkSpec:
         """The link class that bounds a collective over ``workers``."""
@@ -74,12 +124,20 @@ class HierarchicalTopology:
     (e.g. 8 V100s behind NVLink, nodes connected by InfiniBand).
     """
 
-    def __init__(self, intra: LinkSpec, inter: LinkSpec, gpus_per_node: int):
+    def __init__(
+        self,
+        intra: LinkSpec,
+        inter: LinkSpec,
+        gpus_per_node: int,
+        *,
+        duplex: str = "full",
+    ):
         if gpus_per_node < 1:
             raise ConfigurationError("gpus_per_node must be >= 1")
         self.intra = intra
         self.inter = inter
         self.gpus_per_node = gpus_per_node
+        self.duplex = _check_duplex(duplex)
 
     def node_of(self, worker: int) -> int:
         return worker // self.gpus_per_node
@@ -87,8 +145,15 @@ class HierarchicalTopology:
     def p2p_time(self, src: int, dst: int, num_bytes: float) -> float:
         if src == dst:
             return 0.0
-        link = self.intra if self.node_of(src) == self.node_of(dst) else self.inter
-        return link.time(num_bytes)
+        return self.link_of(src, dst).time(num_bytes)
+
+    def link_of(self, src: int, dst: int) -> LinkSpec:
+        """NVLink-class within a node, the inter-node link across nodes."""
+        return self.intra if self.node_of(src) == self.node_of(dst) else self.inter
+
+    def channel(self, src: int, dst: int) -> tuple[int, int]:
+        """The contention channel a ``src -> dst`` transfer occupies."""
+        return _channel(src, dst, self.duplex)
 
     def group_link(self, workers: tuple[int, ...]) -> LinkSpec:
         """Bounding link for a collective: inter-node if the group spans nodes."""

@@ -5,6 +5,14 @@ into the Trace Event JSON format that ``chrome://tracing`` / Perfetto
 render: one row per worker, forward/backward/collective events with
 micro-batch and replica metadata. Handy for inspecting big schedules the
 ASCII Gantt cannot fit.
+
+Process rows: pid 0 holds the per-worker compute lanes, pid 1 the
+collectives, and pid 2 the explicit p2p transfers of a lowered schedule
+(one lane per source worker). A transfer event spans its time on the
+wire; channel queueing shows up as the event starting *after* its
+producer op ends in the pid-0 lane above (the message waited for the
+link), and each event's ``args.occupancy`` carries the serialized
+portion.
 """
 
 from __future__ import annotations
@@ -20,11 +28,11 @@ _SCALE = 1e6
 
 
 def to_chrome_trace(result: SimulationResult) -> list[dict]:
-    """Trace events for every compute op and collective."""
+    """Trace events for every compute op, collective, and p2p transfer."""
     events: list[dict] = []
     for timed in result.timed.values():
         op = timed.op
-        if op.kind is OpKind.ALLREDUCE:
+        if op.kind is OpKind.ALLREDUCE or op.is_comm:
             continue
         name = op.kind.value + ",".join(str(m) for m in op.micro_batches)
         if op.is_forward:
@@ -65,7 +73,34 @@ def to_chrome_trace(result: SimulationResult) -> list[dict]:
                     "args": {"workers": list(record.workers)},
                 }
             )
-    events.sort(key=lambda e: (e["tid"], e["ts"]))
+    for transfer in result.transfers:
+        if transfer.duration <= 0:
+            # Free links: no wire time to draw (matches the gantt, which
+            # suppresses its comm lanes for zero-duration transfers).
+            continue
+        mbs = ",".join(str(m) for m in transfer.micro_batches)
+        events.append(
+            {
+                "name": f"{transfer.payload}{mbs}"
+                f" P{transfer.src_worker}->P{transfer.dst_worker}",
+                "cat": "p2p",
+                "ph": "X",
+                "ts": transfer.start * _SCALE,
+                "dur": max(1.0, transfer.duration * _SCALE),
+                "pid": 2,
+                "tid": transfer.src_worker,
+                "args": {
+                    "payload": transfer.payload,
+                    "micro_batches": list(transfer.micro_batches),
+                    "dst_worker": transfer.dst_worker,
+                    "occupancy": transfer.occupancy,
+                    "channel": list(transfer.channel)
+                    if transfer.channel is not None
+                    else None,
+                },
+            }
+        )
+    events.sort(key=lambda e: (e["pid"], e["tid"], e["ts"]))
     return events
 
 

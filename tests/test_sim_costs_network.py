@@ -61,6 +61,93 @@ class TestTopologies:
         assert topo.group_link((0, 4)) is topo.inter
 
 
+class TestHierarchicalTopology:
+    def _topo(self, **kw):
+        return HierarchicalTopology(
+            intra=LinkSpec(alpha=1e-6, beta=1e-11),
+            inter=LinkSpec(alpha=1e-5, beta=1e-9),
+            gpus_per_node=8,
+            **kw,
+        )
+
+    def test_node_of(self):
+        topo = self._topo()
+        assert topo.node_of(0) == 0
+        assert topo.node_of(7) == 0
+        assert topo.node_of(8) == 1
+
+    def test_intra_node_uses_fast_link(self):
+        topo = self._topo()
+        assert topo.p2p_time(0, 7, 1e6) == pytest.approx(
+            topo.intra.time(1e6)
+        )
+
+    def test_inter_node_uses_slow_link(self):
+        topo = self._topo()
+        assert topo.p2p_time(7, 8, 1e6) == pytest.approx(
+            topo.inter.time(1e6)
+        )
+
+    def test_link_of_matches_p2p_time(self):
+        topo = self._topo()
+        for src, dst in ((0, 1), (0, 8), (15, 16), (8, 15)):
+            assert topo.link_of(src, dst).time(123.0) == pytest.approx(
+                topo.p2p_time(src, dst, 123.0)
+            )
+
+    def test_group_link_bounded_by_any_spanning_member(self):
+        topo = self._topo()
+        assert topo.group_link((0, 1, 2, 3)) is topo.intra
+        assert topo.group_link((0, 1, 2, 9)) is topo.inter
+        assert topo.group_link((8, 9)) is topo.intra
+
+    def test_invalid_gpus_per_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HierarchicalTopology(
+                intra=LinkSpec(0.0, 0.0), inter=LinkSpec(0.0, 0.0), gpus_per_node=0
+            )
+
+
+class TestChannels:
+    def test_full_duplex_directions_independent(self):
+        topo = FlatTopology(LinkSpec(0.0, 1.0), duplex="full")
+        assert topo.channel(0, 1) != topo.channel(1, 0)
+
+    def test_half_duplex_directions_shared(self):
+        topo = FlatTopology(LinkSpec(0.0, 1.0), duplex="half")
+        assert topo.channel(0, 1) == topo.channel(1, 0)
+
+    def test_hierarchical_duplex_modes(self):
+        kw = dict(
+            intra=LinkSpec(0.0, 1.0), inter=LinkSpec(0.0, 2.0), gpus_per_node=2
+        )
+        assert HierarchicalTopology(**kw).channel(0, 3) != (
+            HierarchicalTopology(**kw).channel(3, 0)
+        )
+        half = HierarchicalTopology(duplex="half", **kw)
+        assert half.channel(0, 3) == half.channel(3, 0)
+
+    def test_invalid_duplex_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlatTopology(LinkSpec(0.0, 1.0), duplex="simplex")
+
+    def test_occupancy_is_bandwidth_term_only(self):
+        link = LinkSpec(alpha=5.0, beta=0.5)
+        assert link.occupancy(10.0) == pytest.approx(5.0)
+        assert link.time(10.0) == pytest.approx(10.0)
+
+    def test_cost_model_occupancy_and_channel(self):
+        topo = FlatTopology(LinkSpec(alpha=1.0, beta=2.0))
+        cm = CostModel(
+            forward_time=1.0, topology=topo, activation_message_bytes=3.0
+        )
+        assert cm.p2p_occupancy(0, 1, 1.0) == pytest.approx(6.0)
+        assert cm.p2p_occupancy(1, 1, 1.0) == 0.0
+        assert cm.p2p_channel(0, 1) == (0, 1)
+        assert cm.p2p_channel(2, 2) is None
+        assert CostModel(forward_time=1.0).p2p_channel(0, 1) is None
+
+
 class TestCollectiveCosts:
     def test_rabenseifner_formula(self):
         # 2 log2(r) alpha + 2 (r-1)/r beta L

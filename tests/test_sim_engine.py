@@ -2,10 +2,12 @@
 
 import pytest
 
-from repro.schedules.registry import build_schedule
+from repro.common.errors import ScheduleError
+from repro.schedules.lowering import lower_schedule
+from repro.schedules.registry import available_schemes, build_schedule
 from repro.sim.cost import CostModel
-from repro.sim.engine import simulate
-from repro.sim.network import FlatTopology, LinkSpec
+from repro.sim.engine import simulate, simulate_polling
+from repro.sim.network import FlatTopology, HierarchicalTopology, LinkSpec
 
 
 class TestComputeTiming:
@@ -136,3 +138,155 @@ class TestSync:
         base = simulate(s, self._cost())
         slowed = simulate(s, self._cost(sync_overlap_slowdown=0.5))
         assert slowed.iteration_time >= base.iteration_time
+
+
+class TestEventQueueMatchesPolling:
+    """Differential: the event-queue engine must reproduce the seed's
+    polling loop exactly for every implicit-communication schedule."""
+
+    def _cost_models(self):
+        topo = FlatTopology(LinkSpec(alpha=0.1, beta=1e-3))
+        return [
+            CostModel.practical(),
+            CostModel(
+                forward_time=1.0,
+                topology=topo,
+                activation_message_bytes=10.0,
+                stage_grad_bytes=100.0,
+                data_parallel_width=2,
+                sync_launch_overhead=0.05,
+            ),
+        ]
+
+    @pytest.mark.parametrize("scheme", available_schemes())
+    def test_identical_timings(self, scheme):
+        s = build_schedule(scheme, 4, 8)
+        for cm in self._cost_models():
+            a = simulate(s, cm)
+            b = simulate_polling(s, cm)
+            assert a.iteration_time == pytest.approx(b.iteration_time, abs=1e-12)
+            assert a.compute_makespan == pytest.approx(
+                b.compute_makespan, abs=1e-12
+            )
+            for key, timed in a.timed.items():
+                assert timed.start == pytest.approx(b.timed[key].start, abs=1e-12)
+                assert timed.end == pytest.approx(b.timed[key].end, abs=1e-12)
+
+    @pytest.mark.parametrize("scheme", ["chimera", "pipedream", "zb_v"])
+    def test_identical_under_blocking_sync(self, scheme):
+        s = build_schedule(scheme, 4, 8)
+        for cm in self._cost_models():
+            a = simulate(s, cm, blocking_sync=True)
+            b = simulate_polling(s, cm, blocking_sync=True)
+            assert a.iteration_time == pytest.approx(b.iteration_time, abs=1e-12)
+            for key, timed in a.timed.items():
+                assert timed.start == pytest.approx(b.timed[key].start, abs=1e-12)
+
+    def test_polling_rejects_lowered_schedules(self):
+        low = lower_schedule(build_schedule("dapple", 2, 2))
+        with pytest.raises(ScheduleError):
+            simulate_polling(low, CostModel.practical())
+
+    def test_dense_cache_reused_across_cost_models(self):
+        from repro.schedules.dependencies import build_dependency_graph
+
+        s = build_schedule("chimera", 4, 4)
+        g = build_dependency_graph(s)
+        r1 = simulate(s, CostModel.practical(), graph=g)
+        dense = getattr(g, "_dense")
+        r2 = simulate(s, CostModel.unit(), graph=g)
+        assert getattr(g, "_dense") is dense
+        assert r2.compute_makespan != r1.compute_makespan
+
+
+class TestHierarchicalSimulation:
+    """HierarchicalTopology end to end: intra/inter hops and collectives."""
+
+    def _cost(self, gpus_per_node, **kw):
+        topo = HierarchicalTopology(
+            intra=LinkSpec(alpha=0.01, beta=0.0),
+            inter=LinkSpec(alpha=1.0, beta=0.0),
+            gpus_per_node=gpus_per_node,
+            **kw,
+        )
+        return CostModel(
+            forward_time=1.0, topology=topo, activation_message_bytes=1.0
+        )
+
+    def test_node_boundary_hop_dominates(self):
+        s = build_schedule("dapple", 4, 1)
+        inside = simulate(s, self._cost(4))
+        split = simulate(s, self._cost(2))
+        # One forward + one backward hop cross the node boundary.
+        assert split.compute_makespan == pytest.approx(
+            inside.compute_makespan + 2 * (1.0 - 0.01)
+        )
+
+    def test_collective_spanning_nodes_pays_inter_link(self):
+        topo_narrow = HierarchicalTopology(
+            intra=LinkSpec(0.0, 1e-4), inter=LinkSpec(0.0, 1e-1), gpus_per_node=4
+        )
+        topo_wide = HierarchicalTopology(
+            intra=LinkSpec(0.0, 1e-4), inter=LinkSpec(0.0, 1e-1), gpus_per_node=2
+        )
+        s = build_schedule("chimera", 4, 4)
+        base = dict(
+            forward_time=1.0, stage_grad_bytes=100.0, data_parallel_width=2
+        )
+        within = simulate(s, CostModel(topology=topo_narrow, **base))
+        spanning = simulate(s, CostModel(topology=topo_wide, **base))
+        # Chimera's stage-replica pairs {0,3} and {1,2} span nodes when
+        # only two workers share one.
+        assert max(c.cost for c in spanning.collectives) > max(
+            c.cost for c in within.collectives
+        )
+
+
+class TestBlockingSyncAblation:
+    """blocking_sync=True semantics (the §3.2 ablation)."""
+
+    def _cost(self):
+        topo = FlatTopology(LinkSpec(alpha=0.0, beta=1e-2))
+        return CostModel(
+            forward_time=1.0,
+            topology=topo,
+            stage_grad_bytes=100.0,
+            data_parallel_width=2,
+        )
+
+    def test_worker_blocks_until_collective_done(self):
+        s = build_schedule("chimera", 4, 4, sync_mode="eager")
+        r = simulate(s, self._cost(), blocking_sync=True)
+        for record in r.collectives:
+            for worker in record.workers:
+                after = [
+                    t
+                    for t in r.timed_ops_on(worker)
+                    if t.start > max(record.launch_times) - 1e-12
+                ]
+                for t in after:
+                    assert t.start >= record.end - 1e-9
+
+    def test_blocking_extends_compute_makespan(self):
+        s = build_schedule("chimera", 4, 4, sync_mode="eager")
+        nb = simulate(s, self._cost())
+        bl = simulate(s, self._cost(), blocking_sync=True)
+        assert bl.compute_makespan > nb.compute_makespan
+
+    def test_blocking_equals_nonblocking_without_collective_cost(self):
+        s = build_schedule("chimera", 4, 4)
+        cm = CostModel.practical()  # no topology: collectives are free
+        assert simulate(s, cm, blocking_sync=True).iteration_time == (
+            pytest.approx(simulate(s, cm).iteration_time)
+        )
+
+    def test_blocking_sync_tail_is_zero(self):
+        """A blocking iteration ends with its last compute op — the
+        collectives were folded into the workers' timelines."""
+        s = build_schedule("chimera", 4, 4, sync_mode="lazy")
+        r = simulate(s, self._cost(), blocking_sync=True)
+        last_launch = max(c.launch_times[-1] for c in r.collectives)
+        assert r.iteration_time == pytest.approx(
+            max(r.compute_makespan, max(c.end for c in r.collectives))
+        )
+        assert last_launch <= r.iteration_time

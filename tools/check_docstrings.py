@@ -1,7 +1,9 @@
 #!/usr/bin/env python
-"""CI docs check: every module under ``src/repro/`` has a module docstring.
+"""CI docs check: every tracked Python module has a module docstring.
 
-Run from the repository root (no third-party dependencies):
+Covers the library (``src/repro/``) plus the benchmark targets
+(``benchmarks/``) and the CI tooling itself (``tools/``). Run from the
+repository root (no third-party dependencies):
 
     python tools/check_docstrings.py
 """
@@ -11,6 +13,10 @@ from __future__ import annotations
 import ast
 import pathlib
 import sys
+
+#: Directories (relative to the repository root) whose ``*.py`` files must
+#: carry module docstrings.
+CHECKED_DIRS = ("src/repro", "benchmarks", "tools")
 
 
 def missing_docstrings(root: pathlib.Path) -> list[pathlib.Path]:
@@ -24,15 +30,27 @@ def missing_docstrings(root: pathlib.Path) -> list[pathlib.Path]:
 
 
 def main() -> int:
-    root = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
-    bad = missing_docstrings(root)
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    bad: list[pathlib.Path] = []
+    count = 0
+    for rel in CHECKED_DIRS:
+        root = repo / rel
+        if not root.is_dir():
+            # A silently missing root would disable the gate for that
+            # whole directory; fail loudly instead.
+            print(f"checked directory does not exist: {root}")
+            return 1
+        bad.extend(missing_docstrings(root))
+        count += sum(1 for _ in root.rglob("*.py"))
     if bad:
         print("modules missing a module docstring:")
         for path in bad:
             print(f"  {path}")
         return 1
-    count = sum(1 for _ in root.rglob("*.py"))
-    print(f"ok: all {count} modules under src/repro/ have module docstrings")
+    print(
+        f"ok: all {count} modules under {', '.join(CHECKED_DIRS)} have "
+        f"module docstrings"
+    )
     return 0
 
 
