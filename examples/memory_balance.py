@@ -11,7 +11,7 @@ Run:  python examples/memory_balance.py
 
 from repro.bench import PIZ_DAINT, GPT2_32
 from repro.perf.calibration import calibrate_memory_model
-from repro.schedules import available_schemes, build_schedule
+from repro.schedules import available_schemes, build_schedule, scheme_traits
 from repro.sim import analyze_memory
 
 WIDTH, DEPTH, MICRO_BATCH, MINI_BATCH = 2, 16, 1, 512
@@ -23,9 +23,6 @@ def bar(gib: float, scale: float = 2.0) -> str:
 
 def main() -> None:
     n = MINI_BATCH // (WIDTH * MICRO_BATCH)
-    memory_model = calibrate_memory_model(
-        PIZ_DAINT, GPT2_32, depth=DEPTH, micro_batch=MICRO_BATCH
-    )
     capacity = PIZ_DAINT.usable_memory_bytes
     print(
         f"{GPT2_32.describe()}\n"
@@ -33,7 +30,17 @@ def main() -> None:
         f"(N={n} micro-batches per worker)\n"
     )
     for scheme in available_schemes():
+        stages = scheme_traits(scheme).stage_count(DEPTH)
+        if GPT2_32.num_layers % stages:
+            print(f"{scheme}  (skipped: {GPT2_32.num_layers} layers do not "
+                  f"split into {stages} stages)\n")
+            continue
         schedule = build_schedule(scheme, DEPTH, n)
+        # Calibrate per the schedule's own stage count (the V-shaped
+        # schemes fold 2D half-size chunks over D workers).
+        memory_model = calibrate_memory_model(
+            PIZ_DAINT, GPT2_32, depth=schedule.num_stages, micro_batch=MICRO_BATCH
+        )
         report = analyze_memory(schedule, memory_model)
         oom = "" if report.fits(capacity) else "  << OOM on 16 GiB P100"
         print(f"{scheme}  (peak {report.peak_bytes / 2**30:.2f} GiB, "

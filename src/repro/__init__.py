@@ -38,6 +38,16 @@ Performance model & configuration selection (paper §3.4)::
     from repro.bench import PIZ_DAINT, BERT48
     ranked = select_configuration(PIZ_DAINT, BERT48, num_workers=32,
                                   mini_batch=512)
+
+Scheme-agnostic planning under a peak-memory budget (every registered
+scheme enumerated over ``(W, D, B)``, pruned by the memory model, ranked
+by the contention-aware event-queue simulation)::
+
+    from repro import plan_configurations
+    from repro.common.units import GIB
+    table = plan_configurations(PIZ_DAINT, BERT48, num_workers=32,
+                                mini_batch=512,
+                                memory_budget_bytes=8 * GIB)
 """
 
 from repro.schedules import (
@@ -56,8 +66,11 @@ from repro.schedules import (
     build_schedule,
     build_zb_h1_schedule,
     build_zb_v_schedule,
+    build_zb_vhalf_schedule,
+    build_zb_vmin_schedule,
     is_lowered,
     lower_schedule,
+    scheme_traits,
     validate_schedule,
 )
 from repro.sim import (
@@ -71,6 +84,8 @@ from repro.sim import (
     simulate,
 )
 from repro.perf import (
+    PlanEntry,
+    plan_configurations,
     predict_closed_form,
     predict_iteration_time,
     select_configuration,
@@ -96,6 +111,9 @@ __all__ = [
     "build_schedule",
     "build_zb_h1_schedule",
     "build_zb_v_schedule",
+    "build_zb_vhalf_schedule",
+    "build_zb_vmin_schedule",
+    "scheme_traits",
     "is_lowered",
     "lower_schedule",
     "validate_schedule",
@@ -107,6 +125,8 @@ __all__ = [
     "bubble_ratio",
     "render_gantt",
     "simulate",
+    "PlanEntry",
+    "plan_configurations",
     "predict_closed_form",
     "predict_iteration_time",
     "select_configuration",

@@ -20,6 +20,7 @@ from repro.bench.experiments import (
     figure17,
     figure18,
     figure19,
+    planner_table,
     table2,
     table3,
     table4,
@@ -39,6 +40,7 @@ __all__ = [
     "figure17",
     "figure18",
     "figure19",
+    "planner_table",
     "table2",
     "table3",
     "table4",

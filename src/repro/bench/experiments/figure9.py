@@ -14,7 +14,7 @@ from repro.bench.harness import format_table
 from repro.bench.machines import PIZ_DAINT
 from repro.bench.workloads import BERT48, GPT2_32, TransformerSpec
 from repro.perf.calibration import calibrate_memory_model
-from repro.schedules.registry import available_schemes, build_schedule
+from repro.schedules.registry import available_schemes, build_schedule, scheme_traits
 from repro.sim.memory import MemoryReport, analyze_memory
 
 #: (workload, W, D, B, B̂) — the six panels of Figure 9.
@@ -33,8 +33,10 @@ def memory_report(
 ) -> MemoryReport:
     n = mini_batch // (width * micro_batch)
     schedule = build_schedule(scheme, depth, n)
+    # Calibrate per the schedule's own stage count: the V-shaped
+    # zero-bubble family folds 2D half-size chunks over D workers.
     model = calibrate_memory_model(
-        PIZ_DAINT, workload, depth=depth, micro_batch=micro_batch
+        PIZ_DAINT, workload, depth=schedule.num_stages, micro_batch=micro_batch
     )
     return analyze_memory(schedule, model)
 
@@ -46,6 +48,10 @@ def run(fast: bool = True) -> str:
     for workload, width, depth, micro_batch, mini_batch in configs:
         body = []
         for scheme in available_schemes():
+            stages = scheme_traits(scheme).stage_count(depth)
+            if workload.num_layers % stages:
+                body.append([scheme, "-", "-", "-", f"{stages} stages ∤ layers"])
+                continue
             report = memory_report(
                 workload, width, depth, micro_batch, mini_batch, scheme
             )

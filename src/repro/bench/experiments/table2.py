@@ -39,7 +39,7 @@ def analytic_bubble_ratio(scheme: str, depth: int, n: int) -> float:
     if scheme == "chimera":
         # Practical schedule before middle-bubble removal (§2):
         return (d - 2) / (1.5 * n + d - 2)
-    if scheme in ("zb_h1", "zb_v"):
+    if scheme in ("zb_h1", "zb_v", "zb_vhalf", "zb_vmin"):
         # Zero-bubble rows: b = w = F, see repro.schedules.analysis.
         return bubble_ratio_formula(scheme, depth, n)
     return 0.0  # PipeDream family: ~0 in steady state

@@ -19,8 +19,10 @@ from repro.sim.engine import simulate
 from repro.sim.memory import MemoryModel, analyze_memory
 from repro.sim.metrics import bubble_ratio
 
-#: Synchronous schemes compared, in presentation order.
-SCHEMES = ("dapple", "chimera", "zb_h1", "zb_v")
+#: Synchronous schemes compared, in presentation order. The
+#: memory-controllable variants close the table: same V placement as
+#: ZB-V, progressively smaller activation peaks, longer ramps.
+SCHEMES = ("dapple", "chimera", "zb_h1", "zb_v", "zb_vhalf", "zb_vmin")
 
 
 @dataclass(frozen=True)

@@ -4,9 +4,10 @@
 
 1. split the ``P = W * D`` workers into ``W`` pipeline groups of depth ``D``;
 2. derive ``N = B̂ / (W * B)`` micro-batches per group per iteration;
-3. check the memory model — if the configuration does not fit, retry with
-   activation recomputation (the paper's ``R`` annotation), and report OOM
-   if even that fails;
+3. check the memory model against the device capacity — or a tighter
+   explicit ``memory_budget_bytes`` — and if the configuration does not
+   fit, retry with activation recomputation (the paper's ``R``
+   annotation), reporting OOM if even that fails;
 4. build the scheme's schedule, simulate it under the calibrated cost
    model, and report throughput / bubble ratio / memory.
 """
@@ -44,11 +45,31 @@ class ExperimentConfig:
     #: p2p transfers then contend for link bandwidth instead of being a
     #: pure consumer-side delay.
     lowered: bool = False
+    #: Optional per-device peak-memory budget in bytes. The memory check
+    #: uses ``min(machine.usable_memory_bytes, memory_budget_bytes)`` — a
+    #: budget tighter than the device models a reservation (leaving room
+    #: for KV caches, fragmentation slack, a co-located service); a looser
+    #: one is clamped to the hardware. ``None`` means the device capacity.
+    memory_budget_bytes: float | None = None
     options: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.memory_budget_bytes is not None and self.memory_budget_bytes <= 0:
+            raise ConfigurationError(
+                f"memory budget must be positive, got {self.memory_budget_bytes}"
+            )
 
     @property
     def num_workers(self) -> int:
         return self.width * self.depth
+
+    @property
+    def capacity_bytes(self) -> float:
+        """Effective per-device byte budget the configuration must fit."""
+        capacity = self.machine.usable_memory_bytes
+        if self.memory_budget_bytes is not None:
+            capacity = min(capacity, self.memory_budget_bytes)
+        return capacity
 
     def num_micro_batches(self) -> int:
         denom = self.width * self.micro_batch
@@ -94,7 +115,14 @@ class ExperimentResult:
         return f"{self.config.scheme}(W={self.config.width}, D={self.config.depth}, B={self.config.micro_batch}{r})"
 
 
-def _memory_report(cfg: ExperimentConfig, recompute: bool):
+def memory_report(cfg: ExperimentConfig, recompute: bool):
+    """Build ``cfg``'s schedule and analyze its memory — no simulation.
+
+    Returns ``(schedule, MemoryReport)``. This is the pruning half of
+    :func:`run_configuration`, exposed so callers that only need the
+    fits/OOM verdict (the planner's enumerate-and-prune step) can skip
+    the simulation entirely.
+    """
     schedule = build_schedule(
         cfg.scheme,
         cfg.depth,
@@ -128,8 +156,8 @@ def run_configuration(cfg: ExperimentConfig) -> ExperimentResult:
     used_recompute = attempts[-1]
     oom = True
     for recompute in attempts:
-        schedule, report = _memory_report(cfg, recompute)
-        if report.fits(cfg.machine.usable_memory_bytes):
+        schedule, report = memory_report(cfg, recompute)
+        if report.fits(cfg.capacity_bytes):
             used_recompute = recompute
             oom = False
             break

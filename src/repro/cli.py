@@ -5,7 +5,11 @@ Commands
 ``show``      Render a schedule as an ASCII Gantt chart.
 ``simulate``  Simulate a configuration on a modelled machine and report
               throughput / bubble ratio / memory.
-``select``    Rank (W, D, B) configurations with the §3.4 model.
+``select``    Rank Chimera (W, D, B) configurations with the §3.4 model.
+``plan``      Scheme-agnostic planner: enumerate (scheme, W, D, B) over
+              every registered scheme, prune by the memory model against
+              an optional ``--budget-gib`` peak-memory budget, and rank
+              the survivors with the contention-aware event-queue engine.
 ``figure``    Regenerate one of the paper's tables/figures.
 ``trace``     Export a simulated schedule as Chrome-tracing JSON.
 
@@ -28,6 +32,8 @@ from repro.bench import experiments
 from repro.bench.harness import ExperimentConfig, run_configuration
 from repro.bench.machines import PIZ_DAINT, V100_CLUSTER
 from repro.bench.workloads import BERT48, GPT2_32, GPT2_64
+from repro.common.units import GIB
+from repro.perf.planner import format_plan, plan_configurations
 from repro.perf.selector import select_configuration
 from repro.schedules.lowering import lower_schedule
 from repro.schedules.registry import available_schemes, build_schedule
@@ -166,6 +172,27 @@ def cmd_select(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_plan(args: argparse.Namespace) -> int:
+    budget = args.budget_gib * GIB if args.budget_gib is not None else None
+    entries = plan_configurations(
+        MACHINES[args.machine],
+        WORKLOADS[args.workload],
+        num_workers=args.workers,
+        mini_batch=args.mini_batch,
+        memory_budget_bytes=budget,
+        schemes=args.schemes,
+        lowered=args.lower,
+        top_k=args.top,
+    )
+    budget_str = f"{args.budget_gib:g} GiB budget" if args.budget_gib else "device capacity"
+    print(
+        f"plan: {args.workload} on {args.machine}, P={args.workers}, "
+        f"B̂={args.mini_batch}, {budget_str}"
+    )
+    print(format_plan(entries))
+    return 0
+
+
 def cmd_figure(args: argparse.Namespace) -> int:
     print(FIGURES[args.name].run(fast=not args.full))
     return 0
@@ -197,12 +224,43 @@ def build_parser() -> argparse.ArgumentParser:
     _lower_arg(p)
     p.set_defaults(func=cmd_simulate)
 
-    p = sub.add_parser("select", help="rank (W, D, B) configurations")
+    p = sub.add_parser(
+        "select", help="rank Chimera (W, D, B) with the §3.4 model"
+    )
     p.add_argument("--machine", choices=sorted(MACHINES), default="piz-daint")
     p.add_argument("--workload", choices=sorted(WORKLOADS), default="bert-48")
     p.add_argument("--workers", "-P", type=int, default=32)
     p.add_argument("--mini-batch", type=int, default=512)
     p.set_defaults(func=cmd_select)
+
+    p = sub.add_parser(
+        "plan", help="rank (scheme, W, D, B) under a peak-memory budget"
+    )
+    p.add_argument("--machine", choices=sorted(MACHINES), default="piz-daint")
+    p.add_argument("--workload", choices=sorted(WORKLOADS), default="bert-48")
+    p.add_argument("--workers", "-P", type=int, default=32)
+    p.add_argument("--mini-batch", type=int, default=512)
+    p.add_argument(
+        "--budget-gib",
+        type=float,
+        default=None,
+        help="per-device peak-memory budget in GiB (default: device capacity)",
+    )
+    p.add_argument(
+        "--schemes",
+        nargs="+",
+        choices=available_schemes(),
+        default=None,
+        help="restrict the search to these schemes (default: all)",
+    )
+    p.add_argument("--top", type=int, default=10, help="rows to print")
+    p.add_argument(
+        "--lower",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="rank with explicit SEND/RECV link contention (default on)",
+    )
+    p.set_defaults(func=cmd_plan)
 
     p = sub.add_parser("figure", help="regenerate a paper table/figure")
     p.add_argument("name", choices=sorted(FIGURES))

@@ -1,10 +1,14 @@
-"""Performance modelling and configuration selection (paper §3.4).
+"""Performance modelling, configuration selection, and planning (§3.4).
 
 * :mod:`repro.perf.model` — Equation (1): closed-form critical-path counts
   plus a homogeneous-cost simulation for the communication-overlap term.
-* :mod:`repro.perf.selector` — the paper's configuration strategy: greedily
-  pick the largest micro-batch size that fits device memory, then use the
-  model to choose the best (W, D) split of the workers.
+* :mod:`repro.perf.selector` — the paper's Chimera-specific strategy:
+  greedily pick the largest micro-batch size that fits device memory, then
+  use the model to choose the best (W, D) split of the workers.
+* :mod:`repro.perf.planner` — the scheme-agnostic generalization: enumerate
+  ``(scheme, W, D, B)`` over every registered scheme, prune by the memory
+  model against a peak-memory budget, and rank the survivors with the
+  contention-aware event-queue simulation.
 * :mod:`repro.perf.calibration` — build cost/memory models from a machine
   spec and a workload spec (the stand-in for the paper's micro-benchmarks).
 """
@@ -15,6 +19,7 @@ from repro.perf.model import (
     predict_closed_form,
     predict_iteration_time,
 )
+from repro.perf.planner import PlanEntry, format_plan, plan_configurations
 from repro.perf.selector import ConfigCandidate, select_configuration
 from repro.perf.calibration import calibrate_cost_model, calibrate_memory_model
 
@@ -23,6 +28,9 @@ __all__ = [
     "chimera_critical_path",
     "predict_closed_form",
     "predict_iteration_time",
+    "PlanEntry",
+    "format_plan",
+    "plan_configurations",
     "ConfigCandidate",
     "select_configuration",
     "calibrate_cost_model",

@@ -1,0 +1,268 @@
+"""Scheme-agnostic configuration planning under a peak-memory budget.
+
+The paper's §3.4 selection procedure (:mod:`repro.perf.selector`) is
+hard-wired to the bidirectional schedule: Chimera has so few bubbles that
+the largest micro-batch wins and only ``(W, D)`` needs ranking. With ten
+registered schemes — including the memory-controllable zero-bubble family,
+whose whole point is trading ramp time for peak activation memory —
+selection becomes a genuine search problem over ``(scheme, W, D, B)``:
+
+1. **Enumerate.** For every requested scheme, every depth ``D`` dividing
+   ``P`` (respecting the scheme's structural traits: even depth for the
+   bidirectional placements, ``2D`` model chunks for the V-shaped family)
+   and every power-of-two micro-batch size ``B`` dividing the per-group
+   share of the mini-batch.
+2. **Prune.** Run :func:`repro.sim.memory.analyze_memory` on the real
+   schedule and drop candidates whose peak exceeds
+   ``min(machine.usable_memory_bytes, memory_budget_bytes)`` — retrying
+   once with activation recomputation, exactly like the experiment
+   harness.
+3. **Rank.** Simulate each survivor with the event-queue engine — lowered
+   by default, so p2p transfers contend for link bandwidth — and sort by
+   simulated end-to-end throughput.
+
+Every pruning decision and the final ranking go through the same code
+paths as the benchmark harness (:mod:`repro.bench.harness`), so a plan
+entry is exactly the configuration's ``run_configuration`` outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, Sequence
+
+from repro.common.errors import ConfigurationError, ScheduleError
+from repro.bench.harness import (
+    ExperimentConfig,
+    format_table,
+    memory_report,
+    run_configuration,
+)
+from repro.bench.machines import MachineSpec
+from repro.bench.workloads import TransformerSpec
+from repro.schedules.registry import available_schemes, scheme_traits
+
+#: Largest micro-batch size the enumeration considers (power-of-two scan).
+DEFAULT_MAX_MICRO_BATCH = 512
+
+
+@dataclass(frozen=True)
+class PlanEntry:
+    """One feasible configuration with its simulated performance."""
+
+    scheme: str
+    width: int
+    depth: int
+    micro_batch: int
+    num_micro_batches: int
+    recompute: bool
+    iteration_time: float
+    throughput: float  # sequences / second
+    bubble_ratio: float
+    peak_memory_bytes: float
+
+    def label(self) -> str:
+        r = ", R" if self.recompute else ""
+        return (
+            f"{self.scheme}(W={self.width}, D={self.depth}, "
+            f"B={self.micro_batch}{r})"
+        )
+
+
+def candidate_grid(
+    num_workers: int,
+    workload: TransformerSpec,
+    mini_batch: int,
+    *,
+    schemes: Sequence[str],
+    min_depth: int = 2,
+    max_micro_batch: int = DEFAULT_MAX_MICRO_BATCH,
+) -> Iterator[tuple[str, int, int, int]]:
+    """Yield structurally valid ``(scheme, width, depth, micro_batch)``.
+
+    A depth is valid for a scheme when it divides ``P``, satisfies the
+    scheme's parity trait, and the workload's layers split evenly into the
+    schedule's stage count (``2D`` for the V-shaped family). Micro-batch
+    sizes scan powers of two with ``W * B`` dividing the mini-batch.
+    """
+    for scheme in schemes:
+        traits = scheme_traits(scheme)
+        for depth in range(min_depth, num_workers + 1):
+            if num_workers % depth:
+                continue
+            if traits.requires_even_depth and depth % 2:
+                continue
+            if workload.num_layers % traits.stage_count(depth):
+                continue
+            width = num_workers // depth
+            b = 1
+            while b <= max_micro_batch and width * b <= mini_batch:
+                if mini_batch % (width * b) == 0:
+                    yield scheme, width, depth, b
+                b *= 2
+
+
+def plan_configurations(
+    machine: MachineSpec,
+    workload: TransformerSpec,
+    *,
+    num_workers: int,
+    mini_batch: int,
+    memory_budget_bytes: float | None = None,
+    schemes: Sequence[str] | None = None,
+    min_depth: int = 2,
+    max_micro_batch: int = DEFAULT_MAX_MICRO_BATCH,
+    lowered: bool = True,
+    top_k: int | None = None,
+) -> list[PlanEntry]:
+    """Rank every feasible ``(scheme, W, D, B)`` under a memory budget.
+
+    Parameters
+    ----------
+    memory_budget_bytes:
+        Per-device peak-memory cap; candidates are pruned against
+        ``min(machine.usable_memory_bytes, budget)``. ``None`` uses the
+        device capacity alone.
+    schemes:
+        Scheme names to consider (default: every registered scheme).
+    lowered:
+        Rank with explicit SEND/RECV communication, so transfers contend
+        for link bandwidth (the event-queue engine's contention model).
+    top_k:
+        Truncate the ranked table; ``None`` returns every survivor.
+
+    Raises
+    ------
+    ConfigurationError
+        When the search space is empty, with a message naming the first
+        failed step: an empty/unknown scheme list, no valid ``(W, D)``
+        factorization, or no micro-batch size fitting the budget.
+    """
+    if num_workers < 2:
+        raise ConfigurationError(
+            f"need at least two workers for a pipeline, got P={num_workers}"
+        )
+    if mini_batch < 1:
+        raise ConfigurationError(f"mini-batch must be positive, got {mini_batch}")
+    if schemes is None:
+        schemes = available_schemes()
+    schemes = tuple(schemes)
+    if not schemes:
+        raise ConfigurationError(
+            "empty scheme list: pass at least one scheme to plan over, or "
+            f"None for all of {list(available_schemes())}"
+        )
+    for scheme in schemes:
+        scheme_traits(scheme)  # raises with the available list on a typo
+
+    grid = list(
+        candidate_grid(
+            num_workers,
+            workload,
+            mini_batch,
+            schemes=schemes,
+            min_depth=min_depth,
+            max_micro_batch=max_micro_batch,
+        )
+    )
+    if not grid:
+        raise ConfigurationError(
+            f"no valid (W, D) factorization of P={num_workers} for "
+            f"{workload.name} ({workload.num_layers} layers) with schemes "
+            f"{list(schemes)}: every depth in "
+            f"[{min_depth}, {num_workers}] fails a divisibility or parity "
+            f"constraint — try a different worker count or min_depth"
+        )
+
+    entries: list[PlanEntry] = []
+    closest: tuple[float, str] | None = None  # (peak overshoot, label)
+    for scheme, width, depth, micro_batch in grid:
+        cfg = ExperimentConfig(
+            scheme=scheme,
+            machine=machine,
+            workload=workload,
+            width=width,
+            depth=depth,
+            micro_batch=micro_batch,
+            mini_batch=mini_batch,
+            lowered=lowered,
+            memory_budget_bytes=memory_budget_bytes,
+        )
+        # Prune before ranking: the memory verdict needs no simulation, so
+        # OOM candidates never pay the event-engine cost.
+        try:
+            fits_recompute: bool | None = None
+            for recompute in (False, True):
+                _, report = memory_report(cfg, recompute)
+                if report.fits(cfg.capacity_bytes):
+                    fits_recompute = recompute
+                    break
+            if fits_recompute is None:
+                r = ", R" if recompute else ""
+                overshoot = report.peak_bytes - cfg.capacity_bytes
+                if closest is None or overshoot < closest[0]:
+                    closest = (
+                        overshoot,
+                        f"{scheme}(W={width}, D={depth}, B={micro_batch}{r})",
+                    )
+                continue
+            result = run_configuration(replace(cfg, recompute=fits_recompute))
+        except (ConfigurationError, ScheduleError):
+            continue  # structurally invalid corner (e.g. N < 1)
+        if result.oom:  # pragma: no cover - prune already excluded these
+            continue
+        entries.append(
+            PlanEntry(
+                scheme=scheme,
+                width=width,
+                depth=depth,
+                micro_batch=micro_batch,
+                num_micro_batches=result.num_micro_batches,
+                recompute=result.recompute,
+                iteration_time=result.iteration_time,
+                throughput=result.throughput,
+                bubble_ratio=result.bubble_ratio,
+                peak_memory_bytes=result.peak_memory_bytes,
+            )
+        )
+
+    if not entries:
+        budget_gib = (
+            min(machine.usable_memory_bytes, memory_budget_bytes)
+            if memory_budget_bytes is not None
+            else machine.usable_memory_bytes
+        ) / 2**30
+        detail = (
+            f"; closest candidate {closest[1]} overshoots by "
+            f"{closest[0] / 2**30:.2f} GiB" if closest else ""
+        )
+        raise ConfigurationError(
+            f"no micro-batch size fits the {budget_gib:.2f} GiB memory "
+            f"budget for P={num_workers}, B̂={mini_batch} on "
+            f"{machine.name}{detail} — raise the budget, add workers, or "
+            f"allow deeper pipelines"
+        )
+
+    entries.sort(key=lambda e: (-e.throughput, e.iteration_time, e.label()))
+    if top_k is not None:
+        entries = entries[:top_k]
+    return entries
+
+
+def format_plan(entries: Sequence[PlanEntry]) -> str:
+    """Render a ranked plan as the standard plain-text table."""
+    body = [
+        [
+            i,
+            e.label(),
+            f"N={e.num_micro_batches}",
+            f"{e.throughput:.1f}",
+            f"{e.bubble_ratio * 100:.1f}%",
+            f"{e.peak_memory_bytes / 2**30:.2f}",
+        ]
+        for i, e in enumerate(entries, 1)
+    ]
+    return format_table(
+        body,
+        headers=["rank", "configuration", "micro-batches", "seq/s", "bubble", "peak GiB"],
+    )

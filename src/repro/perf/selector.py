@@ -1,4 +1,4 @@
-"""Configuration selection (paper §3.4, Figure 13).
+"""Chimera-specific configuration selection (paper §3.4, Figure 13).
 
 Chimera's tuning procedure: because the bidirectional schedule has few
 bubbles, it *greedily* takes the largest micro-batch size ``B`` that fits
@@ -6,6 +6,12 @@ device memory (no bubble/efficiency trade-off to sweep), then uses the
 performance model to pick ``(W, D)`` among the factorizations of ``P``.
 This shrinks the search space from the baselines' full ``(W, D, B)`` grid
 to a handful of model evaluations.
+
+The scheme-agnostic generalization — every registered scheme, the full
+``(scheme, W, D, B)`` grid, pruned against an explicit peak-memory budget
+and ranked by the contention-aware simulation — lives in
+:mod:`repro.perf.planner`; this module keeps the paper's exact procedure
+for the Figure 13 reproduction.
 """
 
 from __future__ import annotations

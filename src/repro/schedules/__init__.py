@@ -11,8 +11,9 @@ baseline it is compared against in Table 2 of the paper:
 * :mod:`repro.schedules.pipedream_2bw` — PipeDream-2BW [Narayanan et al. 2020]
 
 plus the zero-bubble family built on the split backward
-(:mod:`repro.schedules.zero_bubble` — ZB-H1 / ZB-V [Qi et al. 2023]),
-the strongest modern baseline to compare Chimera against.
+(:mod:`repro.schedules.zero_bubble` — ZB-H1 / ZB-V [Qi et al. 2023] and the
+memory-controllable ZB-vhalf / ZB-vmin [Qi et al. 2024]), the strongest
+modern baselines to compare Chimera against.
 
 All builders produce the same :class:`repro.schedules.ir.Schedule` IR, which
 the simulator (:mod:`repro.sim`), the training runtime
@@ -31,8 +32,19 @@ from repro.schedules.dapple import build_dapple_schedule
 from repro.schedules.gems import build_gems_schedule
 from repro.schedules.pipedream import build_pipedream_schedule
 from repro.schedules.pipedream_2bw import build_pipedream_2bw_schedule
-from repro.schedules.zero_bubble import build_zb_h1_schedule, build_zb_v_schedule
-from repro.schedules.registry import build_schedule, available_schemes
+from repro.schedules.zero_bubble import (
+    build_zb_h1_schedule,
+    build_zb_v_schedule,
+    build_zb_vhalf_schedule,
+    build_zb_vmin_schedule,
+    stable_pattern,
+)
+from repro.schedules.registry import (
+    SchemeTraits,
+    available_schemes,
+    build_schedule,
+    scheme_traits,
+)
 from repro.schedules.lowering import is_lowered, lower_schedule
 from repro.schedules.validate import validate_schedule
 from repro.schedules.analysis import (
@@ -56,8 +68,13 @@ __all__ = [
     "build_pipedream_2bw_schedule",
     "build_zb_h1_schedule",
     "build_zb_v_schedule",
+    "build_zb_vhalf_schedule",
+    "build_zb_vmin_schedule",
+    "stable_pattern",
     "build_schedule",
     "available_schemes",
+    "SchemeTraits",
+    "scheme_traits",
     "lower_schedule",
     "is_lowered",
     "validate_schedule",

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.common.errors import ConfigurationError
+from repro.schedules.ir import OpKind
+from repro.schedules.zero_bubble import v_pattern_compute_rows
 
 
 @dataclass(frozen=True)
@@ -56,7 +58,32 @@ def bubble_ratio_formula(
         return 2 * (d - 1) / (3 * n + 2 * (d - 1))
     if scheme == "zb_v":
         return (d - 1) / (6 * n + d - 1)
+    if scheme in ("zb_vmin", "zb_vhalf"):
+        # Stable-pattern makespan = 6N + ramp: every worker does exactly 6N
+        # unit ops, so the ramp is the whole bubble. Exact for every N for
+        # vmin; vhalf is exact for N >= D (below that its tail W backlog
+        # makes the true ramp up to ~D/2 ticks longer than the formula).
+        tail = _v_pattern_ramp(scheme, d, n)
+        return tail / (6 * n + tail)
     raise ConfigurationError(f"no bubble formula for scheme {scheme!r}")
+
+
+def _v_pattern_ramp(scheme: str, depth: int, n: int) -> float:
+    """Fill+drain ticks of a stable-pattern V-schedule (unit costs).
+
+    Derived from the last pattern op plus the deferred-``W`` flush; see
+    :func:`repro.schedules.zero_bubble.stable_pattern` for the offsets.
+    vmin's interval correction exists to de-collide *consecutive*
+    micro-batches, so it only stretches the ramp once a second micro-batch
+    is in flight (``N >= 2``).
+    """
+    d = depth
+    if scheme == "zb_vmin":
+        interval = 2 if d % 3 == 0 and n >= 2 else 0
+        return float(max(0, 4 * d + interval - 5))
+    if d % 2 == 0:
+        return (7 * d - 4) / 2
+    return 7 * (d - 1) / 2
 
 
 def activation_interval_formula(
@@ -82,7 +109,33 @@ def activation_interval_formula(
         # 2D chunk stashes per worker (constant in N), each covering half
         # a conventional stage; perfectly balanced across workers.
         return (float(min(2 * d, 2 * n)), float(min(2 * d, 2 * n)))
+    if scheme in ("zb_vmin", "zb_vhalf"):
+        return _v_pattern_activation_interval(scheme, d, n)
     raise ConfigurationError(f"no activation formula for scheme {scheme!r}")
+
+
+def _v_pattern_activation_interval(
+    scheme: str, depth: int, n: int
+) -> tuple[float, float]:
+    """Per-worker peak live chunk stashes of a stable-pattern V-schedule.
+
+    Asymptotically ``D + 2`` chunk stashes for vhalf (half the 1F1B
+    activation budget plus the deferred-``W`` lag) and ``~2D/3 + 2`` for
+    vmin (a third of it); the exact per-worker peak is counted over the
+    pattern's own op order — a stash lives from its forward to its
+    weight-gradient, matching :func:`repro.sim.memory.analyze_memory`.
+    """
+    peaks: list[int] = []
+    for row in v_pattern_compute_rows(scheme, depth, n):
+        live = peak = 0
+        for op in row:
+            if op.kind is OpKind.FORWARD:
+                live += 1
+                peak = max(peak, live)
+            elif op.kind is OpKind.BACKWARD_WEIGHT:
+                live -= 1
+        peaks.append(peak)
+    return (float(min(peaks)), float(max(peaks)))
 
 
 def weight_copies_formula(scheme: str, *, num_down_pipelines: int = 1) -> float:
@@ -97,7 +150,7 @@ def weight_copies_formula(scheme: str, *, num_down_pipelines: int = 1) -> float:
         return 2.0
     if scheme == "chimera":
         return 2.0 * num_down_pipelines
-    if scheme == "zb_v":
+    if scheme in ("zb_v", "zb_vhalf", "zb_vmin"):
         # Two chunks per worker, but each is half a conventional stage: one
         # full stage-equivalent of weights, like the linear placements.
         return 1.0

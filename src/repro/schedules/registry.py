@@ -1,15 +1,25 @@
-"""Name-based schedule construction.
+"""Name-based schedule construction and per-scheme structural traits.
 
 The benchmark harness sweeps over scheme names; this registry maps each name
 to its builder with a uniform ``(depth, num_micro_batches, **options)``
 signature. ``_BUILDERS`` is ordered: its insertion order *is* the canonical
-presentation order (Table 2 comparison order, then the zero-bubble family),
-and both :func:`available_schemes` and error messages derive from it so the
-two can never drift apart.
+presentation order (Table 2 comparison order, then the zero-bubble family,
+then the memory-controllable V-schedules), and both
+:func:`available_schemes` and error messages derive from it so the two can
+never drift apart.
+
+:func:`scheme_traits` exposes the structural facts a *caller* needs before
+it can even build a schedule — whether the depth must be even, how many
+chunk stages each worker hosts (the V-shaped family folds ``2D`` chunks
+over ``D`` workers, so the model must split into ``2D`` parts), and whether
+the scheme is synchronous. The configuration planner
+(:mod:`repro.perf.planner`) and the figure drivers use these to enumerate
+valid ``(scheme, W, D)`` grids without try/except scaffolding.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.common.errors import ConfigurationError
@@ -20,7 +30,12 @@ from repro.schedules.gpipe import build_gpipe_schedule
 from repro.schedules.ir import Schedule
 from repro.schedules.pipedream import build_pipedream_schedule
 from repro.schedules.pipedream_2bw import build_pipedream_2bw_schedule
-from repro.schedules.zero_bubble import build_zb_h1_schedule, build_zb_v_schedule
+from repro.schedules.zero_bubble import (
+    build_zb_h1_schedule,
+    build_zb_v_schedule,
+    build_zb_vhalf_schedule,
+    build_zb_vmin_schedule,
+)
 
 _BUILDERS: dict[str, Callable[..., Schedule]] = {
     "pipedream": build_pipedream_schedule,
@@ -31,12 +46,67 @@ _BUILDERS: dict[str, Callable[..., Schedule]] = {
     "chimera": build_chimera_schedule,
     "zb_h1": build_zb_h1_schedule,
     "zb_v": build_zb_v_schedule,
+    "zb_vhalf": build_zb_vhalf_schedule,
+    "zb_vmin": build_zb_vmin_schedule,
 }
+
+
+@dataclass(frozen=True)
+class SchemeTraits:
+    """Structural facts about a scheme, known before building a schedule.
+
+    Attributes
+    ----------
+    stages_per_worker:
+        Model chunks hosted per worker: 1 for the classic one-stage-per-
+        worker placements, 2 for the V-shaped zero-bubble family (a
+        schedule at depth ``D`` then has ``2D`` stages, and the workload's
+        layer count must divide into ``2D`` chunks).
+    requires_even_depth:
+        True for the bidirectional placements (Chimera, GEMS), whose
+        down/up merge needs an even ``D``.
+    synchronous:
+        False for the flush-free PipeDream family (stale updates).
+    """
+
+    stages_per_worker: int = 1
+    requires_even_depth: bool = False
+    synchronous: bool = True
+
+    def stage_count(self, depth: int) -> int:
+        """Number of model stages a schedule at ``depth`` workers has."""
+        return depth * self.stages_per_worker
+
+
+_TRAITS: dict[str, SchemeTraits] = {
+    "pipedream": SchemeTraits(synchronous=False),
+    "pipedream_2bw": SchemeTraits(synchronous=False),
+    "gpipe": SchemeTraits(),
+    "gems": SchemeTraits(requires_even_depth=True),
+    "dapple": SchemeTraits(),
+    "chimera": SchemeTraits(requires_even_depth=True),
+    "zb_h1": SchemeTraits(),
+    "zb_v": SchemeTraits(stages_per_worker=2),
+    "zb_vhalf": SchemeTraits(stages_per_worker=2),
+    "zb_vmin": SchemeTraits(stages_per_worker=2),
+}
+
+assert set(_TRAITS) == set(_BUILDERS), "traits and builders out of sync"
 
 
 def available_schemes() -> tuple[str, ...]:
     """All registered scheme names, in canonical comparison order."""
     return tuple(_BUILDERS)
+
+
+def scheme_traits(scheme: str) -> SchemeTraits:
+    """Structural traits of a registered scheme (see :class:`SchemeTraits`)."""
+    try:
+        return _TRAITS[scheme]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scheme {scheme!r}; available: {list(available_schemes())}"
+        ) from None
 
 
 def build_schedule(
@@ -46,7 +116,7 @@ def build_schedule(
 
     Options are forwarded to the scheme's builder (e.g. ``recompute=True``
     for any scheme, ``concat=``/``num_down_pipelines=``/``sync_mode=`` for
-    Chimera, ``max_in_flight=`` for the zero-bubble family).
+    Chimera, ``max_in_flight=`` for the greedy zero-bubble pair).
     """
     try:
         builder = _BUILDERS[scheme]

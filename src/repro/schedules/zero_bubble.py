@@ -33,6 +33,27 @@ costs, always run a ready input-gradient first, then a forward permitted by
 the memory cap, and only fill genuinely idle time with deferred
 weight-gradients. The op *order* this produces per worker is the schedule;
 the discrete-event simulator then retimes it under any cost model.
+
+On top of ZB-V sit the **memory-controllable** variants of *Pipeline
+Parallelism with Controllable Memory* [Qi et al. 2024, arXiv:2405.15362]:
+
+* **ZB-vhalf** (``zb_vhalf``) — peak activation memory of roughly *half*
+  the 1F1B/ZB-V budget (``D + 2`` live chunk stashes per worker, i.e. about
+  ``D/2 + 1`` full-stage stashes) at the cost of a longer fill/drain ramp
+  (steady state stays bubble-free).
+* **ZB-vmin** (``zb_vmin``) — close to the *minimum* feasible budget
+  (about ``2D/3 + 2`` chunk stashes, i.e. about ``D/3 + 1`` full-stage
+  stashes), trading a little more ramp for the smallest peak.
+
+These two are built differently from the greedy pair: each repeats a
+*stable pattern* — per-worker steady-state tick offsets for the four
+F/``Bi`` streams (:func:`stable_pattern`), phase-shifted by six ticks per
+micro-batch so consecutive micro-batches interleave without collisions.
+Sorting the pattern ticks yields the warmup/steady/cooldown op order in one
+stroke, and deferred ``W`` ops drop into the idle ticks FIFO (the
+controllable-memory repository's ``put_w``). The pattern *is* the unit-cost
+timing, so the simulated makespans have exact closed forms
+(:mod:`repro.schedules.analysis`).
 """
 
 from __future__ import annotations
@@ -155,6 +176,183 @@ def build_zb_v_schedule(
             "caps": tuple(caps),
             "unit_times": (f_time, b_time, w_time),
         },
+    )
+
+
+def build_zb_vhalf_schedule(
+    depth: int,
+    num_micro_batches: int,
+    *,
+    recompute: bool = False,
+) -> Schedule:
+    """Build ZB-vhalf: the half-memory controllable V-schedule.
+
+    Same V-shaped placement as ZB-V, but forwards enter on a stretched
+    cadence (two ticks apart on the descending arm) so each worker holds at
+    most ``D + 2`` live chunk stashes — about half of ZB-V's ``2D`` — while
+    the steady state stays bubble-free. The makespan under unit costs is
+    ``6N + (7D - 4)/2`` for even ``D`` and ``6N + 7(D - 1)/2`` for odd
+    ``D``, exact for ``N >= D``.
+    """
+    return _build_v_pattern_schedule(
+        "zb_vhalf", depth, num_micro_batches, recompute=recompute
+    )
+
+
+def build_zb_vmin_schedule(
+    depth: int,
+    num_micro_batches: int,
+    *,
+    recompute: bool = False,
+) -> Schedule:
+    """Build ZB-vmin: the minimum-memory controllable V-schedule.
+
+    The tightest stable pattern of the controllable-memory paper: the V is
+    traversed on the 1F1B cadence but the backward wave returns as early as
+    dependencies allow, capping each worker at about ``2D/3 + 2`` live
+    chunk stashes — one third of the 1F1B activation budget, plus the
+    deferred-``W`` lag. The makespan under unit costs is exactly
+    ``6N + max(0, 4D + i - 5)`` with ``i = 2`` when ``3 | D`` and
+    ``N >= 2`` (the interval correction de-collides consecutive
+    micro-batches, so it does not stretch a single-micro-batch ramp),
+    else ``i = 0``.
+    """
+    return _build_v_pattern_schedule(
+        "zb_vmin", depth, num_micro_batches, recompute=recompute
+    )
+
+
+#: Stable-pattern variants and their steady-state tick-offset generators.
+_V_PATTERNS = ("zb_vmin", "zb_vhalf")
+
+
+def stable_pattern(scheme: str, depth: int) -> tuple[tuple[int, int, int, int], ...]:
+    """Steady-state tick offsets of a memory-controllable V-schedule.
+
+    Returns one row per worker ``i``: the start ticks of micro-batch 0's
+    four compute streams on that worker — forward of the descending-arm
+    chunk ``i``, forward of the ascending-arm chunk ``2D - 1 - i``, input
+    gradient of the ascending chunk, input gradient of the descending
+    chunk. Micro-batch ``m`` runs the same pattern shifted by ``6 m`` ticks
+    (six unit ops per worker per micro-batch: 2 F + 2 Bi + 2 W), and the
+    offsets are constructed so that no two streams of one worker share a
+    tick residue mod 6 — the interleave is collision-free for every ``N``.
+
+    The ``interval`` corrections (+2 when ``3 | D`` for vmin, +3 for even
+    ``D`` for vhalf) restore that residue-distinctness where the plain
+    arithmetic pattern would collide.
+    """
+    p = depth
+    if p < 1:
+        raise ScheduleError(f"{scheme} needs at least one worker, got {p}")
+    if scheme == "zb_vmin":
+        interval = 2 if p % 3 == 0 else 0
+        return tuple(
+            (i, 2 * p - i - 1, 2 * p + interval + i, 4 * p + interval - i - 1)
+            for i in range(p)
+        )
+    if scheme == "zb_vhalf":
+        interval = 3 if p % 2 == 0 else 0
+        return tuple(
+            (
+                2 * i,
+                3 * p - i - 2,
+                3 * p + interval + 2 * i - 1,
+                6 * p + interval - i - 2,
+            )
+            for i in range(p)
+        )
+    raise ScheduleError(
+        f"no stable pattern for scheme {scheme!r}; known: {list(_V_PATTERNS)}"
+    )
+
+
+def v_pattern_compute_rows(
+    scheme: str,
+    depth: int,
+    num_micro_batches: int,
+    *,
+    recompute: bool = False,
+) -> list[list[Operation]]:
+    """Per-worker compute-op order of a stable-pattern V-schedule.
+
+    Expands :func:`stable_pattern` over all micro-batches, sorts each
+    worker's F/``Bi`` ops by their pattern tick (which interleaves warmup,
+    steady state and cooldown in one pass), and drops each deferred ``W``
+    into the earliest idle tick after its ``Bi`` (FIFO), with the backlog
+    flushed after the last pattern op. Shared by the builders and by
+    :mod:`repro.schedules.analysis`, whose activation-interval numbers for
+    this family count stash liveness over exactly these rows.
+    """
+    p, n = depth, num_micro_batches
+    pattern = stable_pattern(scheme, p)
+    rows: list[list[Operation]] = []
+    for worker in range(p):
+        down, up = worker, 2 * p - 1 - worker
+        offsets = pattern[worker]
+        events: list[tuple[int, int, int]] = []  # (tick, stream, micro-batch)
+        for mb in range(n):
+            base = 6 * mb
+            for stream in range(4):
+                events.append((offsets[stream] + base, stream, mb))
+        events.sort()
+        ops: list[Operation] = []
+        pending_w: deque[tuple[int, int]] = deque()
+        tick = 0
+        for t, stream, mb in events:
+            while tick < t and pending_w:
+                stage, mb_w = pending_w.popleft()
+                ops.append(
+                    Operation(OpKind.BACKWARD_WEIGHT, 0, stage, micro_batches=(mb_w,))
+                )
+                tick += 1
+            tick = max(tick, t) + 1
+            stage = (down, up, up, down)[stream]
+            if stream < 2:
+                ops.append(Operation(OpKind.FORWARD, 0, stage, micro_batches=(mb,)))
+            else:
+                ops.append(
+                    Operation(
+                        OpKind.BACKWARD_INPUT,
+                        0,
+                        stage,
+                        micro_batches=(mb,),
+                        recompute=recompute,
+                    )
+                )
+                pending_w.append((stage, mb))
+        for stage, mb_w in pending_w:
+            ops.append(
+                Operation(OpKind.BACKWARD_WEIGHT, 0, stage, micro_batches=(mb_w,))
+            )
+        rows.append(ops)
+    return rows
+
+
+def _build_v_pattern_schedule(
+    scheme: str,
+    depth: int,
+    num_micro_batches: int,
+    *,
+    recompute: bool,
+) -> Schedule:
+    """Wrap the pattern rows into a validated :class:`Schedule`."""
+    if depth < 1:
+        raise ScheduleError(f"{scheme} needs at least one worker")
+    if num_micro_batches < 1:
+        raise ScheduleError(f"{scheme} needs at least one micro-batch")
+    placement = StagePlacement.vshaped(depth)
+    rows = v_pattern_compute_rows(
+        scheme, depth, num_micro_batches, recompute=recompute
+    )
+    append_lazy_sync(rows, placement)
+    return Schedule(
+        scheme=scheme,
+        placement=placement,
+        num_micro_batches=num_micro_batches,
+        worker_ops=freeze_worker_ops(rows),
+        synchronous=True,
+        metadata={"recompute": recompute, "pattern": scheme.removeprefix("zb_")},
     )
 
 

@@ -103,6 +103,37 @@ class TestCLI:
         assert rc == 0
         assert "selected" in capsys.readouterr().out
 
+    def test_plan(self, capsys):
+        rc = cli_main(
+            [
+                "plan",
+                "-P", "8",
+                "--mini-batch", "64",
+                "--schemes", "dapple", "zb_vhalf",
+                "--budget-gib", "6",
+                "--no-lower",
+                "--top", "5",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rank" in out and "peak GiB" in out and "6 GiB budget" in out
+
+    def test_plan_infeasible_budget_raises_actionable_error(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="budget"):
+            cli_main(
+                [
+                    "plan",
+                    "-P", "8",
+                    "--mini-batch", "64",
+                    "--schemes", "dapple",
+                    "--budget-gib", "0.25",
+                    "--no-lower",
+                ]
+            )
+
     def test_figure(self, capsys):
         rc = cli_main(["figure", "table4"])
         assert rc == 0

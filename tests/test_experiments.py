@@ -15,6 +15,7 @@ from repro.bench.experiments import (
     figure17,
     figure18,
     figure19,
+    planner_table,
     table2,
     table3,
     table4,
@@ -67,7 +68,39 @@ class TestFigure1:
         assert not chimera.recompute and not chimera.oom
 
 
+class TestPlannerTable:
+    def test_budget_sweep_shrinks_and_shifts_to_lean_schemes(self):
+        """As the budget tightens the survivor count falls monotonically
+        and the winner moves off the memory-hungry end of the registry."""
+        from repro.bench.machines import PIZ_DAINT
+        from repro.bench.workloads import BERT48
+
+        rows = planner_table.best_per_budget(
+            PIZ_DAINT,
+            BERT48,
+            num_workers=8,
+            mini_batch=64,
+            budgets_gib=(None, 3.0, 0.25),
+            schemes=("dapple", "zb_v", "zb_vhalf", "zb_vmin"),
+            lowered=False,
+        )
+        counts = [count for _, _, count in rows]
+        assert counts == sorted(counts, reverse=True)
+        assert rows[0][1] is not None and rows[1][1] is not None
+        # Throughput can only fall as the budget tightens.
+        assert rows[1][1].throughput <= rows[0][1].throughput
+        # A sub-GiB budget holds nothing: the row degrades gracefully.
+        assert rows[2][1] is None and rows[2][2] == 0
+
+
 class TestFigure9:
+    def test_runs_with_v_shaped_schemes(self):
+        """The scheme sweep survives the 2D-chunk placements (the memory
+        model is calibrated per the schedule's own stage count, and stage
+        counts that do not divide the layers are skipped, not crashed)."""
+        text = figure9.run(fast=True)
+        assert "zb_vmin" in text
+
     def test_memory_shape_signatures(self):
         from repro.bench.workloads import GPT2_32
 

@@ -1,0 +1,59 @@
+"""Golden ASCII-Gantt snapshots: schedule-shape regressions fail loudly.
+
+One checked-in rendering per registered scheme at a fixed small
+configuration (D=4 workers, N=4 micro-batches, practical cost model,
+implicit communication). Any change to a builder's op order, to the greedy
+or stable-pattern placement, or to the simulator's timing of these shapes
+shows up as a golden diff instead of a silent throughput shift.
+
+To regenerate after an *intended* schedule change::
+
+    REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_goldens.py
+
+then review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.schedules.registry import available_schemes, build_schedule
+from repro.sim.cost import CostModel
+from repro.sim.gantt import render_gantt
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+DEPTH, MICRO_BATCHES = 4, 4
+
+
+def rendered(scheme: str) -> str:
+    schedule = build_schedule(scheme, DEPTH, MICRO_BATCHES)
+    return render_gantt(schedule, cost_model=CostModel.practical()) + "\n"
+
+
+@pytest.mark.parametrize("scheme", available_schemes())
+def test_gantt_matches_golden(scheme):
+    path = GOLDEN_DIR / f"gantt_{scheme}.txt"
+    actual = rendered(scheme)
+    if os.environ.get("REGEN_GOLDENS"):
+        path.write_text(actual)
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"missing golden {path}; generate it with REGEN_GOLDENS=1 "
+        f"PYTHONPATH=src python -m pytest tests/test_goldens.py"
+    )
+    expected = path.read_text()
+    assert actual == expected, (
+        f"{scheme} Gantt drifted from {path.name} (D={DEPTH}, "
+        f"N={MICRO_BATCHES}, practical cost model). If the schedule change "
+        f"is intended, regenerate with REGEN_GOLDENS=1 and review the diff."
+    )
+
+
+def test_no_stale_goldens():
+    """Every checked-in golden corresponds to a registered scheme."""
+    expected = {f"gantt_{s}.txt" for s in available_schemes()}
+    actual = {p.name for p in GOLDEN_DIR.glob("gantt_*.txt")}
+    assert actual == expected

@@ -1,0 +1,174 @@
+"""Scheme-agnostic planner: ranking, budget pruning, and failure modes."""
+
+import pytest
+
+from repro.bench.harness import ExperimentConfig, run_configuration
+from repro.bench.machines import PIZ_DAINT, V100_CLUSTER
+from repro.bench.workloads import BERT48, TransformerSpec
+from repro.common.errors import ConfigurationError
+from repro.common.units import GIB
+from repro.perf.planner import (
+    PlanEntry,
+    candidate_grid,
+    format_plan,
+    plan_configurations,
+)
+
+#: Small synchronous scenario used throughout: P=8, B̂=64 keeps every
+#: simulation tiny while still admitting several (scheme, W, D, B) cells.
+SMALL = dict(num_workers=8, mini_batch=64, lowered=False)
+SYNC_SCHEMES = ("dapple", "chimera", "zb_h1", "zb_v", "zb_vhalf", "zb_vmin")
+
+
+def small_plan(machine=PIZ_DAINT, **overrides) -> list[PlanEntry]:
+    kwargs = dict(SMALL, schemes=SYNC_SCHEMES)
+    kwargs.update(overrides)
+    return plan_configurations(machine, BERT48, **kwargs)
+
+
+class TestCandidateGrid:
+    def test_respects_scheme_traits(self):
+        grid = list(
+            candidate_grid(8, BERT48, 64, schemes=("chimera", "zb_v", "dapple"))
+        )
+        for scheme, width, depth, b in grid:
+            assert width * depth == 8
+            if scheme == "chimera":
+                assert depth % 2 == 0
+            if scheme == "zb_v":
+                # 2D chunk stages must divide the 48 layers.
+                assert BERT48.num_layers % (2 * depth) == 0
+
+    def test_micro_batches_are_powers_of_two_dividing_share(self):
+        for _, width, _, b in candidate_grid(8, BERT48, 64, schemes=("dapple",)):
+            assert b & (b - 1) == 0
+            assert 64 % (width * b) == 0
+
+
+class TestRanking:
+    def test_nonempty_ranked_table_on_both_machines(self):
+        """Acceptance: the planner returns a non-empty ranked table for at
+        least two machine specs."""
+        for machine in (PIZ_DAINT, V100_CLUSTER):
+            entries = small_plan(machine)
+            assert entries
+            rates = [e.throughput for e in entries]
+            assert rates == sorted(rates, reverse=True)
+
+    def test_entries_match_harness_results(self):
+        """A plan entry is exactly the harness outcome for that cell."""
+        entry = small_plan()[0]
+        result = run_configuration(
+            ExperimentConfig(
+                scheme=entry.scheme,
+                machine=PIZ_DAINT,
+                workload=BERT48,
+                width=entry.width,
+                depth=entry.depth,
+                micro_batch=entry.micro_batch,
+                mini_batch=64,
+                lowered=False,
+            )
+        )
+        assert not result.oom
+        assert entry.throughput == pytest.approx(result.throughput)
+        assert entry.peak_memory_bytes == pytest.approx(result.peak_memory_bytes)
+        assert entry.recompute == result.recompute
+
+    def test_top_k_truncates(self):
+        full = small_plan()
+        assert small_plan(top_k=3) == full[:3]
+
+    def test_budget_prunes_monotonically(self):
+        loose = small_plan(memory_budget_bytes=10 * GIB)
+        tight = small_plan(memory_budget_bytes=3 * GIB)
+        assert len(tight) <= len(loose)
+        assert all(e.peak_memory_bytes <= 3 * GIB for e in tight)
+        tight_cells = {(e.scheme, e.width, e.depth, e.micro_batch) for e in tight}
+        loose_cells = {(e.scheme, e.width, e.depth, e.micro_batch) for e in loose}
+        assert tight_cells <= loose_cells
+
+    def test_tight_budget_favors_memory_controllable_schemes(self):
+        """Under a tight budget the memory-controllable family must fill
+        the top ranks the fast-but-hungry schedules vacate."""
+        tight = small_plan(
+            num_workers=16, mini_batch=128, memory_budget_bytes=3 * GIB
+        )
+        assert tight[0].scheme in ("zb_vhalf", "zb_vmin", "zb_h1")
+
+    def test_format_plan_renders_every_entry(self):
+        entries = small_plan(top_k=4)
+        text = format_plan(entries)
+        for entry in entries:
+            assert entry.label() in text
+
+
+class TestFailureModes:
+    def test_too_few_workers(self):
+        with pytest.raises(ConfigurationError, match="at least two workers"):
+            plan_configurations(PIZ_DAINT, BERT48, num_workers=1, mini_batch=64)
+
+    def test_unknown_scheme_lists_available(self):
+        with pytest.raises(ConfigurationError, match="unknown scheme"):
+            plan_configurations(
+                PIZ_DAINT, BERT48, num_workers=8, mini_batch=64,
+                schemes=("megatron",),
+            )
+
+    def test_empty_scheme_list(self):
+        with pytest.raises(ConfigurationError, match="empty scheme list"):
+            plan_configurations(
+                PIZ_DAINT, BERT48, num_workers=8, mini_batch=64, schemes=()
+            )
+
+    def test_no_factorization_of_p(self):
+        """P=7 with 48 layers: depth 7 divides neither workers evenly into
+        a chimera pair nor the layer count — no (W, D) survives."""
+        with pytest.raises(ConfigurationError, match="no valid \\(W, D\\)"):
+            plan_configurations(PIZ_DAINT, BERT48, num_workers=7, mini_batch=64)
+
+    def test_no_factorization_message_is_actionable(self):
+        with pytest.raises(ConfigurationError, match="min_depth"):
+            plan_configurations(PIZ_DAINT, BERT48, num_workers=7, mini_batch=64)
+
+    def test_no_micro_batch_fits_budget(self):
+        """A sub-GiB budget cannot even hold the weights: every candidate
+        OOMs and the error names the budget and the closest candidate."""
+        with pytest.raises(ConfigurationError, match="memory.*budget") as err:
+            small_plan(memory_budget_bytes=0.5 * GIB)
+        assert "overshoots" in str(err.value)
+        assert "raise the budget" in str(err.value)
+
+    def test_bad_mini_batch(self):
+        with pytest.raises(ConfigurationError, match="mini-batch"):
+            plan_configurations(PIZ_DAINT, BERT48, num_workers=8, mini_batch=0)
+
+
+class TestHarnessBudgetThreading:
+    def cfg(self, budget):
+        return ExperimentConfig(
+            scheme="dapple",
+            machine=PIZ_DAINT,
+            workload=BERT48,
+            width=2,
+            depth=4,
+            micro_batch=4,
+            mini_batch=64,
+            memory_budget_bytes=budget,
+        )
+
+    def test_budget_tightens_capacity(self):
+        assert self.cfg(None).capacity_bytes == PIZ_DAINT.usable_memory_bytes
+        assert self.cfg(2 * GIB).capacity_bytes == 2 * GIB
+        # A budget looser than the device clamps to the hardware.
+        assert self.cfg(99 * GIB).capacity_bytes == PIZ_DAINT.usable_memory_bytes
+
+    def test_budget_can_force_recompute_or_oom(self):
+        free = run_configuration(self.cfg(None))
+        assert not free.oom
+        squeezed = run_configuration(self.cfg(1.0 * GIB))
+        assert squeezed.oom or squeezed.recompute
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ConfigurationError, match="budget"):
+            self.cfg(-1.0)

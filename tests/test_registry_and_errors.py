@@ -25,6 +25,8 @@ class TestRegistry:
             "chimera",
             "zb_h1",
             "zb_v",
+            "zb_vhalf",
+            "zb_vmin",
         )
 
     def test_unknown_scheme_rejected(self):

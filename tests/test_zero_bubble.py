@@ -1,4 +1,5 @@
-"""ZB-H1 / ZB-V schedules: signatures, regression vs DAPPLE, training parity."""
+"""Zero-bubble schedules (ZB-H1/ZB-V and the memory-controllable
+ZB-vhalf/ZB-vmin): signatures, regression vs DAPPLE, training parity."""
 
 import numpy as np
 import pytest
@@ -17,7 +18,14 @@ from repro.schedules.ir import OpKind
 from repro.schedules.placement import StagePlacement
 from repro.schedules.registry import build_schedule
 from repro.schedules.validate import validate_schedule
-from repro.schedules.zero_bubble import build_zb_h1_schedule, build_zb_v_schedule
+from repro.schedules.lowering import lower_schedule
+from repro.schedules.zero_bubble import (
+    build_zb_h1_schedule,
+    build_zb_v_schedule,
+    build_zb_vhalf_schedule,
+    build_zb_vmin_schedule,
+    stable_pattern,
+)
 from repro.sim.cost import CostModel
 from repro.sim.engine import simulate
 from repro.sim.memory import MemoryModel, analyze_memory
@@ -40,7 +48,15 @@ class TestVShapedPlacement:
             StagePlacement.vshaped(0)
 
 
-@pytest.mark.parametrize("builder", [build_zb_h1_schedule, build_zb_v_schedule])
+ALL_ZB_BUILDERS = [
+    build_zb_h1_schedule,
+    build_zb_v_schedule,
+    build_zb_vhalf_schedule,
+    build_zb_vmin_schedule,
+]
+
+
+@pytest.mark.parametrize("builder", ALL_ZB_BUILDERS)
 class TestZeroBubbleStructure:
     @pytest.mark.parametrize("depth,n", SHAPES)
     def test_validates_with_sync(self, builder, depth, n):
@@ -152,6 +168,113 @@ class TestZeroBubbleSignatures:
                 assert not op.recompute
 
 
+class TestMemoryControllable:
+    """ZB-vhalf / ZB-vmin: the controllable-memory stable-pattern family."""
+
+    DEPTHS = (2, 4, 8)
+
+    @pytest.mark.parametrize("scheme", ["zb_vhalf", "zb_vmin"])
+    @pytest.mark.parametrize("depth", DEPTHS)
+    def test_validates_lowers_and_simulates(self, scheme, depth):
+        """Acceptance: both variants validate, lower, and simulate for
+        D in {2, 4, 8}."""
+        schedule = build_schedule(scheme, depth, 2 * depth)
+        validate_schedule(schedule, require_sync_ops=True)
+        lowered = lower_schedule(schedule)
+        validate_schedule(lowered)
+        for s in (schedule, lowered):
+            result = simulate(s, CostModel.practical())
+            assert result.compute_makespan > 0
+
+    @pytest.mark.parametrize("depth", DEPTHS)
+    @pytest.mark.parametrize("n", [2, 8, 16])
+    def test_peak_memory_ordering_vmin_vhalf_zbv(self, depth, n):
+        """Acceptance: measured peak activation memory respects
+        vmin <= vhalf <= zb_v at equal (D, N)."""
+        mm = MemoryModel(activation_bytes=1.0)
+
+        def peak(scheme):
+            report = analyze_memory(build_schedule(scheme, depth, n), mm)
+            return max(w.activation_peak_units for w in report.workers)
+
+        assert peak("zb_vmin") <= peak("zb_vhalf") <= peak("zb_v")
+
+    def test_vhalf_roughly_halves_and_vmin_roughly_thirds_zb_v(self):
+        """The headline claim at a saturated pipeline (N >> D): vhalf sits
+        near half of ZB-V's 2D chunk budget (D + 2), vmin near a third
+        (~2D/3 + 2)."""
+        mm = MemoryModel(activation_bytes=1.0)
+        for depth in (8, 12):
+            vhalf = analyze_memory(build_zb_vhalf_schedule(depth, 3 * depth), mm)
+            vmin = analyze_memory(build_zb_vmin_schedule(depth, 3 * depth), mm)
+            assert max(w.activation_peak_units for w in vhalf.workers) == depth + 2
+            assert (
+                max(w.activation_peak_units for w in vmin.workers)
+                <= 2 * depth / 3 + 3
+            )
+
+    @pytest.mark.parametrize("depth", DEPTHS)
+    def test_makespan_closed_forms(self, depth):
+        """Unit-cost makespans: 6N + max(0, 4D + i - 5) for vmin (i = 2
+        when 3 | D) and 6N + (7D - 4)/2 for even D on vhalf, exact for
+        N >= D."""
+        n = 2 * depth
+        vmin = simulate(build_zb_vmin_schedule(depth, n), CostModel.practical())
+        interval = 2 if depth % 3 == 0 else 0
+        assert vmin.compute_makespan == pytest.approx(
+            6 * n + max(0, 4 * depth + interval - 5)
+        )
+        vhalf = simulate(build_zb_vhalf_schedule(depth, n), CostModel.practical())
+        assert vhalf.compute_makespan == pytest.approx(6 * n + (7 * depth - 4) / 2)
+
+    @pytest.mark.parametrize("depth", [3, 6, 9, 12])
+    @pytest.mark.parametrize("n", [1, 2, 5])
+    def test_vmin_bubble_formula_exact_at_interval_depths(self, depth, n):
+        """Regression: when 3 | D the interval correction only applies for
+        N >= 2 (a single micro-batch has nothing to collide with), and the
+        analytic bubble must track the simulation exactly either way."""
+        result = simulate(build_zb_vmin_schedule(depth, n), CostModel.practical())
+        assert bubble_ratio(result) == pytest.approx(
+            bubble_ratio_formula("zb_vmin", depth, n)
+        )
+        interval = 2 if n >= 2 else 0
+        assert result.compute_makespan == pytest.approx(
+            6 * n + max(0, 4 * depth + interval - 5)
+        )
+
+    @pytest.mark.parametrize("scheme", ["zb_vhalf", "zb_vmin"])
+    def test_stable_pattern_collision_free(self, scheme):
+        """Each worker's four streams occupy distinct tick residues mod 6,
+        so micro-batches interleave without collisions for every N."""
+        for depth in range(1, 33):
+            for row in stable_pattern(scheme, depth):
+                assert len(row) == 4
+                assert all(t >= 0 for t in row)
+                assert len({t % 6 for t in row}) == 4
+
+    def test_stable_pattern_rejects_unknown_scheme(self):
+        with pytest.raises(ScheduleError, match="no stable pattern"):
+            stable_pattern("zb_h1", 4)
+
+    @pytest.mark.parametrize("scheme", ["zb_vhalf", "zb_vmin"])
+    def test_recompute_stamped_on_input_half(self, scheme):
+        schedule = build_schedule(scheme, 4, 4, recompute=True)
+        for _, op in schedule.all_ops():
+            if op.kind is OpKind.BACKWARD_INPUT:
+                assert op.recompute
+            elif op.kind is OpKind.BACKWARD_WEIGHT:
+                assert not op.recompute
+
+    @pytest.mark.parametrize("scheme", ["zb_vhalf", "zb_vmin"])
+    def test_constant_memory_in_n(self, scheme):
+        mm = MemoryModel(activation_bytes=1.0)
+        peaks = []
+        for n in (12, 24, 48):
+            report = analyze_memory(build_schedule(scheme, 4, n), mm)
+            peaks.append(max(w.activation_peak_units for w in report.workers))
+        assert peaks[0] == peaks[1] == peaks[2]
+
+
 class TestZeroBubbleTraining:
     def run_pair(self, tiny_config, scheme, depth, n, iters=3, **kw):
         opt = lambda: SGD(0.05)
@@ -181,7 +304,10 @@ class TestZeroBubbleTraining:
             for k in a.params
         )
 
-    @pytest.mark.parametrize("scheme,depth", [("zb_h1", 4), ("zb_v", 2)])
+    @pytest.mark.parametrize(
+        "scheme,depth",
+        [("zb_h1", 4), ("zb_v", 2), ("zb_vhalf", 2), ("zb_vmin", 2)],
+    )
     def test_matches_sequential_sgd(self, tiny_config, scheme, depth):
         trainer, ref, lp, ls = self.run_pair(tiny_config, scheme, depth, 4)
         assert lp == pytest.approx(ls, abs=1e-9)

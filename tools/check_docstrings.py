@@ -2,7 +2,8 @@
 """CI docs check: every tracked Python module has a module docstring.
 
 Covers the library (``src/repro/``) plus the benchmark targets
-(``benchmarks/``) and the CI tooling itself (``tools/``). Run from the
+(``benchmarks/``), the runnable walkthroughs (``examples/``), the test
+suite (``tests/``), and the CI tooling itself (``tools/``). Run from the
 repository root (no third-party dependencies):
 
     python tools/check_docstrings.py
@@ -16,7 +17,7 @@ import sys
 
 #: Directories (relative to the repository root) whose ``*.py`` files must
 #: carry module docstrings.
-CHECKED_DIRS = ("src/repro", "benchmarks", "tools")
+CHECKED_DIRS = ("src/repro", "benchmarks", "examples", "tests", "tools")
 
 
 def missing_docstrings(root: pathlib.Path) -> list[pathlib.Path]:
