@@ -41,13 +41,22 @@ Performance model & configuration selection (paper §3.4)::
 
 Scheme-agnostic planning under a peak-memory budget (every registered
 scheme enumerated over ``(W, D, B)``, pruned by the memory model, ranked
-by the contention-aware event-queue simulation)::
+by batched simulation against cached dense schedules)::
 
     from repro import plan_configurations
     from repro.common.units import GIB
     table = plan_configurations(PIZ_DAINT, BERT48, num_workers=32,
                                 mini_batch=512,
                                 memory_budget_bytes=8 * GIB)
+
+Batch simulation (the array kernel: many cost models against one cached
+schedule; ``repro bench`` gates its throughput in CI)::
+
+    from repro import schedule_artifacts, simulate_batch
+    arts = schedule_artifacts("chimera", 8, 16)
+    batch = simulate_batch(arts.schedule, [CostModel.practical(),
+                                           CostModel.unit()],
+                           graph=arts.graph())
 """
 
 from repro.schedules import (
@@ -70,10 +79,12 @@ from repro.schedules import (
     build_zb_vmin_schedule,
     is_lowered,
     lower_schedule,
+    schedule_artifacts,
     scheme_traits,
     validate_schedule,
 )
 from repro.sim import (
+    BatchResult,
     CostModel,
     MemoryModel,
     SimulationResult,
@@ -82,6 +93,8 @@ from repro.sim import (
     bubble_ratio,
     render_gantt,
     simulate,
+    simulate_batch,
+    simulate_fast,
 )
 from repro.perf import (
     PlanEntry,
@@ -116,7 +129,9 @@ __all__ = [
     "scheme_traits",
     "is_lowered",
     "lower_schedule",
+    "schedule_artifacts",
     "validate_schedule",
+    "BatchResult",
     "CostModel",
     "MemoryModel",
     "SimulationResult",
@@ -125,6 +140,8 @@ __all__ = [
     "bubble_ratio",
     "render_gantt",
     "simulate",
+    "simulate_batch",
+    "simulate_fast",
     "PlanEntry",
     "plan_configurations",
     "predict_closed_form",

@@ -15,6 +15,7 @@ from repro.bench.harness import (
     sweep,
     format_table,
 )
+from repro.bench.perfsuite import check_against, run_suite, suite_cases
 
 __all__ = [
     "MachineSpec",
@@ -29,4 +30,7 @@ __all__ = [
     "run_configuration",
     "sweep",
     "format_table",
+    "check_against",
+    "run_suite",
+    "suite_cases",
 ]

@@ -14,16 +14,15 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
 from repro.common.errors import ConfigurationError, ScheduleError
 from repro.bench.machines import MachineSpec
 from repro.bench.workloads import TransformerSpec
 from repro.perf.calibration import calibrate_cost_model, calibrate_memory_model
-from repro.schedules.lowering import lower_schedule
-from repro.schedules.registry import build_schedule
-from repro.sim.engine import simulate
+from repro.schedules.cache import ScheduleArtifacts, schedule_artifacts
+from repro.sim.kernel import simulate_fast
 from repro.sim.memory import analyze_memory
 from repro.sim.metrics import bubble_ratio, throughput_samples_per_sec
 
@@ -115,6 +114,24 @@ class ExperimentResult:
         return f"{self.config.scheme}(W={self.config.width}, D={self.config.depth}, B={self.config.micro_batch}{r})"
 
 
+def config_artifacts(cfg: ExperimentConfig, recompute: bool) -> ScheduleArtifacts:
+    """The memoized schedule artifacts for one configuration attempt.
+
+    Every harness path funnels through the process-wide schedule cache
+    (:mod:`repro.schedules.cache`): planner grids and experiment sweeps
+    that revisit the same ``(scheme, D, N, recompute)`` point — which is
+    most of them, since ``W`` and ``B`` only change the cost model —
+    reuse the schedule, its dependency graph, and the lowered forms.
+    """
+    return schedule_artifacts(
+        cfg.scheme,
+        cfg.depth,
+        cfg.num_micro_batches(),
+        recompute=recompute,
+        **dict(cfg.options),
+    )
+
+
 def memory_report(cfg: ExperimentConfig, recompute: bool):
     """Build ``cfg``'s schedule and analyze its memory — no simulation.
 
@@ -123,13 +140,7 @@ def memory_report(cfg: ExperimentConfig, recompute: bool):
     fits/OOM verdict (the planner's enumerate-and-prune step) can skip
     the simulation entirely.
     """
-    schedule = build_schedule(
-        cfg.scheme,
-        cfg.depth,
-        cfg.num_micro_batches(),
-        recompute=recompute,
-        **dict(cfg.options),
-    )
+    schedule = config_artifacts(cfg, recompute).schedule
     # Calibrate per the schedule's own stage count: ZB-V splits the model
     # into 2D chunks over D workers, so each chunk is half a stage.
     memory_model = calibrate_memory_model(
@@ -173,10 +184,14 @@ def run_configuration(cfg: ExperimentConfig) -> ExperimentResult:
     # PipeDream's per-micro-batch synchronization sits on the critical path
     # (the immediately following update feeds the next forward), so its
     # collectives block; all other schemes launch non-blocking (§3.2).
-    if cfg.lowered:
-        schedule = lower_schedule(schedule)
-    result = simulate(
-        schedule, cost_model, blocking_sync=(cfg.scheme == "pipedream")
+    # ``simulate_fast`` dispatches to the array kernel when the model is
+    # contention-free and to the event engine otherwise.
+    arts = config_artifacts(cfg, used_recompute)
+    result = simulate_fast(
+        arts.schedule_for(cfg.lowered),
+        cost_model,
+        graph=arts.graph_for(cfg.lowered),
+        blocking_sync=(cfg.scheme == "pipedream"),
     )
     if schedule.synchronous:
         throughput = throughput_samples_per_sec(
@@ -222,13 +237,16 @@ def _steady_state_throughput(
     n2 = 4 * cfg.depth
     sims = []
     for n in (n1, n2):
-        schedule = build_schedule(
+        arts = schedule_artifacts(
             cfg.scheme, cfg.depth, n, recompute=recompute, **dict(cfg.options)
         )
-        if cfg.lowered:
-            schedule = lower_schedule(schedule)
         sims.append(
-            simulate(schedule, cost_model, blocking_sync=(cfg.scheme == "pipedream"))
+            simulate_fast(
+                arts.schedule_for(cfg.lowered),
+                cost_model,
+                graph=arts.graph_for(cfg.lowered),
+                blocking_sync=(cfg.scheme == "pipedream"),
+            )
         )
     if cfg.scheme == "pipedream":
         delta = sims[1].iteration_time - sims[0].iteration_time

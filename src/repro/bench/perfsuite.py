@@ -1,0 +1,446 @@
+"""The ``repro bench`` performance suite and its CI regression gate.
+
+Simulation throughput is the quantity every planner sweep and experiment
+grid stands on, so it is measured — not assumed. This module runs a fixed
+suite (every registered scheme × pipeline depths {8, 16, 32} × {implicit,
+lowered}) three ways per case:
+
+* the PR-2 **event**-queue engine (:func:`repro.sim.engine.simulate`),
+* the array-kernel **fast** path (:func:`repro.sim.kernel.simulate_fast`),
+* the **batch** API (:func:`repro.sim.kernel.simulate_batch`, several cost
+  models amortized over one cached dense schedule),
+
+checks that all three report identical makespans to 1e-9 (the suite's cost
+model is contention-free, where the kernel must be engine-exact), and
+emits a schema-versioned ``BENCH_<rev>.json`` with wall times, ops/sec,
+and makespan checksums.
+
+Regression gating
+-----------------
+:func:`check_against` compares a fresh run to a committed baseline
+(``benchmarks/baseline.json``) and reports violations for
+
+* any makespan difference beyond 1e-9 (correctness — deterministic, zero
+  tolerance),
+* any case whose throughput fell more than ``tolerance`` (default 20%)
+  below the baseline.
+
+Raw ops/sec depends on the host, so the throughput gate compares
+*normalized* scores: each measurement is divided by a calibration score —
+the throughput of a fixed pure-Python relaxation-shaped loop timed in the
+same process — which cancels machine speed to first order. Raw numbers
+are recorded alongside for inspection. A synthetic slowdown can be
+injected (``--inject-slowdown`` / ``REPRO_BENCH_INJECT_SLOWDOWN``) to
+scale the measured wall times without touching the calibration; CI uses
+it to prove the gate actually fails on a 25% regression.
+"""
+
+from __future__ import annotations
+
+import gc
+import hashlib
+import json
+import os
+import pathlib
+import subprocess
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.common.errors import ScheduleError
+from repro.bench.harness import format_table
+from repro.schedules.cache import schedule_artifacts
+from repro.schedules.registry import available_schemes
+from repro.sim.cost import CostModel
+from repro.sim.engine import simulate
+from repro.sim.kernel import fast_path_supported, simulate_batch, simulate_fast
+from repro.sim.network import FlatTopology, LinkSpec
+
+#: Bumped whenever the JSON layout or the suite contents change; the
+#: checker refuses to compare across versions.
+SCHEMA_VERSION = 1
+
+#: Full-suite grid: every registered scheme at these depths, N=64 — the
+#: acceptance grid of the array kernel (D=16, N=64 is the reference point).
+SUITE_DEPTHS = (8, 16, 32)
+SUITE_MICRO_BATCHES = 64
+#: Fast-suite grid used by tests and smoke runs.
+FAST_DEPTHS = (8,)
+FAST_MICRO_BATCHES = 16
+
+MODES = ("implicit", "lowered")
+
+#: Cost models evaluated by the batch-path measurement: the base model
+#: plus f/b/w variations, so each batch row exercises a distinct duration
+#: table against the shared dense schedule.
+BATCH_VARIANTS = 8
+
+#: Makespan agreement required between the engines, and between a run and
+#: its baseline.
+MAKESPAN_ATOL = 1e-9
+
+#: Default allowed relative throughput drop before the gate fails.
+DEFAULT_TOLERANCE = 0.20
+
+_INJECT_ENV = "REPRO_BENCH_INJECT_SLOWDOWN"
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One suite point: a scheme at a depth, implicit or lowered."""
+
+    scheme: str
+    depth: int
+    num_micro_batches: int
+    mode: str  # "implicit" | "lowered"
+
+    @property
+    def case_id(self) -> str:
+        return f"{self.scheme}/D{self.depth}/N{self.num_micro_batches}/{self.mode}"
+
+
+def suite_cases(
+    *,
+    fast: bool = False,
+    depths: Sequence[int] | None = None,
+    schemes: Sequence[str] | None = None,
+) -> list[BenchCase]:
+    """The suite grid (full by default, reduced with ``fast=True``)."""
+    if depths is None:
+        depths = FAST_DEPTHS if fast else SUITE_DEPTHS
+    n = FAST_MICRO_BATCHES if fast else SUITE_MICRO_BATCHES
+    if schemes is None:
+        schemes = available_schemes()
+    return [
+        BenchCase(scheme, depth, n, mode)
+        for scheme in schemes
+        for depth in depths
+        for mode in MODES
+    ]
+
+
+def suite_cost_model() -> CostModel:
+    """The fixed, contention-free suite model (beta=0: kernel-eligible)."""
+    return CostModel(
+        forward_time=1.0,
+        topology=FlatTopology(LinkSpec(alpha=0.05, beta=0.0)),
+        activation_message_bytes=1.0,
+        stage_grad_bytes=10.0,
+        data_parallel_width=2,
+    )
+
+
+def batch_cost_models(count: int = BATCH_VARIANTS) -> list[CostModel]:
+    """``count`` model variants; index 0 is the base suite model."""
+    base = suite_cost_model()
+    models = [base]
+    for i in range(1, count):
+        models.append(
+            base.with_(
+                forward_time=1.0 + 0.05 * i,
+                backward_ratio=2.0 - 0.07 * i,
+                sync_launch_overhead=0.01 * i,
+            )
+        )
+    return models
+
+
+def calibration_score(*, repeats: int = 3) -> float:
+    """Machine-speed proxy: steps/second of a fixed relaxation-shaped loop.
+
+    Deliberately independent of the library under test (a regression in
+    the simulator must not slow the yardstick down with it): a pure-Python
+    loop over preallocated lists with the same max/add/index mix as the
+    kernel's scalar pass.
+    """
+    steps = 200_000
+    src = [(i * 7919) % 1000 for i in range(1000)]
+    best = float("inf")
+    for _ in range(repeats):
+        end = [0.0] * 1000
+        t0 = time.perf_counter()
+        for i in range(steps):
+            j = i % 1000
+            t = end[src[j]] + 1.5
+            if t > end[j]:
+                end[j] = t
+        best = min(best, time.perf_counter() - t0)
+    return steps / best
+
+
+def _best_wall(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
+    """(best wall seconds, last result) over ``repeats`` timed calls.
+
+    Garbage collection is paused around the timed calls — a cycle sweep
+    landing inside one repetition would otherwise dominate the measurement
+    and fire the regression gate on noise.
+    """
+    if repeats < 1:
+        # repeats=0 would leave `best` at inf -> ops/sec 0.0 and NaN
+        # speedups; committed as a baseline, that gate could never fail.
+        raise ValueError(f"timing repeats must be >= 1, got {repeats}")
+    result = fn()  # warm-up: dense/kernel caches build here, untimed
+    best = float("inf")
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - t0)
+    finally:
+        if was_enabled:
+            gc.enable()
+    return best, result
+
+
+def current_revision() -> str:
+    """Short git revision of the working tree, or ``"local"``."""
+    env = os.environ.get("REPRO_BENCH_REV")
+    if env:
+        return env
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=pathlib.Path(__file__).resolve().parent,
+        )
+    except OSError:  # pragma: no cover - git missing entirely
+        return "local"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "local"
+
+
+def _resolve_slowdown(inject_slowdown: float | None) -> float:
+    if inject_slowdown is not None:
+        return inject_slowdown
+    return float(os.environ.get(_INJECT_ENV, "1.0"))
+
+
+def run_case(
+    case: BenchCase,
+    *,
+    repeats: int = 3,
+    batch_size: int = BATCH_VARIANTS,
+    slowdown: float = 1.0,
+) -> dict:
+    """Measure one case three ways and verify engine/kernel parity."""
+    arts = schedule_artifacts(case.scheme, case.depth, case.num_micro_batches)
+    lowered = case.mode == "lowered"
+    schedule = arts.schedule_for(lowered)
+    graph = arts.graph_for(lowered)
+    base = suite_cost_model()
+    if not fast_path_supported(schedule, base, graph=graph):
+        raise ScheduleError(
+            f"suite model must be contention-free, but {case.case_id} "
+            f"rejected the fast path"
+        )
+    models = batch_cost_models(batch_size)
+
+    event_wall, event = _best_wall(
+        lambda: simulate(schedule, base, graph=graph), repeats
+    )
+    fast_wall, fast = _best_wall(
+        lambda: simulate_fast(schedule, base, graph=graph), repeats
+    )
+    batch_wall, batch = _best_wall(
+        lambda: simulate_batch(schedule, models, graph=graph), repeats
+    )
+
+    mk_fast = abs(event.compute_makespan - fast.compute_makespan)
+    it_fast = abs(event.iteration_time - fast.iteration_time)
+    mk_batch = abs(event.compute_makespan - float(batch.compute_makespan[0]))
+    it_batch = abs(event.iteration_time - float(batch.iteration_time[0]))
+    worst = max(mk_fast, it_fast, mk_batch, it_batch)
+    if worst > MAKESPAN_ATOL:
+        raise ScheduleError(
+            f"engine/kernel makespan divergence on {case.case_id}: "
+            f"{worst:.3e} exceeds {MAKESPAN_ATOL:.0e}"
+        )
+
+    event_wall *= slowdown
+    fast_wall *= slowdown
+    batch_wall *= slowdown
+    batch_per_model = batch_wall / len(models)
+    ops = sum(len(row) for row in schedule.worker_ops)
+    return {
+        "id": case.case_id,
+        "scheme": case.scheme,
+        "depth": case.depth,
+        "num_micro_batches": case.num_micro_batches,
+        "mode": case.mode,
+        "ops": ops,
+        "compute_makespan": event.compute_makespan,
+        "iteration_time": event.iteration_time,
+        "event": {"wall_s": event_wall, "ops_per_sec": ops / event_wall},
+        "fast": {
+            "wall_s": fast_wall,
+            "ops_per_sec": ops / fast_wall,
+            "speedup": event_wall / fast_wall,
+        },
+        "batch": {
+            "models": len(models),
+            "wall_s_per_model": batch_per_model,
+            "ops_per_sec": ops / batch_per_model,
+            "speedup": event_wall / batch_per_model,
+        },
+    }
+
+
+def makespan_checksum(cases: Iterable[dict]) -> str:
+    """SHA-256 over every case's (id, makespan, iteration) triple."""
+    digest = hashlib.sha256()
+    for case in sorted(cases, key=lambda c: c["id"]):
+        digest.update(
+            (
+                f"{case['id']}:{case['compute_makespan']:.12e}:"
+                f"{case['iteration_time']:.12e};"
+            ).encode()
+        )
+    return digest.hexdigest()
+
+
+def run_suite(
+    *,
+    fast: bool = False,
+    depths: Sequence[int] | None = None,
+    schemes: Sequence[str] | None = None,
+    repeats: int = 3,
+    batch_size: int = BATCH_VARIANTS,
+    inject_slowdown: float | None = None,
+) -> dict:
+    """Run the suite and assemble the ``BENCH_*.json`` payload."""
+    slowdown = _resolve_slowdown(inject_slowdown)
+    cases = suite_cases(fast=fast, depths=depths, schemes=schemes)
+    results = [
+        run_case(case, repeats=repeats, batch_size=batch_size, slowdown=slowdown)
+        for case in cases
+    ]
+    d16 = [c for c in results if c["depth"] == 16]
+    summary = {
+        "makespan_checksum": makespan_checksum(results),
+        "fast_speedup_min": min(c["fast"]["speedup"] for c in results),
+        "batch_speedup_min": min(c["batch"]["speedup"] for c in results),
+    }
+    if d16:
+        summary["d16_fast_speedup_min"] = min(c["fast"]["speedup"] for c in d16)
+        summary["d16_batch_speedup_min"] = min(c["batch"]["speedup"] for c in d16)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "fast" if fast else "full",
+        "revision": current_revision(),
+        "calibration_score": calibration_score(),
+        "inject_slowdown": slowdown,
+        "cases": results,
+        "summary": summary,
+    }
+
+
+def write_bench_json(payload: dict, path: str | os.PathLike) -> pathlib.Path:
+    """Write the payload as pretty JSON; returns the resolved path."""
+    out = pathlib.Path(path)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def default_output_name(payload: dict) -> str:
+    """Canonical artifact name for one run: ``BENCH_<revision>.json``."""
+    return f"BENCH_{payload['revision']}.json"
+
+
+def check_against(
+    current: dict, baseline: dict, *, tolerance: float = DEFAULT_TOLERANCE
+) -> list[str]:
+    """Regression verdicts of ``current`` vs ``baseline`` (empty = pass).
+
+    Makespans must match to :data:`MAKESPAN_ATOL`; normalized throughput
+    (ops/sec over the run's own calibration score) must not drop more
+    than ``tolerance`` relative to the baseline, per case and per engine.
+    """
+    violations: list[str] = []
+    if current.get("schema_version") != baseline.get("schema_version"):
+        return [
+            f"schema version mismatch: current "
+            f"{current.get('schema_version')} vs baseline "
+            f"{baseline.get('schema_version')} — refresh the baseline"
+        ]
+    if current.get("suite") != baseline.get("suite"):
+        return [
+            f"suite mismatch: current {current.get('suite')!r} vs baseline "
+            f"{baseline.get('suite')!r} — compare like with like"
+        ]
+    cur_cases = {c["id"]: c for c in current.get("cases", ())}
+    base_cases = {c["id"]: c for c in baseline.get("cases", ())}
+    for missing in sorted(set(base_cases) - set(cur_cases)):
+        violations.append(f"case disappeared from the suite: {missing}")
+    for extra in sorted(set(cur_cases) - set(base_cases)):
+        violations.append(f"case not in baseline: {extra} — refresh the baseline")
+
+    cur_cal = float(current.get("calibration_score", 0.0))
+    base_cal = float(baseline.get("calibration_score", 0.0))
+    if cur_cal <= 0 or base_cal <= 0:
+        violations.append("missing calibration score; cannot normalize throughput")
+        return violations
+
+    for case_id in sorted(set(cur_cases) & set(base_cases)):
+        cur, base = cur_cases[case_id], base_cases[case_id]
+        for field in ("compute_makespan", "iteration_time"):
+            drift = abs(cur[field] - base[field])
+            if drift > MAKESPAN_ATOL:
+                violations.append(
+                    f"{case_id}: {field} mismatch "
+                    f"({cur[field]!r} vs baseline {base[field]!r})"
+                )
+        for engine in ("event", "fast", "batch"):
+            cur_norm = cur[engine]["ops_per_sec"] / cur_cal
+            base_norm = base[engine]["ops_per_sec"] / base_cal
+            if cur_norm < base_norm * (1.0 - tolerance):
+                drop = 1.0 - cur_norm / base_norm
+                violations.append(
+                    f"{case_id}: {engine} throughput regressed "
+                    f"{drop * 100:.1f}% (> {tolerance * 100:.0f}% allowed; "
+                    f"normalized {cur_norm:.3f} vs baseline {base_norm:.3f})"
+                )
+    return violations
+
+
+def format_suite(payload: dict) -> str:
+    """Human-readable table of one suite run."""
+    rows = []
+    for case in payload["cases"]:
+        rows.append(
+            [
+                case["id"],
+                case["ops"],
+                f"{case['event']['wall_s'] * 1e3:.2f}",
+                f"{case['fast']['wall_s'] * 1e3:.2f}",
+                f"{case['batch']['wall_s_per_model'] * 1e3:.2f}",
+                f"{case['fast']['speedup']:.1f}x",
+                f"{case['batch']['speedup']:.1f}x",
+            ]
+        )
+    table = format_table(
+        rows,
+        headers=[
+            "case",
+            "ops",
+            "event ms",
+            "fast ms",
+            "batch ms/model",
+            "fast speedup",
+            "batch speedup",
+        ],
+    )
+    summary = payload["summary"]
+    lines = [
+        table,
+        "",
+        f"revision {payload['revision']}  suite {payload['suite']}  "
+        f"calibration {payload['calibration_score']:.0f} steps/s",
+        f"min speedup: fast {summary['fast_speedup_min']:.1f}x, "
+        f"batch {summary['batch_speedup_min']:.1f}x",
+        f"makespan checksum {summary['makespan_checksum'][:16]}…",
+    ]
+    return "\n".join(lines)

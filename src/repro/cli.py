@@ -10,6 +10,12 @@ Commands
               every registered scheme, prune by the memory model against
               an optional ``--budget-gib`` peak-memory budget, and rank
               the survivors with the contention-aware event-queue engine.
+``bench``     Run the engine performance suite (event engine vs the array
+              kernel's fast/batch paths over every registered scheme),
+              write a schema-versioned ``BENCH_<rev>.json``, and — with
+              ``--check-against benchmarks/baseline.json`` — fail on
+              makespan mismatches or >20% throughput regressions (the CI
+              gate; see ``docs/benchmarking.md``).
 ``figure``    Regenerate one of the paper's tables/figures.
 ``trace``     Export a simulated schedule as Chrome-tracing JSON.
 
@@ -26,11 +32,21 @@ see transfers on the wire), while ``simulate`` derives it from
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 
 from repro.bench import experiments
 from repro.bench.harness import ExperimentConfig, run_configuration
 from repro.bench.machines import PIZ_DAINT, V100_CLUSTER
+from repro.bench.perfsuite import (
+    DEFAULT_TOLERANCE,
+    check_against,
+    default_output_name,
+    format_suite,
+    run_suite,
+    write_bench_json,
+)
 from repro.bench.workloads import BERT48, GPT2_32, GPT2_64
 from repro.common.units import GIB
 from repro.perf.planner import format_plan, plan_configurations
@@ -193,6 +209,50 @@ def cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    baseline = None
+    if args.check_against:
+        # Validate the baseline before the multi-minute suite runs, so a
+        # missing or corrupt file fails in milliseconds with guidance.
+        path = pathlib.Path(args.check_against)
+        if not path.is_file():
+            print(
+                f"error: baseline {path} does not exist — generate one with "
+                f"`repro bench -o {path}` and commit it "
+                f"(see docs/benchmarking.md)"
+            )
+            return 1
+        try:
+            baseline = json.loads(path.read_text())
+        except json.JSONDecodeError as err:
+            print(f"error: baseline {path} is not valid JSON ({err})")
+            return 1
+    payload = run_suite(
+        fast=args.fast,
+        repeats=args.repeats,
+        inject_slowdown=args.inject_slowdown,
+    )
+    out = args.output or default_output_name(payload)
+    write_bench_json(payload, out)
+    print(format_suite(payload))
+    print(f"wrote {out}")
+    if baseline is not None:
+        violations = check_against(payload, baseline, tolerance=args.tolerance)
+        if violations:
+            print(
+                f"FAIL: {len(violations)} regression(s) against "
+                f"{args.check_against}:"
+            )
+            for violation in violations:
+                print(f"  - {violation}")
+            return 1
+        print(
+            f"OK: no regressions against {args.check_against} "
+            f"(tolerance {args.tolerance * 100:.0f}%)"
+        )
+    return 0
+
+
 def cmd_figure(args: argparse.Namespace) -> int:
     print(FIGURES[args.name].run(fast=not args.full))
     return 0
@@ -261,6 +321,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="rank with explicit SEND/RECV link contention (default on)",
     )
     p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser("bench", help="run the engine perf suite / check the CI gate")
+    p.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        help="output JSON path (default: BENCH_<git-rev>.json)",
+    )
+    p.add_argument(
+        "--check-against",
+        default=None,
+        metavar="BASELINE",
+        help="compare against a baseline JSON and exit 1 on regressions",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed relative throughput drop (default 0.20)",
+    )
+    p.add_argument(
+        "--fast",
+        action="store_true",
+        help="reduced smoke grid (D=8, N=16) instead of the full suite",
+    )
+    p.add_argument("--repeats", type=int, default=3, help="timing repetitions per case")
+    p.add_argument(
+        "--inject-slowdown",
+        type=float,
+        default=None,
+        help="scale measured wall times (testing hook for the CI gate; "
+        "also REPRO_BENCH_INJECT_SLOWDOWN)",
+    )
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("figure", help="regenerate a paper table/figure")
     p.add_argument("name", choices=sorted(FIGURES))

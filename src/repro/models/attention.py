@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.models import functional as F
-from repro.models.layers import Layer, Linear, _sliced
+from repro.models.layers import Layer, Linear
 
 
 class CausalSelfAttention(Layer):

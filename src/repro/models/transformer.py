@@ -8,7 +8,7 @@ import numpy as np
 
 from repro.common.errors import ConfigurationError
 from repro.models.attention import CausalSelfAttention
-from repro.models.layers import GELU, Embedding, Layer, LayerNorm, Linear, _sliced
+from repro.models.layers import GELU, Embedding, Layer, LayerNorm, Linear
 
 
 class TransformerBlock(Layer):

@@ -34,13 +34,17 @@ from typing import Iterator, Sequence
 from repro.common.errors import ConfigurationError, ScheduleError
 from repro.bench.harness import (
     ExperimentConfig,
+    config_artifacts,
     format_table,
     memory_report,
     run_configuration,
 )
 from repro.bench.machines import MachineSpec
 from repro.bench.workloads import TransformerSpec
+from repro.perf.calibration import calibrate_cost_model
 from repro.schedules.registry import available_schemes, scheme_traits
+from repro.sim.kernel import simulate_batch
+from repro.sim.memory import MemoryReport
 
 #: Largest micro-batch size the enumeration considers (power-of-two scan).
 DEFAULT_MAX_MICRO_BATCH = 512
@@ -174,8 +178,8 @@ def plan_configurations(
             f"constraint — try a different worker count or min_depth"
         )
 
-    entries: list[PlanEntry] = []
     closest: tuple[float, str] | None = None  # (peak overshoot, label)
+    survivors: list[tuple[ExperimentConfig, MemoryReport]] = []
     for scheme, width, depth, micro_batch in grid:
         cfg = ExperimentConfig(
             scheme=scheme,
@@ -189,7 +193,7 @@ def plan_configurations(
             memory_budget_bytes=memory_budget_bytes,
         )
         # Prune before ranking: the memory verdict needs no simulation, so
-        # OOM candidates never pay the event-engine cost.
+        # OOM candidates never pay the simulation cost.
         try:
             fits_recompute: bool | None = None
             for recompute in (False, True):
@@ -206,25 +210,11 @@ def plan_configurations(
                         f"{scheme}(W={width}, D={depth}, B={micro_batch}{r})",
                     )
                 continue
-            result = run_configuration(replace(cfg, recompute=fits_recompute))
         except (ConfigurationError, ScheduleError):
             continue  # structurally invalid corner (e.g. N < 1)
-        if result.oom:  # pragma: no cover - prune already excluded these
-            continue
-        entries.append(
-            PlanEntry(
-                scheme=scheme,
-                width=width,
-                depth=depth,
-                micro_batch=micro_batch,
-                num_micro_batches=result.num_micro_batches,
-                recompute=result.recompute,
-                iteration_time=result.iteration_time,
-                throughput=result.throughput,
-                bubble_ratio=result.bubble_ratio,
-                peak_memory_bytes=result.peak_memory_bytes,
-            )
-        )
+        survivors.append((replace(cfg, recompute=fits_recompute), report))
+
+    entries = _rank_survivors(survivors)
 
     if not entries:
         budget_gib = (
@@ -246,6 +236,93 @@ def plan_configurations(
     entries.sort(key=lambda e: (-e.throughput, e.iteration_time, e.label()))
     if top_k is not None:
         entries = entries[:top_k]
+    return entries
+
+
+def _rank_survivors(
+    survivors: Sequence[tuple[ExperimentConfig, MemoryReport]],
+) -> list[PlanEntry]:
+    """Simulate the memory-feasible candidates and build plan entries.
+
+    Synchronous schemes rank through :func:`repro.sim.kernel.simulate_batch`:
+    survivors sharing a schedule — same ``(scheme, D, N, recompute)``, only
+    ``(W, B)`` differ, and those only change the *cost model* — are grouped
+    and evaluated against one cached dense schedule in a single batched
+    call. With ``lowered=False`` every row runs on the wave-vectorized
+    array kernel; the default lowered ranking models link contention,
+    which only the event engine can express, so its rows fall back to
+    per-model event simulation and the win is the shared cached
+    schedule/graph/dense structures rather than vectorization.
+    Asynchronous schemes keep the steady-state measurement of
+    :func:`~repro.bench.harness.run_configuration` (their throughput is a
+    marginal rate between two window sizes, not one iteration time).
+    """
+    entries: list[PlanEntry] = []
+    groups: dict[tuple, list[tuple[ExperimentConfig, MemoryReport]]] = {}
+    for cfg, report in survivors:
+        if not scheme_traits(cfg.scheme).synchronous:
+            try:
+                result = run_configuration(cfg)
+            except (ConfigurationError, ScheduleError):
+                continue
+            entries.append(
+                PlanEntry(
+                    scheme=cfg.scheme,
+                    width=cfg.width,
+                    depth=cfg.depth,
+                    micro_batch=cfg.micro_batch,
+                    num_micro_batches=result.num_micro_batches,
+                    recompute=result.recompute,
+                    iteration_time=result.iteration_time,
+                    throughput=result.throughput,
+                    bubble_ratio=result.bubble_ratio,
+                    peak_memory_bytes=result.peak_memory_bytes,
+                )
+            )
+            continue
+        key = (
+            cfg.scheme,
+            cfg.depth,
+            cfg.num_micro_batches(),
+            cfg.recompute,
+            cfg.lowered,
+            tuple(sorted(cfg.options.items())),
+        )
+        groups.setdefault(key, []).append((cfg, report))
+
+    for members in groups.values():
+        first = members[0][0]
+        arts = config_artifacts(first, bool(first.recompute))
+        schedule = arts.schedule_for(first.lowered)
+        graph = arts.graph_for(first.lowered)
+        cost_models = [
+            calibrate_cost_model(
+                cfg.machine,
+                cfg.workload,
+                depth=schedule.num_stages,
+                micro_batch=cfg.micro_batch,
+                data_parallel_width=cfg.width,
+            )
+            for cfg, _ in members
+        ]
+        batch = simulate_batch(schedule, cost_models, graph=graph)
+        for k, (cfg, report) in enumerate(members):
+            entries.append(
+                PlanEntry(
+                    scheme=cfg.scheme,
+                    width=cfg.width,
+                    depth=cfg.depth,
+                    micro_batch=cfg.micro_batch,
+                    num_micro_batches=cfg.num_micro_batches(),
+                    recompute=bool(cfg.recompute),
+                    iteration_time=float(batch.iteration_time[k]),
+                    throughput=batch.throughput(
+                        k, micro_batch=cfg.micro_batch, width=cfg.width
+                    ),
+                    bubble_ratio=batch.bubble_ratio(k),
+                    peak_memory_bytes=report.peak_bytes,
+                )
+            )
     return entries
 
 

@@ -15,7 +15,6 @@ an allreduce does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 
 import numpy as np
 

@@ -46,6 +46,14 @@ from repro.schedules.registry import (
     scheme_traits,
 )
 from repro.schedules.lowering import is_lowered, lower_schedule
+from repro.schedules.cache import (
+    ScheduleArtifacts,
+    ScheduleCache,
+    cached_build_schedule,
+    clear_schedule_cache,
+    schedule_artifacts,
+    schedule_cache_stats,
+)
 from repro.schedules.validate import validate_schedule
 from repro.schedules.analysis import (
     bubble_ratio_formula,
@@ -77,6 +85,12 @@ __all__ = [
     "scheme_traits",
     "lower_schedule",
     "is_lowered",
+    "ScheduleArtifacts",
+    "ScheduleCache",
+    "cached_build_schedule",
+    "clear_schedule_cache",
+    "schedule_artifacts",
+    "schedule_cache_stats",
     "validate_schedule",
     "bubble_ratio_formula",
     "activation_interval_formula",

@@ -1,0 +1,235 @@
+"""Process-wide memoization of schedule-construction artifacts.
+
+Everything downstream of a schedule builder is a pure function of the
+builder's inputs: ``build_schedule(scheme, D, N, **options)`` fully
+determines the schedule, its dependency graph, the lowered schedule, and
+the lowered schedule's graph. Yet before this module existed every planner
+sweep, experiment grid, and benchmark case re-derived the whole chain from
+scratch — at D=32 a single ZB-V build costs ~2 s while simulating it costs
+~40 ms, so configuration searches over ``(scheme, W, D, B)`` grids were
+dominated by rebuilding identical schedules (``W`` and ``B`` only change
+the cost model, never the schedule, which depends on ``N = B̂ / (W * B)``).
+
+:func:`schedule_artifacts` is the single entry point: it returns a
+:class:`ScheduleArtifacts` handle whose derived forms (graph, lowered
+schedule, lowered graph) materialize lazily, each exactly once per
+process. The cache is a bounded LRU keyed on
+``(scheme, depth, num_micro_batches, sorted(options))`` — the options map
+covers chunking/variant knobs such as ``recompute``, Chimera's ``concat``
+and ``num_down_pipelines``, and the zero-bubble ``max_in_flight``.
+
+Safety
+------
+Cached schedules are shared across callers, so the cache hardens them
+against accidental mutation: the one mutable field of the frozen
+:class:`~repro.schedules.ir.Schedule` dataclass — its ``metadata`` dict —
+is wrapped in a read-only :class:`types.MappingProxyType` before the
+schedule enters the cache. In-place poisoning attempts raise
+``TypeError``; the sanctioned ``with_metadata`` path returns a fresh copy
+and leaves the cached instance untouched. Dependency graphs are shared
+read-only structures; engine-side derived forms (the dense schedule and
+the array kernel) attach to the graph and are themselves immutable caches.
+
+Builder options that are not hashable bypass the cache entirely (the
+artifacts are built fresh and not retained), so exotic callers never
+break — they just don't get memoization.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from types import MappingProxyType
+
+from repro.schedules.dependencies import DependencyGraph, build_dependency_graph
+from repro.schedules.ir import Schedule
+from repro.schedules.lowering import lower_schedule
+from repro.schedules.registry import build_schedule
+
+#: Default bound on retained entries (LRU eviction beyond it). A cached
+#: entry holds the schedule plus up to three derived structures; bounding
+#: the count keeps long planner sessions from accumulating every grid
+#: point ever touched.
+DEFAULT_MAX_ENTRIES = 128
+
+
+def _freeze(schedule: Schedule) -> Schedule:
+    """Return ``schedule`` with a read-only metadata mapping."""
+    if isinstance(schedule.metadata, MappingProxyType):
+        return schedule
+    return replace(schedule, metadata=MappingProxyType(dict(schedule.metadata)))
+
+
+class ScheduleArtifacts:
+    """One cache entry: a schedule plus its lazily derived forms.
+
+    All four artifacts are built at most once per entry; accessors are
+    idempotent and safe under concurrent use (a rare race builds a
+    duplicate which is immediately discarded in favour of the first).
+    """
+
+    __slots__ = ("schedule", "_graph", "_lowered", "_lowered_graph", "_lock")
+
+    def __init__(self, schedule: Schedule):
+        self.schedule = _freeze(schedule)
+        self._graph: DependencyGraph | None = None
+        self._lowered: Schedule | None = None
+        self._lowered_graph: DependencyGraph | None = None
+        self._lock = threading.Lock()
+
+    def graph(self) -> DependencyGraph:
+        """Dependency graph of the (implicit-communication) schedule."""
+        if self._graph is None:
+            graph = build_dependency_graph(self.schedule)
+            with self._lock:
+                if self._graph is None:
+                    self._graph = graph
+        return self._graph
+
+    def lowered(self) -> Schedule:
+        """The schedule with explicit SEND/RECV communication ops."""
+        if self._lowered is None:
+            lowered = _freeze(lower_schedule(self.schedule, graph=self.graph()))
+            with self._lock:
+                if self._lowered is None:
+                    self._lowered = lowered
+        return self._lowered
+
+    def lowered_graph(self) -> DependencyGraph:
+        """Dependency graph of the lowered schedule."""
+        if self._lowered_graph is None:
+            graph = build_dependency_graph(self.lowered())
+            with self._lock:
+                if self._lowered_graph is None:
+                    self._lowered_graph = graph
+        return self._lowered_graph
+
+    def schedule_for(self, lowered: bool) -> Schedule:
+        """The implicit or lowered schedule, by flag."""
+        return self.lowered() if lowered else self.schedule
+
+    def graph_for(self, lowered: bool) -> DependencyGraph:
+        """The matching dependency graph, by flag."""
+        return self.lowered_graph() if lowered else self.graph()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of a :class:`ScheduleCache`."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
+class ScheduleCache:
+    """Bounded LRU of :class:`ScheduleArtifacts`, keyed on builder inputs."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple, ScheduleArtifacts] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    @staticmethod
+    def key(
+        scheme: str, depth: int, num_micro_batches: int, options: dict
+    ) -> tuple | None:
+        """Cache key for one builder invocation, or None if unhashable.
+
+        ``recompute=False`` is normalized away: it is every builder's
+        default, so an explicit-False caller and a no-options caller must
+        share one entry instead of building the same schedule twice.
+        """
+        try:
+            items = tuple(
+                sorted(
+                    (k, v)
+                    for k, v in options.items()
+                    if not (k == "recompute" and v is False)
+                )
+            )
+            hash(items)
+        except TypeError:
+            return None
+        return (scheme, depth, num_micro_batches, items)
+
+    def artifacts(
+        self, scheme: str, depth: int, num_micro_batches: int, **options: object
+    ) -> ScheduleArtifacts:
+        """The cached artifacts for one builder invocation (LRU-updated)."""
+        key = self.key(scheme, depth, num_micro_batches, options)
+        if key is None:  # unhashable options: build fresh, don't retain
+            return ScheduleArtifacts(
+                build_schedule(scheme, depth, num_micro_batches, **options)
+            )
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return entry
+            self._misses += 1
+        # Build outside the lock: builders can take seconds at depth 32,
+        # and a concurrent duplicate build is harmless (first insert wins).
+        entry = ScheduleArtifacts(
+            build_schedule(scheme, depth, num_micro_batches, **options)
+        )
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                return existing
+            self._entries[key] = entry
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return entry
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def stats(self) -> CacheStats:
+        """Current hit/miss/entry counters."""
+        with self._lock:
+            return CacheStats(self._hits, self._misses, len(self._entries))
+
+
+#: The process-wide default cache used by the memoized entry points below
+#: (and, through them, by the experiment harness, the planner, and the
+#: benchmark suite).
+SCHEDULE_CACHE = ScheduleCache()
+
+
+def schedule_artifacts(
+    scheme: str, depth: int, num_micro_batches: int, **options: object
+) -> ScheduleArtifacts:
+    """Memoized schedule + derived forms for one builder invocation."""
+    return SCHEDULE_CACHE.artifacts(scheme, depth, num_micro_batches, **options)
+
+
+def cached_build_schedule(
+    scheme: str, depth: int, num_micro_batches: int, **options: object
+) -> Schedule:
+    """Drop-in memoized :func:`repro.schedules.registry.build_schedule`."""
+    return schedule_artifacts(scheme, depth, num_micro_batches, **options).schedule
+
+
+def clear_schedule_cache() -> None:
+    """Reset the process-wide cache (tests, long-lived services)."""
+    SCHEDULE_CACHE.clear()
+
+
+def schedule_cache_stats() -> CacheStats:
+    """Counters of the process-wide cache."""
+    return SCHEDULE_CACHE.stats()

@@ -40,7 +40,7 @@ from typing import Callable
 
 from repro.common.errors import ScheduleError
 from repro.schedules._sync import SYNC_MODES, insert_eager_sync
-from repro.schedules.ir import Operation, OpKind, Schedule, freeze_worker_ops
+from repro.schedules.ir import Operation, Schedule, freeze_worker_ops
 from repro.schedules.onefb import expanded_onefb_stage_order, onefb_stage_order
 from repro.schedules.placement import StagePlacement
 

@@ -17,6 +17,13 @@ the seed's polling loop survives as
 models per-link channel contention: explicit SEND/RECV transfers occupy
 link bandwidth, queue FIFO per channel, contend with collectives, and
 overlap with compute (:class:`~repro.sim.engine.TransferRecord`).
+
+The contention-free regimes — implicit schedules under any cost model,
+lowered schedules on zero-occupancy links — additionally run on the
+array-backed kernel (:mod:`repro.sim.kernel`):
+:func:`~repro.sim.kernel.simulate_fast` is an engine-exact drop-in, and
+:func:`~repro.sim.kernel.simulate_batch` evaluates many cost models
+against one cached dense schedule for planner-scale sweeps.
 """
 
 from repro.sim.cost import CostModel
@@ -34,6 +41,14 @@ from repro.sim.engine import (
     TransferRecord,
     simulate,
     simulate_polling,
+)
+from repro.sim.kernel import (
+    BatchResult,
+    ScheduleKernel,
+    fast_path_supported,
+    kernel_of,
+    simulate_batch,
+    simulate_fast,
 )
 from repro.sim.memory import MemoryModel, MemoryReport, WorkerMemory, analyze_memory
 from repro.sim.metrics import bubble_ratio, throughput_samples_per_sec, worker_busy_times
@@ -55,6 +70,12 @@ __all__ = [
     "TransferRecord",
     "simulate",
     "simulate_polling",
+    "BatchResult",
+    "ScheduleKernel",
+    "fast_path_supported",
+    "kernel_of",
+    "simulate_batch",
+    "simulate_fast",
     "MemoryModel",
     "MemoryReport",
     "WorkerMemory",

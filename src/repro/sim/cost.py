@@ -12,7 +12,7 @@ engine. The paper's conventions (§3.4):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 from repro.common.errors import ConfigurationError

@@ -204,7 +204,9 @@ class _DenseSchedule:
         self.ops_flat: list[Operation] = []
         self.op_worker: list[int] = []
         self.row_ids: list[list[int]] = []
-        id_of: dict[OpKey, int] = {}
+        #: ``op.key() -> dense id`` (the array kernel indexes through it).
+        self.id_of: dict[OpKey, int] = {}
+        id_of = self.id_of
         for worker, row in enumerate(schedule.worker_ops):
             ids = []
             for op in row:
@@ -558,6 +560,13 @@ def _finalize(
     are recorded verbatim, because the member workers were released from
     exactly those times; re-deriving them here could contradict the
     compute timeline.
+
+    The array kernel's batch path re-implements the non-blocking subset of
+    these rules on flat arrays (:func:`repro.sim.kernel._iteration_time`)
+    to avoid materializing per-op records; any change to the collective
+    ordering, link-serialization, or overlap-slowdown semantics here must
+    be mirrored there (the kernel differential tests and every
+    ``repro bench`` run assert the two stay within 1e-9).
     """
     num_workers = schedule.num_workers
     resolved = resolved or {}

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.common.errors import MemoryModelError
-from repro.schedules.ir import Operation, OpKind, Schedule
+from repro.schedules.ir import OpKind, Schedule
 
 
 def _per_stage(value: Sequence[float] | float, stage: int, what: str) -> float:

@@ -143,7 +143,7 @@ class TestFormatTable:
     def test_aligns_columns(self):
         text = format_table([["a", 1.0], ["bbbb", 22.5]], headers=["x", "y"])
         lines = text.splitlines()
-        assert len({len(l) for l in lines}) == 1
+        assert len({len(line) for line in lines}) == 1
 
     def test_float_formatting(self):
         text = format_table([[0.1234, 12.5, 1234.5]], headers=["a", "b", "c"])

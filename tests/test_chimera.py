@@ -4,7 +4,6 @@ import pytest
 
 from repro.common.errors import ScheduleError
 from repro.schedules.chimera import (
-    ConcatStrategy,
     build_chimera_schedule,
     partition_micro_batches,
 )

@@ -13,7 +13,6 @@ from repro.bench.experiments import (
     figure15,
     figure16,
     figure17,
-    figure18,
     figure19,
     planner_table,
     table2,

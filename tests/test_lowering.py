@@ -7,7 +7,7 @@ from repro.common.errors import ScheduleError, ValidationError
 from repro.models.transformer import TransformerLMConfig
 from repro.runtime.optimizers import SGD
 from repro.runtime.trainer import PipelineTrainer
-from repro.schedules.dependencies import EdgeKind, build_dependency_graph
+from repro.schedules.dependencies import build_dependency_graph
 from repro.schedules.ir import Operation, OpKind, Schedule, freeze_worker_ops
 from repro.schedules.lowering import is_lowered, lower_schedule
 from repro.schedules.registry import available_schemes, build_schedule

@@ -4,7 +4,7 @@ import pytest
 
 from repro.bench.harness import ExperimentConfig, run_configuration
 from repro.bench.machines import PIZ_DAINT, V100_CLUSTER
-from repro.bench.workloads import BERT48, TransformerSpec
+from repro.bench.workloads import BERT48
 from repro.common.errors import ConfigurationError
 from repro.common.units import GIB
 from repro.perf.planner import (
@@ -78,6 +78,45 @@ class TestRanking:
     def test_top_k_truncates(self):
         full = small_plan()
         assert small_plan(top_k=3) == full[:3]
+
+    def test_batch_ranking_matches_harness_for_every_entry(self):
+        """The batch-simulation ranking path is the harness, not a model.
+
+        Every entry — synchronous schemes grouped through
+        ``simulate_batch``, asynchronous ones through the steady-state
+        path — must reproduce ``run_configuration`` exactly, in both
+        communication modes.
+        """
+        for lowered in (False, True):
+            entries = small_plan(
+                schemes=("dapple", "zb_v", "pipedream_2bw"), lowered=lowered
+            )
+            assert entries
+            assert {e.scheme for e in entries} >= {"dapple", "zb_v"}
+            for entry in entries:
+                result = run_configuration(
+                    ExperimentConfig(
+                        scheme=entry.scheme,
+                        machine=PIZ_DAINT,
+                        workload=BERT48,
+                        width=entry.width,
+                        depth=entry.depth,
+                        micro_batch=entry.micro_batch,
+                        mini_batch=64,
+                        lowered=lowered,
+                        recompute=entry.recompute,
+                    )
+                )
+                assert entry.num_micro_batches == result.num_micro_batches
+                assert entry.iteration_time == pytest.approx(
+                    result.iteration_time, abs=1e-9
+                )
+                assert entry.throughput == pytest.approx(
+                    result.throughput, rel=1e-9
+                )
+                assert entry.bubble_ratio == pytest.approx(
+                    result.bubble_ratio, abs=1e-9
+                )
 
     def test_budget_prunes_monotonically(self):
         loose = small_plan(memory_budget_bytes=10 * GIB)

@@ -1,6 +1,5 @@
 """Cost models, network topologies, and collective cost formulas."""
 
-import math
 
 import pytest
 

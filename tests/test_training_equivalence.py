@@ -159,7 +159,7 @@ def test_pipedream_weight_version_consistency(tiny_config):
         trainer.train_step(make_micro_batches(tiny_config, 8, 2, seed=s))
         for s in range(3)
     ]
-    assert all(np.isfinite(l) for l in losses)
+    assert all(np.isfinite(loss) for loss in losses)
 
 
 def test_pipedream_rejects_width_over_one(tiny_config):
