@@ -14,7 +14,7 @@ from repro.bench.harness import ExperimentConfig, format_table, run_configuratio
 from repro.bench.machines import PIZ_DAINT
 from repro.bench.workloads import BERT48
 from repro.perf.calibration import calibrate_cost_model
-from repro.perf.selector import greedy_micro_batch
+from repro.perf.planner import greedy_micro_batch
 from repro.schedules.chimera import build_chimera_schedule
 from repro.sim.cost import CostModel
 from repro.sim.engine import simulate

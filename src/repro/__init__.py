@@ -26,6 +26,17 @@ comm lanes in the Gantt/trace output)::
     lowered = lower_schedule(sched)
     contended = simulate(lowered, CostModel.practical())
 
+Composable schedule passes (``docs/passes.md``): recomputation,
+communication fusion, and bubble filling work for every scheme through
+the pass pipeline — ``recompute=`` and ``passes=`` are universal
+``build_schedule`` options::
+
+    from repro import build_schedule, resolve_pipeline
+    r = build_schedule("gpipe", 8, 16, recompute=True)
+    fused = build_schedule("zb_v", 8, 16,
+                           passes="fill_bubbles,lower_p2p,fuse_comm")
+    pipeline = resolve_pipeline("lower_p2p,fuse_comm")   # reusable object
+
 Real training (NumPy transformer through any schedule)::
 
     from repro import PipelineTrainer, TransformerLMConfig
@@ -65,6 +76,15 @@ from repro.schedules import (
     OpKind,
     Schedule,
     StagePlacement,
+    DEFAULT_PASS_MANAGER,
+    FillBubblesPass,
+    FuseCommPass,
+    InsertSyncPass,
+    LowerP2PPass,
+    PassManager,
+    PassPipeline,
+    RecomputePass,
+    SchedulePass,
     available_schemes,
     build_chimera_schedule,
     build_dapple_schedule,
@@ -79,6 +99,9 @@ from repro.schedules import (
     build_zb_vmin_schedule,
     is_lowered,
     lower_schedule,
+    pipeline_signature,
+    register_pass,
+    resolve_pipeline,
     schedule_artifacts,
     scheme_traits,
     validate_schedule,
@@ -129,6 +152,18 @@ __all__ = [
     "scheme_traits",
     "is_lowered",
     "lower_schedule",
+    "DEFAULT_PASS_MANAGER",
+    "PassManager",
+    "PassPipeline",
+    "SchedulePass",
+    "InsertSyncPass",
+    "RecomputePass",
+    "FillBubblesPass",
+    "LowerP2PPass",
+    "FuseCommPass",
+    "pipeline_signature",
+    "register_pass",
+    "resolve_pipeline",
     "schedule_artifacts",
     "validate_schedule",
     "BatchResult",

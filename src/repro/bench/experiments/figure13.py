@@ -15,8 +15,8 @@ from repro.bench.machines import PIZ_DAINT
 from repro.bench.workloads import BERT48, GPT2_64, TransformerSpec
 from repro.perf.calibration import calibrate_cost_model
 from repro.perf.model import predict_iteration_time
-from repro.perf.selector import greedy_micro_batch
-from repro.schedules.chimera import build_chimera_schedule
+from repro.perf.planner import greedy_micro_batch
+from repro.schedules.registry import build_schedule
 from repro.sim.engine import simulate
 
 
@@ -60,7 +60,7 @@ def evaluate(
             data_parallel_width=width,
         )
         prediction = predict_iteration_time(depth, n, cost, recompute=recompute)
-        schedule = build_chimera_schedule(depth, n, recompute=recompute)
+        schedule = build_schedule("chimera", depth, n, recompute=recompute)
         practice = simulate(schedule, cost)
         out.append(
             ModelVsPractice(

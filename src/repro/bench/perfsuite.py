@@ -3,7 +3,7 @@
 Simulation throughput is the quantity every planner sweep and experiment
 grid stands on, so it is measured — not assumed. This module runs a fixed
 suite (every registered scheme × pipeline depths {8, 16, 32} × {implicit,
-lowered}) three ways per case:
+lowered, fused}) three ways per case:
 
 * the PR-2 **event**-queue engine (:func:`repro.sim.engine.simulate`),
 * the array-kernel **fast** path (:func:`repro.sim.kernel.simulate_fast`),
@@ -13,7 +13,14 @@ lowered}) three ways per case:
 checks that all three report identical makespans to 1e-9 (the suite's cost
 model is contention-free, where the kernel must be engine-exact), and
 emits a schema-versioned ``BENCH_<rev>.json`` with wall times, ops/sec,
-and makespan checksums.
+and makespan checksums. The ``fused`` mode runs the lowered schedule
+through the fuse_comm pass (each SEND/RECV pair batched into one
+transfer): the suite asserts its makespan equals the lowered case's to
+1e-9 for every (scheme, depth) — the pass's timing-neutrality contract on
+contention-free links — while the event engine processes roughly a third
+fewer ops, which ``summary["d16_fused_event_speedup_min"]`` quantifies
+(lowered event wall time over fused event wall time, per scheme at
+D=16).
 
 Regression gating
 -----------------
@@ -57,8 +64,9 @@ from repro.sim.kernel import fast_path_supported, simulate_batch, simulate_fast
 from repro.sim.network import FlatTopology, LinkSpec
 
 #: Bumped whenever the JSON layout or the suite contents change; the
-#: checker refuses to compare across versions.
-SCHEMA_VERSION = 1
+#: checker refuses to compare across versions. 2: added the ``fused``
+#: mode cases and the fused-speedup summary keys.
+SCHEMA_VERSION = 2
 
 #: Full-suite grid: every registered scheme at these depths, N=64 — the
 #: acceptance grid of the array kernel (D=16, N=64 is the reference point).
@@ -68,7 +76,7 @@ SUITE_MICRO_BATCHES = 64
 FAST_DEPTHS = (8,)
 FAST_MICRO_BATCHES = 16
 
-MODES = ("implicit", "lowered")
+MODES = ("implicit", "lowered", "fused")
 
 #: Cost models evaluated by the batch-path measurement: the base model
 #: plus f/b/w variations, so each batch row exercises a distinct duration
@@ -228,9 +236,10 @@ def run_case(
 ) -> dict:
     """Measure one case three ways and verify engine/kernel parity."""
     arts = schedule_artifacts(case.scheme, case.depth, case.num_micro_batches)
-    lowered = case.mode == "lowered"
-    schedule = arts.schedule_for(lowered)
-    graph = arts.graph_for(lowered)
+    lowered = case.mode in ("lowered", "fused")
+    fused = case.mode == "fused"
+    schedule = arts.schedule_for(lowered, fused)
+    graph = arts.graph_for(lowered, fused)
     base = suite_cost_model()
     if not fast_path_supported(schedule, base, graph=graph):
         raise ScheduleError(
@@ -318,15 +327,22 @@ def run_suite(
         run_case(case, repeats=repeats, batch_size=batch_size, slowdown=slowdown)
         for case in cases
     ]
+    _check_fused_parity(results)
     d16 = [c for c in results if c["depth"] == 16]
     summary = {
         "makespan_checksum": makespan_checksum(results),
         "fast_speedup_min": min(c["fast"]["speedup"] for c in results),
         "batch_speedup_min": min(c["batch"]["speedup"] for c in results),
     }
+    fused_speedups = _fused_event_speedups(results)
+    if fused_speedups:
+        summary["fused_event_speedup_min"] = min(fused_speedups.values())
     if d16:
         summary["d16_fast_speedup_min"] = min(c["fast"]["speedup"] for c in d16)
         summary["d16_batch_speedup_min"] = min(c["batch"]["speedup"] for c in d16)
+        d16_fused = {k: v for k, v in fused_speedups.items() if k[1] == 16}
+        if d16_fused:
+            summary["d16_fused_event_speedup_min"] = min(d16_fused.values())
     return {
         "schema_version": SCHEMA_VERSION,
         "suite": "fast" if fast else "full",
@@ -336,6 +352,51 @@ def run_suite(
         "cases": results,
         "summary": summary,
     }
+
+
+def _group_by_scheme_depth(results: Sequence[dict]) -> dict[tuple, dict[str, dict]]:
+    """(scheme, depth) -> mode -> case. One case identity for the fused
+    parity check and the fused speedup summary, so they can never group
+    differently."""
+    by_key: dict[tuple, dict[str, dict]] = {}
+    for case in results:
+        by_key.setdefault((case["scheme"], case["depth"]), {})[case["mode"]] = case
+    return by_key
+
+
+def _check_fused_parity(results: Sequence[dict]) -> None:
+    """Assert fused == lowered makespans to 1e-9 per (scheme, depth).
+
+    This is fuse_comm's contract on the suite's contention-free model:
+    batching a SEND/RECV pair must not move a single op. Runs on every
+    suite invocation, so any drift trips both local runs and CI.
+    """
+    for (scheme, depth), modes in _group_by_scheme_depth(results).items():
+        if "lowered" not in modes or "fused" not in modes:
+            continue
+        for field in ("compute_makespan", "iteration_time"):
+            drift = abs(modes["lowered"][field] - modes["fused"][field])
+            if drift > MAKESPAN_ATOL:
+                raise ScheduleError(
+                    f"fuse_comm parity violation on {scheme}/D{depth}: "
+                    f"{field} differs by {drift:.3e}"
+                )
+
+
+def _fused_event_speedups(results: Sequence[dict]) -> dict[tuple, float]:
+    """(scheme, depth) -> lowered event wall time / fused event wall time.
+
+    Both cases simulate the *same logical schedule* (fusion changes the
+    op encoding, not the workload), so the wall-time ratio is the honest
+    per-schedule event-engine speedup of batched communication.
+    """
+    out = {}
+    for key, modes in _group_by_scheme_depth(results).items():
+        if "lowered" in modes and "fused" in modes:
+            fused_wall = modes["fused"]["event"]["wall_s"]
+            if fused_wall > 0:
+                out[key] = modes["lowered"]["event"]["wall_s"] / fused_wall
+    return out
 
 
 def write_bench_json(payload: dict, path: str | os.PathLike) -> pathlib.Path:

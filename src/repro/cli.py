@@ -27,6 +27,15 @@ bandwidth, and the Gantt/trace outputs grow per-worker comm lanes.
 (in forward-time units; both default to 0, i.e. free links — set them to
 see transfers on the wire), while ``simulate`` derives it from
 ``--machine``.
+
+Schedule transforms are composable passes (:mod:`repro.schedules.passes`):
+``--recompute`` routes through the recompute pass (any scheme),
+``--fuse-comm`` batches each SEND/RECV pair into one transfer (implies
+``--lower``), and ``--passes`` appends an explicit comma-separated
+pipeline (e.g. ``--passes fill_bubbles,lower_p2p,fuse_comm`` or
+``--passes insert_sync:eager``) after the scheme's default pipeline.
+``plan`` exposes the same transforms as planning axes
+(``--recompute``/``--no-recompute``, ``--fuse-comm``).
 """
 
 from __future__ import annotations
@@ -50,8 +59,7 @@ from repro.bench.perfsuite import (
 from repro.bench.workloads import BERT48, GPT2_32, GPT2_64
 from repro.common.units import GIB
 from repro.perf.planner import format_plan, plan_configurations
-from repro.perf.selector import select_configuration
-from repro.schedules.lowering import lower_schedule
+from repro.perf.planner import select_configuration
 from repro.schedules.registry import available_schemes, build_schedule
 from repro.sim.cost import CostModel
 from repro.sim.engine import simulate
@@ -82,6 +90,14 @@ def _schedule_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="zero-bubble schemes: cap on live activation stashes",
     )
+    parser.add_argument(
+        "--passes",
+        default=None,
+        metavar="SPEC",
+        help="extra schedule passes after the scheme's defaults, comma-"
+        "separated (e.g. 'fill_bubbles,lower_p2p,fuse_comm', "
+        "'insert_sync:eager')",
+    )
     _lower_arg(parser)
     _link_args(parser)
 
@@ -93,6 +109,12 @@ def _lower_arg(parser: argparse.ArgumentParser) -> None:
         default=False,
         help="rewrite p2p communication into explicit SEND/RECV ops "
         "(link contention, comm lanes)",
+    )
+    parser.add_argument(
+        "--fuse-comm",
+        action="store_true",
+        help="batch each SEND/RECV pair into one transfer op "
+        "(fuse_comm pass; implies --lower)",
     )
 
 
@@ -133,10 +155,17 @@ def _build(args: argparse.Namespace):
         options["num_down_pipelines"] = args.pipelines
     if args.scheme in ("zb_h1", "zb_v") and args.max_in_flight is not None:
         options["max_in_flight"] = args.max_in_flight
-    schedule = build_schedule(args.scheme, args.depth, args.micro_batches, **options)
-    if args.lower:
-        schedule = lower_schedule(schedule)
-    return schedule
+    specs: list[str] = []
+    if args.passes:
+        specs.extend(s for s in args.passes.split(",") if s.strip())
+    explicit = set(specs)
+    if (args.lower or args.fuse_comm) and "lower_p2p" not in explicit:
+        specs.append("lower_p2p")
+    if args.fuse_comm and "fuse_comm" not in explicit:
+        specs.append("fuse_comm")
+    if specs:
+        options["passes"] = ",".join(specs)
+    return build_schedule(args.scheme, args.depth, args.micro_batches, **options)
 
 
 def cmd_show(args: argparse.Namespace) -> int:
@@ -152,6 +181,18 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
+    # The harness derives lowered/fused schedules itself (cached
+    # artifacts), so those two passes are flags here: fold them out of an
+    # explicit --passes spec instead of lowering twice.
+    lowered, fused = args.lower, args.fuse_comm
+    options = {}
+    if args.passes:
+        specs = [s.strip() for s in args.passes.split(",") if s.strip()]
+        lowered = lowered or "lower_p2p" in specs
+        fused = fused or "fuse_comm" in specs
+        rest = [s for s in specs if s not in ("lower_p2p", "fuse_comm")]
+        if rest:
+            options["passes"] = ",".join(rest)
     cfg = ExperimentConfig(
         scheme=args.scheme,
         machine=MACHINES[args.machine],
@@ -160,7 +201,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         depth=args.depth,
         micro_batch=args.micro_batch,
         mini_batch=args.mini_batch,
-        lowered=args.lower,
+        recompute=True if args.recompute else None,
+        lowered=lowered or fused,
+        fused=fused,
+        options=options,
     )
     r = run_configuration(cfg)
     print(f"configuration : {r.label()}")
@@ -197,7 +241,9 @@ def cmd_plan(args: argparse.Namespace) -> int:
         mini_batch=args.mini_batch,
         memory_budget_bytes=budget,
         schemes=args.schemes,
-        lowered=args.lower,
+        lowered=args.lower or args.fuse_comm,
+        fused=args.fuse_comm,
+        recompute=args.recompute,
         top_k=args.top,
     )
     budget_str = f"{args.budget_gib:g} GiB budget" if args.budget_gib else "device capacity"
@@ -281,6 +327,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--depth", "-D", type=int, default=4)
     p.add_argument("--micro-batch", "-B", type=int, default=8)
     p.add_argument("--mini-batch", type=int, default=512)
+    p.add_argument(
+        "--recompute",
+        action="store_true",
+        help="force activation recomputation (default: only when needed "
+        "to fit memory)",
+    )
+    p.add_argument(
+        "--passes",
+        default=None,
+        metavar="SPEC",
+        help="extra schedule passes, comma-separated",
+    )
     _lower_arg(p)
     p.set_defaults(func=cmd_simulate)
 
@@ -319,6 +377,20 @@ def build_parser() -> argparse.ArgumentParser:
         action=argparse.BooleanOptionalAction,
         default=True,
         help="rank with explicit SEND/RECV link contention (default on)",
+    )
+    p.add_argument(
+        "--fuse-comm",
+        action="store_true",
+        help="rank with batched transfers (fuse_comm pass; fewer events "
+        "per simulation, identical timing on contention-free links)",
+    )
+    p.add_argument(
+        "--recompute",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="recompute planning axis: default tries plain then "
+        "recomputed per candidate; --recompute forces it on, "
+        "--no-recompute disables the axis entirely",
     )
     p.set_defaults(func=cmd_plan)
 

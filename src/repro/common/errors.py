@@ -61,3 +61,14 @@ class ConfigurationError(ReproError):
     E.g. a worker count that does not factor into (W, D), or a micro-batch
     size that does not divide the mini-batch.
     """
+
+
+class UnknownOptionError(ConfigurationError):
+    """A schedule builder received an option it does not understand.
+
+    Raised by :func:`repro.schedules.registry.build_schedule` *before* the
+    builder runs, naming the scheme and the offending key — so a typo like
+    ``max_inflight`` or an option meant for another scheme fails loudly
+    instead of being swallowed by ``**options`` or blowing up as a bare
+    ``TypeError`` deep inside a builder.
+    """

@@ -2,13 +2,15 @@
 
 * :mod:`repro.perf.model` — Equation (1): closed-form critical-path counts
   plus a homogeneous-cost simulation for the communication-overlap term.
-* :mod:`repro.perf.selector` — the paper's Chimera-specific strategy:
-  greedily pick the largest micro-batch size that fits device memory, then
-  use the model to choose the best (W, D) split of the workers.
-* :mod:`repro.perf.planner` — the scheme-agnostic generalization: enumerate
+* :mod:`repro.perf.planner` — both selection procedures: the paper's
+  Chimera-specific §3.4 strategy (greedily pick the largest micro-batch
+  size that fits device memory, then use the model to choose the best
+  (W, D) split) and the scheme-agnostic generalization (enumerate
   ``(scheme, W, D, B)`` over every registered scheme, prune by the memory
   model against a peak-memory budget, and rank the survivors with the
-  contention-aware event-queue simulation.
+  contention-aware event-queue simulation, with schedule passes —
+  recomputation, communication fusion — as planning axes).
+  :mod:`repro.perf.selector` is a deprecated shim over the former.
 * :mod:`repro.perf.calibration` — build cost/memory models from a machine
   spec and a workload spec (the stand-in for the paper's micro-benchmarks).
 """
@@ -19,8 +21,14 @@ from repro.perf.model import (
     predict_closed_form,
     predict_iteration_time,
 )
-from repro.perf.planner import PlanEntry, format_plan, plan_configurations
-from repro.perf.selector import ConfigCandidate, select_configuration
+from repro.perf.planner import (
+    ConfigCandidate,
+    PlanEntry,
+    format_plan,
+    greedy_micro_batch,
+    plan_configurations,
+    select_configuration,
+)
 from repro.perf.calibration import calibrate_cost_model, calibrate_memory_model
 
 __all__ = [
@@ -32,6 +40,7 @@ __all__ = [
     "format_plan",
     "plan_configurations",
     "ConfigCandidate",
+    "greedy_micro_batch",
     "select_configuration",
     "calibrate_cost_model",
     "calibrate_memory_model",

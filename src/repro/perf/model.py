@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.common.errors import ConfigurationError
 from repro.schedules.chimera import ConcatStrategy, build_chimera_schedule
+from repro.schedules.passes import RecomputePass
 from repro.sim.cost import CostModel
 from repro.sim.engine import simulate
 
@@ -137,9 +138,10 @@ def predict_iteration_time(
         num_micro_batches,
         num_down_pipelines=num_down_pipelines,
         concat=concat,
-        recompute=recompute,
         sync_mode=sync_mode,
     )
+    if recompute:
+        schedule = RecomputePass().run(schedule)
     result = simulate(schedule, homogeneous)
     c_f, c_b = chimera_critical_path(depth, num_micro_batches)
     ratio = (

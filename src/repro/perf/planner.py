@@ -1,11 +1,13 @@
-"""Scheme-agnostic configuration planning under a peak-memory budget.
+"""Configuration planning: scheme-agnostic search plus the §3.4 procedure.
 
-The paper's §3.4 selection procedure (:mod:`repro.perf.selector`) is
-hard-wired to the bidirectional schedule: Chimera has so few bubbles that
-the largest micro-batch wins and only ``(W, D)`` needs ranking. With ten
-registered schemes — including the memory-controllable zero-bubble family,
-whose whole point is trading ramp time for peak activation memory —
-selection becomes a genuine search problem over ``(scheme, W, D, B)``:
+The paper's §3.4 selection procedure (:func:`select_configuration`, kept
+here verbatim for the Figure 13 reproduction; its old home
+``repro.perf.selector`` is a deprecated shim) is hard-wired to the
+bidirectional schedule: Chimera has so few bubbles that the largest
+micro-batch wins and only ``(W, D)`` needs ranking. With ten registered
+schemes — including the memory-controllable zero-bubble family, whose
+whole point is trading ramp time for peak activation memory — selection
+becomes a genuine search problem over ``(scheme, W, D, B)``:
 
 1. **Enumerate.** For every requested scheme, every depth ``D`` dividing
    ``P`` (respecting the scheme's structural traits: even depth for the
@@ -20,6 +22,15 @@ selection becomes a genuine search problem over ``(scheme, W, D, B)``:
 3. **Rank.** Simulate each survivor with the event-queue engine — lowered
    by default, so p2p transfers contend for link bandwidth — and sort by
    simulated end-to-end throughput.
+
+Schedule-transform passes (:mod:`repro.schedules.passes`) are planning
+*axes*: the pruning step enumerates recomputation on/off through the
+recompute pass (``recompute=None`` tries plain first, then recomputed —
+so tight budgets select configurations the pass-less planner must reject
+as OOM; ``recompute=False`` reproduces that pass-less planner), and
+``fused=True`` ranks with batched communication (the fuse_comm pass) —
+identical timing at zero link occupancy with roughly a third fewer ops
+per event simulation, which is the fast mode for big lowered grids.
 
 Every pruning decision and the final ranking go through the same code
 paths as the benchmark harness (:mod:`repro.bench.harness`), so a plan
@@ -117,6 +128,8 @@ def plan_configurations(
     min_depth: int = 2,
     max_micro_batch: int = DEFAULT_MAX_MICRO_BATCH,
     lowered: bool = True,
+    fused: bool = False,
+    recompute: bool | None = None,
     top_k: int | None = None,
 ) -> list[PlanEntry]:
     """Rank every feasible ``(scheme, W, D, B)`` under a memory budget.
@@ -132,6 +145,16 @@ def plan_configurations(
     lowered:
         Rank with explicit SEND/RECV communication, so transfers contend
         for link bandwidth (the event-queue engine's contention model).
+    fused:
+        Rank with batched communication (fuse_comm pass on top of
+        lowering) — fewer events per simulation, identical timing at zero
+        link occupancy. Requires ``lowered=True``.
+    recompute:
+        The recompute-pass planning axis. ``None`` (default): try each
+        candidate without recomputation first, then with it — exactly the
+        paper's retry-with-``R`` procedure. ``False``: never recompute
+        (the pass-less planner; tight budgets then raise instead of
+        selecting an ``R`` configuration). ``True``: always recompute.
     top_k:
         Truncate the ranked table; ``None`` returns every survivor.
 
@@ -178,6 +201,11 @@ def plan_configurations(
             f"constraint — try a different worker count or min_depth"
         )
 
+    if recompute is None:
+        attempts: tuple[bool, ...] = (False, True)
+    else:
+        attempts = (recompute,)
+
     closest: tuple[float, str] | None = None  # (peak overshoot, label)
     survivors: list[tuple[ExperimentConfig, MemoryReport]] = []
     for scheme, width, depth, micro_batch in grid:
@@ -190,19 +218,20 @@ def plan_configurations(
             micro_batch=micro_batch,
             mini_batch=mini_batch,
             lowered=lowered,
+            fused=fused,
             memory_budget_bytes=memory_budget_bytes,
         )
         # Prune before ranking: the memory verdict needs no simulation, so
         # OOM candidates never pay the simulation cost.
         try:
             fits_recompute: bool | None = None
-            for recompute in (False, True):
-                _, report = memory_report(cfg, recompute)
+            for attempt in attempts:
+                _, report = memory_report(cfg, attempt)
                 if report.fits(cfg.capacity_bytes):
-                    fits_recompute = recompute
+                    fits_recompute = attempt
                     break
             if fits_recompute is None:
-                r = ", R" if recompute else ""
+                r = ", R" if attempt else ""
                 overshoot = report.peak_bytes - cfg.capacity_bytes
                 if closest is None or overshoot < closest[0]:
                     closest = (
@@ -286,6 +315,7 @@ def _rank_survivors(
             cfg.num_micro_batches(),
             cfg.recompute,
             cfg.lowered,
+            cfg.fused,
             tuple(sorted(cfg.options.items())),
         )
         groups.setdefault(key, []).append((cfg, report))
@@ -293,8 +323,8 @@ def _rank_survivors(
     for members in groups.values():
         first = members[0][0]
         arts = config_artifacts(first, bool(first.recompute))
-        schedule = arts.schedule_for(first.lowered)
-        graph = arts.graph_for(first.lowered)
+        schedule = arts.schedule_for(first.lowered, first.fused)
+        graph = arts.graph_for(first.lowered, first.fused)
         cost_models = [
             calibrate_cost_model(
                 cfg.machine,
@@ -324,6 +354,132 @@ def _rank_survivors(
                 )
             )
     return entries
+
+
+# --------------------------------------------------------------------------
+# The paper's Chimera-specific §3.4 procedure (Figure 13), formerly
+# repro.perf.selector — kept verbatim because Figure 13 reproduces the
+# *paper's* greedy strategy, not the scheme-agnostic search above.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConfigCandidate:
+    """One (W, D, B) candidate with its model-predicted iteration time."""
+
+    width: int
+    depth: int
+    micro_batch: int
+    num_micro_batches: int
+    recompute: bool
+    predicted_time: float
+    predicted_throughput: float
+
+    def label(self) -> str:
+        r = ", R" if self.recompute else ""
+        return f"W={self.width}, D={self.depth}, B={self.micro_batch}{r}"
+
+
+def greedy_micro_batch(
+    machine: MachineSpec,
+    workload: TransformerSpec,
+    *,
+    width: int,
+    depth: int,
+    mini_batch: int,
+    max_micro_batch: int = 512,
+) -> tuple[int, bool] | None:
+    """Largest power-of-two ``B`` that fits memory, preferring no recompute.
+
+    The greedy half of the paper's §3.4 procedure: Chimera's bubbles are
+    few enough that the largest fitting micro-batch wins outright.
+    Returns ``(B, recompute)`` or ``None`` if nothing fits (even ``B = 1``
+    with recomputation).
+    """
+    from repro.perf.calibration import calibrate_memory_model
+    from repro.schedules.registry import build_schedule
+    from repro.sim.memory import analyze_memory
+
+    best: tuple[int, bool] | None = None
+    b = 1
+    while b <= max_micro_batch and width * b <= mini_batch:
+        if mini_batch % (width * b) == 0:
+            n = mini_batch // (width * b)
+            for recompute in (False, True):
+                schedule = build_schedule(
+                    "chimera", depth, n, recompute=recompute
+                )
+                memory = calibrate_memory_model(
+                    machine, workload, depth=depth, micro_batch=b
+                )
+                report = analyze_memory(schedule, memory)
+                if report.fits(machine.usable_memory_bytes):
+                    if best is None or b > best[0] or (b == best[0] and not recompute):
+                        best = (b, recompute)
+                    break
+        b *= 2
+    return best
+
+
+def select_configuration(
+    machine: MachineSpec,
+    workload: TransformerSpec,
+    *,
+    num_workers: int,
+    mini_batch: int,
+    min_depth: int = 2,
+) -> list[ConfigCandidate]:
+    """Rank all valid Chimera (W, D) factorizations by the §3.4 model.
+
+    Valid depths are even (bidirectional merge), at least ``min_depth``,
+    divide both ``P`` and the workload's layer count, and admit at least one
+    micro-batch per pipeline group. For the scheme-agnostic search use
+    :func:`plan_configurations`.
+    """
+    from repro.perf.model import predict_iteration_time
+
+    if num_workers < 2:
+        raise ConfigurationError("need at least two workers for a pipeline")
+    candidates: list[ConfigCandidate] = []
+    for depth in range(min_depth, num_workers + 1, 2):
+        if num_workers % depth or workload.num_layers % depth:
+            continue
+        width = num_workers // depth
+        picked = greedy_micro_batch(
+            machine, workload, width=width, depth=depth, mini_batch=mini_batch
+        )
+        if picked is None:
+            continue
+        micro_batch, recompute = picked
+        n = mini_batch // (width * micro_batch)
+        cost_model = calibrate_cost_model(
+            machine,
+            workload,
+            depth=depth,
+            micro_batch=micro_batch,
+            data_parallel_width=width,
+        )
+        prediction = predict_iteration_time(
+            depth, n, cost_model, recompute=recompute
+        )
+        candidates.append(
+            ConfigCandidate(
+                width=width,
+                depth=depth,
+                micro_batch=micro_batch,
+                num_micro_batches=n,
+                recompute=recompute,
+                predicted_time=prediction.iteration_time,
+                predicted_throughput=mini_batch / prediction.iteration_time,
+            )
+        )
+    if not candidates:
+        raise ConfigurationError(
+            f"no feasible (W, D, B) configuration for P={num_workers}, "
+            f"B̂={mini_batch} on {machine.name}"
+        )
+    candidates.sort(key=lambda c: c.predicted_time)
+    return candidates
 
 
 def format_plan(entries: Sequence[PlanEntry]) -> str:

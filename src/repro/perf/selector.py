@@ -1,135 +1,29 @@
-"""Chimera-specific configuration selection (paper §3.4, Figure 13).
+"""Deprecated shim — the §3.4 procedure moved to :mod:`repro.perf.planner`.
 
-Chimera's tuning procedure: because the bidirectional schedule has few
-bubbles, it *greedily* takes the largest micro-batch size ``B`` that fits
-device memory (no bubble/efficiency trade-off to sweep), then uses the
-performance model to pick ``(W, D)`` among the factorizations of ``P``.
-This shrinks the search space from the baselines' full ``(W, D, B)`` grid
-to a handful of model evaluations.
-
-The scheme-agnostic generalization — every registered scheme, the full
-``(scheme, W, D, B)`` grid, pruned against an explicit peak-memory budget
-and ranked by the contention-aware simulation — lives in
-:mod:`repro.perf.planner`; this module keeps the paper's exact procedure
-for the Figure 13 reproduction.
+This module's contents (``ConfigCandidate``, ``greedy_micro_batch``,
+``select_configuration``) were superseded by the scheme-agnostic planner
+in PR 3 and now live alongside it in :mod:`repro.perf.planner` (the
+paper-exact Chimera procedure is kept there for the Figure 13
+reproduction). Importing this module emits a :class:`DeprecationWarning`;
+the re-exports below keep old call sites working unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
-from repro.common.errors import ConfigurationError
-from repro.bench.machines import MachineSpec
-from repro.bench.workloads import TransformerSpec
-from repro.perf.calibration import calibrate_cost_model, calibrate_memory_model
-from repro.perf.model import predict_iteration_time
-from repro.schedules.chimera import build_chimera_schedule
-from repro.sim.memory import analyze_memory
+from repro.perf.planner import (  # noqa: F401  (re-exports)
+    ConfigCandidate,
+    greedy_micro_batch,
+    select_configuration,
+)
 
+warnings.warn(
+    "repro.perf.selector is deprecated; import ConfigCandidate, "
+    "greedy_micro_batch and select_configuration from repro.perf.planner "
+    "(or use plan_configurations for the scheme-agnostic search)",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-@dataclass(frozen=True)
-class ConfigCandidate:
-    """One (W, D, B) candidate with its model-predicted iteration time."""
-
-    width: int
-    depth: int
-    micro_batch: int
-    num_micro_batches: int
-    recompute: bool
-    predicted_time: float
-    predicted_throughput: float
-
-    def label(self) -> str:
-        r = ", R" if self.recompute else ""
-        return f"W={self.width}, D={self.depth}, B={self.micro_batch}{r}"
-
-
-def greedy_micro_batch(
-    machine: MachineSpec,
-    workload: TransformerSpec,
-    *,
-    width: int,
-    depth: int,
-    mini_batch: int,
-    max_micro_batch: int = 512,
-) -> tuple[int, bool] | None:
-    """Largest power-of-two ``B`` that fits memory, preferring no recompute.
-
-    Returns ``(B, recompute)`` or ``None`` if nothing fits (even ``B = 1``
-    with recomputation).
-    """
-    best: tuple[int, bool] | None = None
-    b = 1
-    while b <= max_micro_batch and width * b <= mini_batch:
-        if mini_batch % (width * b) == 0:
-            n = mini_batch // (width * b)
-            for recompute in (False, True):
-                schedule = build_chimera_schedule(depth, n, recompute=recompute)
-                memory = calibrate_memory_model(
-                    machine, workload, depth=depth, micro_batch=b
-                )
-                report = analyze_memory(schedule, memory)
-                if report.fits(machine.usable_memory_bytes):
-                    if best is None or b > best[0] or (b == best[0] and not recompute):
-                        best = (b, recompute)
-                    break
-        b *= 2
-    return best
-
-
-def select_configuration(
-    machine: MachineSpec,
-    workload: TransformerSpec,
-    *,
-    num_workers: int,
-    mini_batch: int,
-    min_depth: int = 2,
-) -> list[ConfigCandidate]:
-    """Rank all valid (W, D) factorizations by predicted iteration time.
-
-    Valid depths are even (bidirectional merge), at least ``min_depth``,
-    divide both ``P`` and the workload's layer count, and admit at least one
-    micro-batch per pipeline group.
-    """
-    if num_workers < 2:
-        raise ConfigurationError("need at least two workers for a pipeline")
-    candidates: list[ConfigCandidate] = []
-    for depth in range(min_depth, num_workers + 1, 2):
-        if num_workers % depth or workload.num_layers % depth:
-            continue
-        width = num_workers // depth
-        picked = greedy_micro_batch(
-            machine, workload, width=width, depth=depth, mini_batch=mini_batch
-        )
-        if picked is None:
-            continue
-        micro_batch, recompute = picked
-        n = mini_batch // (width * micro_batch)
-        cost_model = calibrate_cost_model(
-            machine,
-            workload,
-            depth=depth,
-            micro_batch=micro_batch,
-            data_parallel_width=width,
-        )
-        prediction = predict_iteration_time(
-            depth, n, cost_model, recompute=recompute
-        )
-        candidates.append(
-            ConfigCandidate(
-                width=width,
-                depth=depth,
-                micro_batch=micro_batch,
-                num_micro_batches=n,
-                recompute=recompute,
-                predicted_time=prediction.iteration_time,
-                predicted_throughput=mini_batch / prediction.iteration_time,
-            )
-        )
-    if not candidates:
-        raise ConfigurationError(
-            f"no feasible (W, D, B) configuration for P={num_workers}, "
-            f"B̂={mini_batch} on {machine.name}"
-        )
-    candidates.sort(key=lambda c: c.predicted_time)
-    return candidates
+__all__ = ["ConfigCandidate", "greedy_micro_batch", "select_configuration"]

@@ -19,7 +19,12 @@ its tensor in a local outbox, the scheduled ``SEND`` moves it into the
 backend (the wire), the ``RECV`` moves it from the backend into the
 consumer's inbox, and the consumer reads the inbox. Stage pairs sharing a
 worker (the ZB-V fold) keep the direct backend path — exactly the edges
-the lowering pass leaves implicit. Both paths produce bit-identical
+the lowering pass leaves implicit. *Fused* schedules
+(:mod:`repro.schedules.passes.fuse`) have no ``RECV`` step: the batched
+``SEND`` puts the tensor on the wire and the consumer takes it straight
+off the backend. Explicit ``RECOMPUTE`` ops (the recompute pass)
+rematerialize a stage's discarded activations from the stashed stage
+input right before the first backward. All paths produce bit-identical
 training results; the parity tests assert it.
 """
 
@@ -79,15 +84,20 @@ class PipelineExecutor:
         self.weight_stashing = weight_stashing
         self.on_sync_complete = on_sync_complete
         self.lowered = schedule.lowered
+        #: Fused communication (fuse_comm pass): SENDs exist but RECVs are
+        #: batched into them — consumers read the backend directly.
+        self.fused = bool(schedule.metadata.get("fused_comm", False))
         #: Lowered mode: producer output awaiting its SEND, keyed like the
         #: backend message it becomes.
         self._outbox: dict[tuple, np.ndarray] = {}
         #: Lowered mode: received message awaiting its consumer.
         self._inbox: dict[tuple, np.ndarray] = {}
+        #: (replica, stage, mb) whose forward must stash only the stage
+        #: input — flag-based recomputation plus explicit RECOMPUTE ops.
         self._recompute_mbs: set[tuple[int, int, int]] = {
             (op.replica, op.stage, mb)
             for _, op in schedule.all_ops()
-            if op.is_backward and op.recompute
+            if (op.is_backward and op.recompute) or op.is_recompute
             for mb in op.micro_batches
         }
         if weight_stashing and any(
@@ -192,6 +202,9 @@ class PipelineExecutor:
     # The three routing helpers own the lowered-vs-implicit decision: a
     # cross-worker message of a lowered schedule stages through the
     # outbox/wire/inbox pipeline, anything else uses the backend directly.
+    # Under fused communication the producer side keeps the outbox/SEND
+    # step but the consumer reads the wire (backend) itself — the RECV
+    # was batched into the SEND.
     def _routes_via_comm_ops(
         self, replica: int, src_stage: int, dst_stage: int
     ) -> bool:
@@ -200,14 +213,18 @@ class PipelineExecutor:
     def _input_ready(
         self, key: tuple, replica: int, src_stage: int, dst_stage: int
     ) -> bool:
-        if self._routes_via_comm_ops(replica, src_stage, dst_stage):
+        if not self.fused and self._routes_via_comm_ops(
+            replica, src_stage, dst_stage
+        ):
             return key in self._inbox
         return self.backend.can_recv(key)
 
     def _take_input(
         self, key: tuple, replica: int, src_stage: int, dst_stage: int
     ) -> np.ndarray:
-        if self._routes_via_comm_ops(replica, src_stage, dst_stage):
+        if not self.fused and self._routes_via_comm_ops(
+            replica, src_stage, dst_stage
+        ):
             return self._inbox.pop(key)
         return self.backend.recv(key)
 
@@ -225,9 +242,11 @@ class PipelineExecutor:
             self.backend.send(key, value)
 
     def _executable(self, group: int, op: Operation) -> bool:
-        if op.kind is OpKind.ALLREDUCE or op.is_backward_weight:
-            # Weight-gradient ops consume only local deferred state; program
-            # order (validated: W after its Bi) makes them always runnable.
+        if op.kind is OpKind.ALLREDUCE or op.is_backward_weight or op.is_recompute:
+            # Weight-gradient ops consume only local deferred state;
+            # RECOMPUTE replays from the locally stashed stage input; in
+            # both cases program order (validated: W after its Bi, R after
+            # its forward) makes them always runnable.
             return True
         if op.kind is OpKind.SEND:
             # Program order puts the SEND after its producer, which filled
@@ -275,6 +294,8 @@ class PipelineExecutor:
             self._execute_send(group, op)
         elif op.kind is OpKind.RECV:
             self._execute_recv(group, op)
+        elif op.is_recompute:
+            self._execute_recompute(group, op)
         elif op.is_forward:
             self._execute_forward(group, op)
         elif op.is_backward_weight:
@@ -293,6 +314,26 @@ class PipelineExecutor:
         for mb in op.micro_batches:
             key = self._message_key(group, op, mb, op.payload, op.stage)
             self._inbox[key] = self.backend.recv(key)
+
+    def _execute_recompute(self, group: int, op: Operation) -> None:
+        """Rebuild the stage's discarded activation caches for the backward.
+
+        Under PipeDream weight stashing the replay must use the *same
+        weight version* the original forward used (an optimizer step may
+        have happened in between), so the stashed snapshot is loaded
+        around the rematerialization — exactly what the lazy flag-based
+        path does implicitly inside the snapshot-loaded backward.
+        """
+        stage_module = self.stages[(group, op.replica, op.stage)]
+        for mb in op.micro_batches:
+            stash_key = (group, op.replica, op.stage, mb)
+            if self.weight_stashing and stash_key in self._stashes:
+                current = stage_module.snapshot_params()
+                stage_module.load_params(self._stashes[stash_key])
+                stage_module.rematerialize(mb)
+                stage_module.load_params(current)
+            else:
+                stage_module.rematerialize(mb)
 
     def _execute_forward(self, group: int, op: Operation) -> None:
         depth = self.schedule.num_stages

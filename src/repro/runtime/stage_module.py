@@ -166,6 +166,29 @@ class StageModule:
         """Number of (mb, part) buffers awaiting their backward_weight."""
         return len(self._deferred_grads)
 
+    def rematerialize(self, mb: int) -> None:
+        """Replay the forward for ``mb`` from the stashed stage input.
+
+        The runtime counterpart of an explicit ``RECOMPUTE`` op (the
+        recompute pass): rebuilds the per-layer caches the forward
+        discarded so the following backward finds them. Idempotent — a
+        micro-batch whose caches are already live is left alone, which is
+        also what makes the lazy flag-based path and the explicit-op path
+        compose.
+        """
+        if mb not in self._pending:
+            raise ReproError(
+                f"rematerialization for micro-batch {mb} without a forward"
+            )
+        if mb in self._caches:
+            return
+        x = self._inputs[mb]
+        caches = []
+        for layer in self.layers:
+            x, cache = layer.forward(x)
+            caches.append(cache)
+        self._caches[mb] = caches
+
     def _backprop(
         self, mb: int, dy: np.ndarray, row_slice: slice | None
     ) -> np.ndarray:
@@ -173,13 +196,10 @@ class StageModule:
         if mb not in self._pending:
             raise ReproError(f"backward for micro-batch {mb} without a forward")
         if self.recompute and mb not in self._caches:
-            # Rematerialize the full forward from the stashed stage input.
-            x = self._inputs[mb]
-            caches = []
-            for layer in self.layers:
-                x, cache = layer.forward(x)
-                caches.append(cache)
-            self._caches[mb] = caches
+            # Rematerialize the full forward from the stashed stage input
+            # (flag-based recomputation; explicit RECOMPUTE ops call
+            # rematerialize() ahead of time instead).
+            self.rematerialize(mb)
         caches = self._caches[mb]
         for layer, cache in zip(reversed(self.layers), reversed(caches)):
             dy = layer.backward(dy, cache, row_slice=row_slice)

@@ -32,6 +32,7 @@ from repro.runtime.executor import PipelineExecutor
 from repro.runtime.optimizers import SGD, Optimizer
 from repro.runtime.stage_module import StageModule
 from repro.schedules.lowering import lower_schedule
+from repro.schedules.passes import FuseCommPass
 from repro.schedules.registry import build_schedule
 from repro.schedules.validate import validate_schedule
 
@@ -43,7 +44,10 @@ class PipelineTrainer:
     pass first, so the executor performs every cross-worker transfer as an
     explicit SEND/RECV step — numerically identical to the implicit path
     (the parity tests assert it), and the configuration to use when
-    comparing against a lowered simulation.
+    comparing against a lowered simulation. ``fused=True`` additionally
+    batches each SEND/RECV pair (the fuse_comm pass); ``recompute=True``
+    routes through the recompute pass, so the executor rematerializes
+    activations at explicit RECOMPUTE ops — still bit-identical.
     """
 
     def __init__(
@@ -57,10 +61,15 @@ class PipelineTrainer:
         optimizer_factory: Callable[[], Optimizer] | None = None,
         recompute: bool = False,
         lowered: bool = False,
+        fused: bool = False,
         schedule_options: dict | None = None,
     ) -> None:
         if width < 1:
             raise ConfigurationError("width must be >= 1")
+        if fused and not lowered:
+            raise ConfigurationError(
+                "fused communication requires lowered=True"
+            )
         self.model_config = model_config
         self.scheme = scheme
         self.depth = depth
@@ -71,6 +80,8 @@ class PipelineTrainer:
         )
         if lowered:
             self.schedule = lower_schedule(self.schedule)
+        if fused:
+            self.schedule = FuseCommPass().run(self.schedule)
         validate_schedule(self.schedule, require_sync_ops=False)
         if scheme == "pipedream" and width != 1:
             raise ConfigurationError(

@@ -17,11 +17,16 @@ modern baselines to compare Chimera against.
 
 All builders produce the same :class:`repro.schedules.ir.Schedule` IR, which
 the simulator (:mod:`repro.sim`), the training runtime
-(:mod:`repro.runtime`), and the memory model consume uniformly. The
-lowering pass (:mod:`repro.schedules.lowering`) rewrites any of them —
-without per-builder code — into a form with explicit ``SEND``/``RECV``
-communication ops, enabling link-contention simulation and comm-lane
-rendering.
+(:mod:`repro.runtime`), and the memory model consume uniformly. Builders
+emit compute rows; the cross-cutting transforms — gradient-sync
+placement, activation recomputation, bubble filling, communication
+lowering and fusion — are composable passes
+(:mod:`repro.schedules.passes`) that the registry's default pipelines,
+the CLI's ``--passes`` flag, and the schedule cache all share. The
+lowering implementation itself lives in :mod:`repro.schedules.lowering`
+and rewrites any scheme — without per-builder code — into a form with
+explicit ``SEND``/``RECV`` communication ops, enabling link-contention
+simulation and comm-lane rendering.
 """
 
 from repro.schedules.ir import Operation, OpKind, Schedule
@@ -46,6 +51,21 @@ from repro.schedules.registry import (
     scheme_traits,
 )
 from repro.schedules.lowering import is_lowered, lower_schedule
+from repro.schedules.passes import (
+    DEFAULT_PASS_MANAGER,
+    FillBubblesPass,
+    FuseCommPass,
+    InsertSyncPass,
+    LowerP2PPass,
+    PassManager,
+    PassPipeline,
+    RecomputePass,
+    SchedulePass,
+    pipeline_signature,
+    register_pass,
+    resolve_pipeline,
+    schedule_facts,
+)
 from repro.schedules.cache import (
     ScheduleArtifacts,
     ScheduleCache,
@@ -85,6 +105,19 @@ __all__ = [
     "scheme_traits",
     "lower_schedule",
     "is_lowered",
+    "DEFAULT_PASS_MANAGER",
+    "PassManager",
+    "PassPipeline",
+    "SchedulePass",
+    "InsertSyncPass",
+    "RecomputePass",
+    "FillBubblesPass",
+    "LowerP2PPass",
+    "FuseCommPass",
+    "pipeline_signature",
+    "register_pass",
+    "resolve_pipeline",
+    "schedule_facts",
     "ScheduleArtifacts",
     "ScheduleCache",
     "cached_build_schedule",

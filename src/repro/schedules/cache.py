@@ -12,11 +12,16 @@ the cost model, never the schedule, which depends on ``N = B̂ / (W * B)``).
 
 :func:`schedule_artifacts` is the single entry point: it returns a
 :class:`ScheduleArtifacts` handle whose derived forms (graph, lowered
-schedule, lowered graph) materialize lazily, each exactly once per
-process. The cache is a bounded LRU keyed on
+schedule, lowered graph, fused schedule, fused graph) materialize lazily,
+each exactly once per process. The cache is a bounded LRU keyed on
 ``(scheme, depth, num_micro_batches, sorted(options))`` — the options map
 covers chunking/variant knobs such as ``recompute``, Chimera's ``concat``
-and ``num_down_pipelines``, and the zero-bubble ``max_in_flight``.
+and ``num_down_pipelines``, and the zero-bubble ``max_in_flight``. A
+``passes`` option (extra pipeline stages, see
+:mod:`repro.schedules.passes`) is normalized to the pipeline's stable
+*signature* before entering the key, so equivalent spec spellings — a
+comma string, a list, pre-built pass objects — share one entry, and two
+processes derive identical keys for identical pipelines.
 
 Safety
 ------
@@ -42,9 +47,11 @@ from collections import OrderedDict
 from dataclasses import dataclass, replace
 from types import MappingProxyType
 
+from repro.common.errors import ReproError, ScheduleError
 from repro.schedules.dependencies import DependencyGraph, build_dependency_graph
 from repro.schedules.ir import Schedule
 from repro.schedules.lowering import lower_schedule
+from repro.schedules.passes import FuseCommPass, pipeline_signature
 from repro.schedules.registry import build_schedule
 
 #: Default bound on retained entries (LRU eviction beyond it). A cached
@@ -69,13 +76,23 @@ class ScheduleArtifacts:
     duplicate which is immediately discarded in favour of the first).
     """
 
-    __slots__ = ("schedule", "_graph", "_lowered", "_lowered_graph", "_lock")
+    __slots__ = (
+        "schedule",
+        "_graph",
+        "_lowered",
+        "_lowered_graph",
+        "_fused",
+        "_fused_graph",
+        "_lock",
+    )
 
     def __init__(self, schedule: Schedule):
         self.schedule = _freeze(schedule)
         self._graph: DependencyGraph | None = None
         self._lowered: Schedule | None = None
         self._lowered_graph: DependencyGraph | None = None
+        self._fused: Schedule | None = None
+        self._fused_graph: DependencyGraph | None = None
         self._lock = threading.Lock()
 
     def graph(self) -> DependencyGraph:
@@ -105,12 +122,42 @@ class ScheduleArtifacts:
                     self._lowered_graph = graph
         return self._lowered_graph
 
-    def schedule_for(self, lowered: bool) -> Schedule:
-        """The implicit or lowered schedule, by flag."""
+    def fused(self) -> Schedule:
+        """The lowered schedule with SEND/RECV pairs batched (fuse_comm)."""
+        if self._fused is None:
+            fused = _freeze(FuseCommPass().run(self.lowered()))
+            with self._lock:
+                if self._fused is None:
+                    self._fused = fused
+        return self._fused
+
+    def fused_graph(self) -> DependencyGraph:
+        """Dependency graph of the fused schedule."""
+        if self._fused_graph is None:
+            graph = build_dependency_graph(self.fused())
+            with self._lock:
+                if self._fused_graph is None:
+                    self._fused_graph = graph
+        return self._fused_graph
+
+    def schedule_for(self, lowered: bool, fused: bool = False) -> Schedule:
+        """The implicit, lowered, or fused schedule, by flags."""
+        if fused:
+            if not lowered:
+                raise ScheduleError(
+                    "fused communication requires a lowered schedule"
+                )
+            return self.fused()
         return self.lowered() if lowered else self.schedule
 
-    def graph_for(self, lowered: bool) -> DependencyGraph:
-        """The matching dependency graph, by flag."""
+    def graph_for(self, lowered: bool, fused: bool = False) -> DependencyGraph:
+        """The matching dependency graph, by flags."""
+        if fused:
+            if not lowered:
+                raise ScheduleError(
+                    "fused communication requires a lowered schedule"
+                )
+            return self.fused_graph()
         return self.lowered_graph() if lowered else self.graph()
 
 
@@ -147,18 +194,28 @@ class ScheduleCache:
 
         ``recompute=False`` is normalized away: it is every builder's
         default, so an explicit-False caller and a no-options caller must
-        share one entry instead of building the same schedule twice.
+        share one entry instead of building the same schedule twice. A
+        ``passes`` option is replaced by its resolved pipeline
+        *signature* (:func:`repro.schedules.passes.pipeline_signature`) —
+        the stable identity the pass manager guarantees — so every
+        spelling of one pipeline maps to one entry. Unknown pass names
+        make the spec unhashable-equivalent (no retention): the build
+        itself will raise the real error.
         """
         try:
-            items = tuple(
-                sorted(
-                    (k, v)
-                    for k, v in options.items()
-                    if not (k == "recompute" and v is False)
-                )
-            )
+            normalized = {}
+            for k, v in options.items():
+                if k == "recompute" and v is False:
+                    continue
+                if k == "passes":
+                    sig = pipeline_signature(v)  # stable, hashable
+                    if not sig:
+                        continue
+                    v = sig
+                normalized[k] = v
+            items = tuple(sorted(normalized.items()))
             hash(items)
-        except TypeError:
+        except (TypeError, ReproError):
             return None
         return (scheme, depth, num_micro_batches, items)
 

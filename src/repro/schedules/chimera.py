@@ -108,7 +108,6 @@ def _stage_sequences(
     f: int,
     blocks: list[list[int]],
     strategy: ConcatStrategy,
-    recompute: bool,
 ) -> dict[tuple[int, int], list[Operation]]:
     """Per-(replica, stage) solo program orders.
 
@@ -131,12 +130,7 @@ def _stage_sequences(
                 continue
             if strategy is ConcatStrategy.DIRECT:
                 seq = onefb_stage_order(
-                    stage,
-                    depth,
-                    mbs,
-                    replica=replica,
-                    recompute=recompute,
-                    warmup_cap=cap,
+                    stage, depth, mbs, replica=replica, warmup_cap=cap
                 )
             elif strategy is ConcatStrategy.FORWARD_DOUBLING:
                 whole, residual = (mbs, []) if len(mbs) % 2 == 0 else (mbs[:-1], mbs[-1:])
@@ -149,16 +143,15 @@ def _stage_sequences(
                     warmup_cap=cap,
                 )
                 if residual:
-                    # Odd residual micro-batch: append a plain (recomputed)
-                    # 1F1B tail, mirroring the paper's odd-K handling.
-                    seq += onefb_stage_order(
-                        stage,
-                        depth,
-                        residual,
-                        replica=replica,
-                        recompute=True,
-                        warmup_cap=cap,
-                    )
+                    # Odd residual micro-batch: append a plain 1F1B tail,
+                    # mirroring the paper's odd-K handling; its backward
+                    # recomputes like the doubled units it rides with.
+                    seq += [
+                        op.with_recompute() if op.is_backward else op
+                        for op in onefb_stage_order(
+                            stage, depth, residual, replica=replica, warmup_cap=cap
+                        )
+                    ]
             else:
                 seq = expanded_onefb_stage_order(
                     stage,
@@ -422,7 +415,6 @@ def build_chimera_schedule(
     *,
     num_down_pipelines: int = 1,
     concat: ConcatStrategy | str = ConcatStrategy.DIRECT,
-    recompute: bool = False,
     sync_mode: str = "eager_opt",
     slot_model: str = "practical",
 ) -> Schedule:
@@ -441,10 +433,10 @@ def build_chimera_schedule(
         ``f`` — the §3.6 generalization; must divide ``D/2``. The default
         ``f = 1`` combines one down and one up pipeline.
     concat:
-        Strategy for ``N > D`` (ignored when ``N <= D``).
-    recompute:
-        Run backwards with activation recomputation (forward doubling always
-        recomputes regardless of this flag).
+        Strategy for ``N > D`` (ignored when ``N <= D``). Forward doubling
+        always recomputes its fused units' backwards (flag-based, part of
+        the schedule shape); schedule-wide recomputation is the recompute
+        pass's job — ``build_schedule("chimera", ..., recompute=True)``.
     sync_mode:
         ``"lazy"``, ``"eager"``, or ``"eager_opt"`` (default; paper §3.2).
     slot_model:
@@ -491,7 +483,7 @@ def build_chimera_schedule(
             f"unknown slot model {slot_model!r}; expected 'practical' or 'unit'"
         )
     blocks = partition_micro_batches(num_micro_batches, 2 * f)
-    sequences = _stage_sequences(depth, f, blocks, strategy, recompute)
+    sequences = _stage_sequences(depth, f, blocks, strategy)
     # Forward doubling deliberately doubles the activation budget (paper
     # §3.5), so its per-worker in-flight cap is 2D instead of D.
     inflight_cap = 2 * depth if strategy is ConcatStrategy.FORWARD_DOUBLING else depth
@@ -516,7 +508,6 @@ def build_chimera_schedule(
         worker_ops=freeze_worker_ops(rows),
         synchronous=True,
         metadata={
-            "recompute": recompute,
             "concat": strategy.value,
             "num_down_pipelines": f,
             "sync_mode": sync_mode,

@@ -5,23 +5,21 @@ one-forward-one-backward phase, a backward drain, and a pipeline flush with
 gradient synchronization. Same bubble ratio as GPipe, ``(D-1)/(N+D-1)`` per
 pass, but the in-flight micro-batch count — and with it the activation
 memory — is capped at ``D - s`` per stage instead of ``N`` (Table 2).
+
+The builder emits compute rows only; gradient synchronization (and, when
+requested, activation recomputation) comes from the registry's pass
+pipeline (:mod:`repro.schedules.passes`).
 """
 
 from __future__ import annotations
 
 from repro.common.errors import ScheduleError
-from repro.schedules._sync import append_lazy_sync
 from repro.schedules.ir import Operation, Schedule, freeze_worker_ops
 from repro.schedules.onefb import onefb_stage_order
 from repro.schedules.placement import StagePlacement
 
 
-def build_dapple_schedule(
-    depth: int,
-    num_micro_batches: int,
-    *,
-    recompute: bool = False,
-) -> Schedule:
+def build_dapple_schedule(depth: int, num_micro_batches: int) -> Schedule:
     """Build the DAPPLE (synchronous 1F1B) schedule."""
     if depth < 1:
         raise ScheduleError("DAPPLE needs at least one stage")
@@ -30,15 +28,12 @@ def build_dapple_schedule(
     placement = StagePlacement.linear(depth)
     mbs = range(num_micro_batches)
     rows: list[list[Operation]] = [
-        onefb_stage_order(stage, depth, mbs, recompute=recompute)
-        for stage in range(depth)
+        onefb_stage_order(stage, depth, mbs) for stage in range(depth)
     ]
-    append_lazy_sync(rows, placement)
     return Schedule(
         scheme="dapple",
         placement=placement,
         num_micro_batches=num_micro_batches,
         worker_ops=freeze_worker_ops(rows),
         synchronous=True,
-        metadata={"recompute": recompute},
     )

@@ -14,6 +14,10 @@ dependencies between operations:
 * ``W(r, s, m)`` (split weight gradient) depends on its own stage's
   ``Bi(r, s, m)`` — the deferred per-layer gradients of the backward walk —
   a purely local edge that never becomes a message;
+* ``R(r, s, m)`` (explicit rematerialization, inserted by the recompute
+  pass) depends on its own stage's forward — the stashed stage input it
+  replays — another purely local edge; the backward it precedes is held
+  behind it by worker program order;
 * ``S(r, s)`` (allreduce) depends on every local *weight-gradient producer*
   of that stage replica — the fused backward, or the ``W`` half under
   backward splitting (or, for per-micro-batch synchronization as in
@@ -30,6 +34,12 @@ explicit ``SEND``/``RECV`` pairs, and the graph builder wires them in:
   holding a direct cross-worker ``ACTIVATION``/``GRADIENT`` edge. Edges
   between stages that share a worker are never lowered and keep their
   original kind.
+
+Fused schedules (:mod:`repro.schedules.passes.fuse`) have no ``RECV``
+ops: each message is one batched transfer carried by its ``SEND``, and
+the consumer holds the ``TRANSFER`` edge *directly* — the engine times it
+with the full wire model (latency, occupancy, channel FIFO), so fusion
+changes the event count, never the communication semantics.
 
 Worker-order dependencies (op ``i+1`` on a worker starts after op ``i``) are
 *not* materialized here; the simulator and the runtime both respect the list
@@ -170,9 +180,13 @@ def build_dependency_graph(schedule: Schedule) -> DependencyGraph:
     wgrad_by_mb: dict[tuple[int, int, int, tuple[int, int]], Operation] = {}
     # Comm-op indexes (lowered schedules only). Sends are looked up by their
     # full identity when wiring a RECV's TRANSFER edge; recvs are looked up
-    # per micro-batch when redirecting a consumer's cross-worker edge.
+    # per micro-batch when redirecting a consumer's cross-worker edge, and
+    # sends per destination micro-batch for fused schedules (the consumer
+    # takes the TRANSFER edge itself when no RECV exists).
     send_index: dict[tuple, Operation] = {}
+    send_by_dst_mb: dict[tuple[int, int, int, tuple[int, int], str], Operation] = {}
     recv_by_mb: dict[tuple[int, int, int, tuple[int, int], str], Operation] = {}
+    remat_by_mb: dict[tuple[int, int, int], Operation] = {}
 
     for worker, ops in enumerate(schedule.worker_ops):
         for pos, op in enumerate(ops):
@@ -211,10 +225,23 @@ def build_dependency_graph(schedule: Schedule) -> DependencyGraph:
                             f"of replica {op.replica}"
                         )
                     wgrad_by_mb[bkey] = op
+            if op.kind is OpKind.RECOMPUTE:
+                for mb in op.micro_batches:
+                    rkey = (op.replica, op.stage, mb)
+                    if rkey in remat_by_mb:
+                        raise ValidationError(
+                            f"micro-batch {mb} has two RECOMPUTE ops at stage "
+                            f"{op.stage} of replica {op.replica}"
+                        )
+                    remat_by_mb[rkey] = op
             if op.kind is OpKind.SEND:
                 send_index[
                     (op.replica, op.stage, op.micro_batches, op.part, op.payload)
                 ] = op
+                for mb in op.micro_batches:
+                    send_by_dst_mb[
+                        (op.replica, op.peer_stage, mb, op.part, op.payload)
+                    ] = op
             if op.kind is OpKind.RECV:
                 for mb in op.micro_batches:
                     rkey = (op.replica, op.stage, mb, op.part, op.payload)
@@ -240,9 +267,23 @@ def build_dependency_graph(schedule: Schedule) -> DependencyGraph:
                             f"(replica {op.replica}) has no stage-{op.stage - 1} producer"
                         )
                     recv = recv_by_mb.get((op.replica, op.stage, mb, op.part, "act"))
+                    send = send_by_dst_mb.get(
+                        (op.replica, op.stage, mb, op.part, "act")
+                    )
                     if recv is not None:
                         incoming.append(
                             Edge(recv.key(), op.key(), EdgeKind.DELIVERY)
+                        )
+                    elif send is not None:
+                        # Fused schedule: the batched transfer delivers
+                        # straight to the consumer.
+                        incoming.append(
+                            Edge(
+                                send.key(),
+                                op.key(),
+                                EdgeKind.TRANSFER,
+                                _payload_between(send, op),
+                            )
                         )
                     else:
                         incoming.append(
@@ -275,9 +316,21 @@ def build_dependency_graph(schedule: Schedule) -> DependencyGraph:
                         recv = recv_by_mb.get(
                             (op.replica, op.stage, mb, op.part, "grad")
                         )
+                        send = send_by_dst_mb.get(
+                            (op.replica, op.stage, mb, op.part, "grad")
+                        )
                         if recv is not None:
                             incoming.append(
                                 Edge(recv.key(), op.key(), EdgeKind.DELIVERY)
+                            )
+                        elif send is not None:
+                            incoming.append(
+                                Edge(
+                                    send.key(),
+                                    op.key(),
+                                    EdgeKind.TRANSFER,
+                                    _payload_between(send, op),
+                                )
                             )
                         else:
                             incoming.append(
@@ -288,6 +341,16 @@ def build_dependency_graph(schedule: Schedule) -> DependencyGraph:
                                     _payload_between(producer, op),
                                 )
                             )
+            elif op.is_recompute:
+                for mb in op.micro_batches:
+                    fwd = fwd_by_mb.get((op.replica, op.stage, mb))
+                    if fwd is None:
+                        raise ValidationError(
+                            f"RECOMPUTE of micro-batch {mb} at stage "
+                            f"{op.stage} (replica {op.replica}) has no "
+                            f"matching forward"
+                        )
+                    incoming.append(Edge(fwd.key(), op.key(), EdgeKind.STASH))
             elif op.is_backward_weight:
                 for mb in op.micro_batches:
                     producer = grad_by_mb.get((op.replica, op.stage, mb, op.part))

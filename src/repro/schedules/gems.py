@@ -15,17 +15,11 @@ around ``(D-1)/(D+1/2)`` that does not improve with ``N`` (Table 2).
 from __future__ import annotations
 
 from repro.common.errors import ScheduleError
-from repro.schedules._sync import append_lazy_sync
 from repro.schedules.ir import Operation, OpKind, Schedule, freeze_worker_ops
 from repro.schedules.placement import StagePlacement
 
 
-def build_gems_schedule(
-    depth: int,
-    num_micro_batches: int,
-    *,
-    recompute: bool = False,
-) -> Schedule:
+def build_gems_schedule(depth: int, num_micro_batches: int) -> Schedule:
     """Build the GEMS schedule for an even ``depth`` and ``N`` micro-batches."""
     if depth < 2 or depth % 2 != 0:
         raise ScheduleError(
@@ -51,25 +45,17 @@ def build_gems_schedule(
         for stage in range(depth):
             worker = placement.worker_of(replica, stage)
             rows[worker].append(
-                Operation(
-                    OpKind.BACKWARD,
-                    replica,
-                    stage,
-                    micro_batches=(mb,),
-                    recompute=recompute,
-                )
+                Operation(OpKind.BACKWARD, replica, stage, micro_batches=(mb,))
             )
     # Interleave so each worker's list is ordered by micro-batch then kind.
     for worker in range(depth):
         rows[worker].sort(
             key=lambda op: (op.micro_batches[0], 0 if op.is_forward else 1)
         )
-    append_lazy_sync(rows, placement)
     return Schedule(
         scheme="gems",
         placement=placement,
         num_micro_batches=num_micro_batches,
         worker_ops=freeze_worker_ops(rows),
         synchronous=True,
-        metadata={"recompute": recompute},
     )

@@ -62,6 +62,13 @@ class OpKind(enum.Enum):
     #: accumulates the parameter gradients the matching ``Bi`` deferred.
     #: Purely local — never sends a message.
     BACKWARD_WEIGHT = "W"
+    #: Explicit activation rematerialization, produced by the recompute
+    #: pass (:mod:`repro.schedules.passes.recompute`): replays the stage's
+    #: forward from the stashed stage input so the following backward finds
+    #: its activations. Purely local; sits immediately before the first
+    #: backward (part) of its micro-batch, so any bubble in front of that
+    #: backward hides the rematerialization cost.
+    RECOMPUTE = "R"
     #: Gradient allreduce across the replicas of one stage.
     ALLREDUCE = "S"
     #: Explicit point-to-point send, produced by the lowering pass. Runs on
@@ -175,6 +182,11 @@ class Operation:
         return self.kind in (OpKind.BACKWARD, OpKind.BACKWARD_WEIGHT)
 
     @property
+    def is_recompute(self) -> bool:
+        """True for the explicit rematerialization op of the recompute pass."""
+        return self.kind is OpKind.RECOMPUTE
+
+    @property
     def is_comm(self) -> bool:
         """True for the explicit point-to-point ops (``SEND`` / ``RECV``)."""
         return self.kind in (OpKind.SEND, OpKind.RECV)
@@ -235,6 +247,8 @@ class Operation:
             return f"S{self.stage}r{self.replica}"
         if self.is_comm:
             return f"{self.kind.value}[{self.payload}]{mbs}s{self.stage}{suffix}"
+        if self.is_recompute:
+            return f"R{mbs}s{self.stage}{suffix}"
         return f"{self.kind.value}{mbs}{suffix}"
 
     def with_recompute(self, recompute: bool = True) -> "Operation":

@@ -28,7 +28,6 @@ def onefb_stage_order(
     micro_batches: Sequence[int],
     *,
     replica: int = 0,
-    recompute: bool = False,
     warmup_cap: int | None = None,
     steady_backward_first: bool = False,
 ) -> list[Operation]:
@@ -42,8 +41,6 @@ def onefb_stage_order(
         The micro-batch ids this pipeline processes, in injection order.
     replica:
         Model-replica id stamped on the operations.
-    recompute:
-        Mark backwards as requiring activation recomputation.
     warmup_cap:
         Optional cap on the number of warmup forwards (i.e. on the
         in-flight micro-batch count). Chimera caps each direction at ``D/2``
@@ -81,22 +78,12 @@ def onefb_stage_order(
     for i in range(warmup, n):
         fwd = Operation(OpKind.FORWARD, replica, stage, micro_batches=(mbs[i],))
         bwd = Operation(
-            OpKind.BACKWARD,
-            replica,
-            stage,
-            micro_batches=(mbs[i - warmup],),
-            recompute=recompute,
+            OpKind.BACKWARD, replica, stage, micro_batches=(mbs[i - warmup],)
         )
         ops.extend((bwd, fwd) if steady_backward_first else (fwd, bwd))
     for i in range(n - warmup, n):
         ops.append(
-            Operation(
-                OpKind.BACKWARD,
-                replica,
-                stage,
-                micro_batches=(mbs[i],),
-                recompute=recompute,
-            )
+            Operation(OpKind.BACKWARD, replica, stage, micro_batches=(mbs[i],))
         )
     return ops
 
@@ -107,7 +94,6 @@ def gpipe_stage_order(
     micro_batches: Sequence[int],
     *,
     replica: int = 0,
-    recompute: bool = False,
 ) -> list[Operation]:
     """GPipe order: all forwards, then all backwards.
 
@@ -125,9 +111,7 @@ def gpipe_stage_order(
     # GPipe diagrams; using forward order keeps the same bubble count and is
     # what Figure 2 of the paper shows (backward of micro-batch 0 first).
     ops.extend(
-        Operation(
-            OpKind.BACKWARD, replica, stage, micro_batches=(mb,), recompute=recompute
-        )
+        Operation(OpKind.BACKWARD, replica, stage, micro_batches=(mb,))
         for mb in mbs
     )
     return ops

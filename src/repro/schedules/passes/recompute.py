@@ -1,0 +1,122 @@
+"""Scheme-agnostic activation recomputation as a pass.
+
+Until this pass existed, recomputation was a per-builder option: each
+builder threaded a ``recompute`` flag into its stage-order helper, which
+stamped it on the backward ops, and the cost model inflated those
+backwards (B = 3F instead of 2F). Only some builders bothered.
+
+``recompute`` instead rewrites *any* schedule:
+
+* every forward's stash is demoted to the stage input (the memory model
+  keys off the inserted ops — see :func:`repro.sim.memory.analyze_memory`);
+* one explicit :class:`~repro.schedules.ir.OpKind.RECOMPUTE` op per
+  ``(replica, stage, micro-batch)`` is inserted immediately before the
+  micro-batch's *first* backward (part) on that worker, carrying the
+  rematerialization cost (``recompute_backward_ratio - backward_ratio``
+  forward-equivalents) that the flag-based path buried inside the
+  backward.
+
+Making rematerialization a schedulable op is not just bookkeeping: its
+only data dependency is the stashed stage input, so the simulator starts
+it as soon as the worker idles — a bubble in front of the backward now
+*hides* the recompute cost instead of stretching the critical path, which
+is how real runtimes prefetch rematerialization.
+
+Backwards that already carry the ``recompute`` flag (Chimera's forward
+doubling bakes recomputation into its schedule shape) are left alone —
+their cost is already charged in-op — so the pass composes with every
+builder. Insertion skips backwards any contiguous run of ``RECV`` ops
+directly in front of the backward, which makes the pass commute *exactly*
+(op-for-op) with ``lower_p2p`` and ``fuse_comm``; the property tests
+assert it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.common.errors import ScheduleError
+from repro.schedules.ir import Operation, OpKind, Schedule, freeze_worker_ops
+from repro.schedules.passes.base import RECOMPUTE, SchedulePass
+
+
+class RecomputePass(SchedulePass):
+    """Insert explicit RECOMPUTE ops before each first backward."""
+
+    name = "recompute"
+    provides = frozenset({RECOMPUTE})
+
+    def run(self, schedule: Schedule) -> Schedule:
+        # Micro-batches already rematerialized (explicit op) or charged
+        # in-op (flag): idempotence and composition with flag-based
+        # builders both fall out of skipping them.
+        covered: set[tuple[int, int, int]] = set()
+        for _, op in schedule.all_ops():
+            if op.is_recompute or (op.is_backward and op.recompute):
+                for mb in op.micro_batches:
+                    covered.add((op.replica, op.stage, mb))
+
+        # The first backward part of each (replica, stage, mb) hosts the
+        # insertion; group mbs per target op so a multi-micro-batch
+        # backward gets one covering RECOMPUTE.
+        seen: set[tuple[int, int, int]] = set()
+        mbs_for: dict[tuple, list[int]] = {}
+        for _, ops in enumerate(schedule.worker_ops):
+            for op in ops:
+                if not op.is_backward:
+                    continue
+                for mb in op.micro_batches:
+                    key = (op.replica, op.stage, mb)
+                    if key in seen or key in covered:
+                        continue
+                    seen.add(key)
+                    mbs_for.setdefault(op.key(), []).append(mb)
+
+        rows: list[list[Operation]] = []
+        for ops in schedule.worker_ops:
+            row: list[Operation] = []
+            for op in ops:
+                mbs = mbs_for.get(op.key())
+                if mbs:
+                    remat = Operation(
+                        OpKind.RECOMPUTE,
+                        op.replica,
+                        op.stage,
+                        micro_batches=tuple(mbs),
+                    )
+                    # Slot the rematerialization before the backward's
+                    # just-in-time RECVs (if lowering already ran) so
+                    # recompute∘lower == lower∘recompute op-for-op.
+                    at = len(row)
+                    while at > 0 and row[at - 1].kind is OpKind.RECV:
+                        at -= 1
+                    row.insert(at, remat)
+                row.append(op)
+            rows.append(row)
+        return replace(
+            schedule,
+            worker_ops=freeze_worker_ops(rows),
+            metadata={**dict(schedule.metadata), "recompute": True},
+        )
+
+    def check(self, before: Schedule, after: Schedule) -> None:
+        needed: set[tuple[int, int, int]] = set()
+        have: set[tuple[int, int, int]] = set()
+        for _, op in after.all_ops():
+            if op.is_backward:
+                for mb in op.micro_batches:
+                    key = (op.replica, op.stage, mb)
+                    if op.recompute:
+                        have.add(key)
+                    else:
+                        needed.add(key)
+            elif op.is_recompute:
+                for mb in op.micro_batches:
+                    have.add((op.replica, op.stage, mb))
+        uncovered = needed - have
+        if uncovered:
+            raise ScheduleError(
+                f"recompute pass left {len(uncovered)} backward(s) without "
+                f"rematerialization, e.g. (replica, stage, mb) = "
+                f"{sorted(uncovered)[0]}"
+            )

@@ -1,0 +1,79 @@
+"""Gradient-synchronization placement as a pass.
+
+``insert_sync`` strips any existing stage-granularity ``ALLREDUCE`` ops and
+re-places one per hosted stage replica according to its mode — the §3.2
+strategies that used to be reachable only through each builder:
+
+* ``lazy`` (default) — append after all local computation (Figure 4a);
+* ``eager`` — insert right after each stage's last local weight-gradient
+  producer, overlapping the collective with the remaining compute
+  (Figure 4b).
+
+Because it is a pass, *any* scheme can now be re-synchronized — e.g.
+``gpipe`` with eager sync — instead of only the modes its builder
+hard-codes. Chimera's ``eager_opt`` needs the merged timeline's bubble
+structure and therefore stays a builder concern; schemes with
+per-micro-batch collectives (PipeDream) are rejected rather than silently
+rewritten into per-stage synchronization.
+
+The pass must run before lowering: eager insertion positions an allreduce
+directly after a producer, and on a lowered schedule that would push the
+producer's ``SEND`` back by the launch overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.common.errors import ScheduleError
+from repro.schedules._sync import SYNC_MODES, append_lazy_sync, insert_eager_sync
+from repro.schedules.ir import OpKind, Schedule, freeze_worker_ops
+from repro.schedules.passes.base import LOWERED, SYNC, SchedulePass
+
+
+class InsertSyncPass(SchedulePass):
+    """Place one gradient allreduce per hosted stage replica."""
+
+    name = "insert_sync"
+    forbids = frozenset({LOWERED})
+    provides = frozenset({SYNC})
+
+    def __init__(self, mode: str = "lazy"):
+        if mode not in ("lazy", "eager"):
+            raise ScheduleError(
+                f"insert_sync mode must be 'lazy' or 'eager', got {mode!r} "
+                f"(builder-level modes: {SYNC_MODES})"
+            )
+        self.mode = mode
+
+    def params(self) -> tuple[tuple[str, object], ...]:
+        return (("mode", self.mode),)
+
+    def run(self, schedule: Schedule) -> Schedule:
+        for _, op in schedule.all_ops():
+            if op.kind is OpKind.ALLREDUCE and op.micro_batches:
+                raise ScheduleError(
+                    f"insert_sync cannot re-place per-micro-batch "
+                    f"collectives ({schedule.scheme} synchronizes after "
+                    f"every backward); its sync placement is scheme-managed"
+                )
+        rows = [
+            [op for op in ops if op.kind is not OpKind.ALLREDUCE]
+            for ops in schedule.worker_ops
+        ]
+        if self.mode == "lazy":
+            append_lazy_sync(rows, schedule.placement)
+        else:
+            insert_eager_sync(rows, schedule.placement, eager_pairs=None)
+        return replace(schedule, worker_ops=freeze_worker_ops(rows))
+
+    def check(self, before: Schedule, after: Schedule) -> None:
+        hosted = sum(
+            len(after.replicas_hosted_by(w)) for w in range(after.num_workers)
+        )
+        placed = after.count(OpKind.ALLREDUCE)
+        if placed != hosted:
+            raise ScheduleError(
+                f"insert_sync placed {placed} allreduce ops for {hosted} "
+                f"hosted stage replicas on {after.describe()}"
+            )

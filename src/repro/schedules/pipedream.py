@@ -22,12 +22,7 @@ from repro.schedules.onefb import onefb_stage_order
 from repro.schedules.placement import StagePlacement
 
 
-def build_pipedream_schedule(
-    depth: int,
-    num_micro_batches: int,
-    *,
-    recompute: bool = False,
-) -> Schedule:
+def build_pipedream_schedule(depth: int, num_micro_batches: int) -> Schedule:
     """Build a PipeDream steady-state window of ``N`` micro-batches."""
     if depth < 1:
         raise ScheduleError("PipeDream needs at least one stage")
@@ -37,7 +32,7 @@ def build_pipedream_schedule(
     mbs = range(num_micro_batches)
     rows: list[list[Operation]] = []
     for stage in range(depth):
-        ops = onefb_stage_order(stage, depth, mbs, recompute=recompute)
+        ops = onefb_stage_order(stage, depth, mbs)
         # The model is updated (and synchronized across data-parallel
         # replicas) immediately after each micro-batch's backward pass.
         with_sync: list[Operation] = []
@@ -59,5 +54,5 @@ def build_pipedream_schedule(
         num_micro_batches=num_micro_batches,
         worker_ops=freeze_worker_ops(rows),
         synchronous=False,
-        metadata={"recompute": recompute, "weight_stashing": True},
+        metadata={"weight_stashing": True},
     )

@@ -9,25 +9,20 @@ convergence-equivalent to mini-batch SGD, but its memory cost is ``2 M_theta``
 instead of PipeDream's up to ``D M_theta`` (Table 2).
 
 Gradient synchronization across the ``W`` replicated pipelines happens once
-per accumulation window and is overlapped with the next window's compute; we
-place a single per-stage ``ALLREDUCE`` at the end of the window.
+per accumulation window and is overlapped with the next window's compute;
+the registry's default ``insert_sync`` pass places a single per-stage
+``ALLREDUCE`` at the end of the window.
 """
 
 from __future__ import annotations
 
 from repro.common.errors import ScheduleError
-from repro.schedules._sync import append_lazy_sync
 from repro.schedules.ir import Operation, Schedule, freeze_worker_ops
 from repro.schedules.onefb import onefb_stage_order
 from repro.schedules.placement import StagePlacement
 
 
-def build_pipedream_2bw_schedule(
-    depth: int,
-    num_micro_batches: int,
-    *,
-    recompute: bool = False,
-) -> Schedule:
+def build_pipedream_2bw_schedule(depth: int, num_micro_batches: int) -> Schedule:
     """Build a PipeDream-2BW accumulation window of ``N`` micro-batches."""
     if depth < 1:
         raise ScheduleError("PipeDream-2BW needs at least one stage")
@@ -36,10 +31,8 @@ def build_pipedream_2bw_schedule(
     placement = StagePlacement.linear(depth)
     mbs = range(num_micro_batches)
     rows: list[list[Operation]] = [
-        onefb_stage_order(stage, depth, mbs, recompute=recompute)
-        for stage in range(depth)
+        onefb_stage_order(stage, depth, mbs) for stage in range(depth)
     ]
-    append_lazy_sync(rows, placement)
     return Schedule(
         scheme="pipedream_2bw",
         placement=placement,
@@ -47,7 +40,6 @@ def build_pipedream_2bw_schedule(
         worker_ops=freeze_worker_ops(rows),
         synchronous=False,
         metadata={
-            "recompute": recompute,
             "weight_versions": 2,
             "overlap_sync_with_next_window": True,
         },

@@ -1,4 +1,4 @@
-"""Name-based schedule construction and per-scheme structural traits.
+"""Name-based schedule construction, per-scheme traits, default pipelines.
 
 The benchmark harness sweeps over scheme names; this registry maps each name
 to its builder with a uniform ``(depth, num_micro_batches, **options)``
@@ -11,23 +11,41 @@ never drift apart.
 :func:`scheme_traits` exposes the structural facts a *caller* needs before
 it can even build a schedule — whether the depth must be even, how many
 chunk stages each worker hosts (the V-shaped family folds ``2D`` chunks
-over ``D`` workers, so the model must split into ``2D`` parts), and whether
-the scheme is synchronous. The configuration planner
-(:mod:`repro.perf.planner`) and the figure drivers use these to enumerate
-valid ``(scheme, W, D)`` grids without try/except scaffolding.
+over ``D`` workers, so the model must split into ``2D`` parts), whether
+the scheme is synchronous, and the scheme's **default pass pipeline**
+(:mod:`repro.schedules.passes`). Builders emit *compute rows only*; the
+cross-cutting transforms — gradient-sync placement, recomputation,
+bubble filling, lowering, communication fusion — are passes the registry
+composes:
+
+    builder output → default passes → ``recompute`` (if requested)
+                   → caller-requested ``passes``
+
+Two schemes keep scheme-managed synchronization (empty default pipeline):
+PipeDream synchronizes after every micro-batch inside its builder, and
+Chimera's ``eager_opt`` placement needs the merged timeline's bubble
+structure.
+
+Options are split in two: ``recompute`` and ``passes`` address the pass
+pipeline and work for **every** scheme; everything else must be a keyword
+the scheme's builder declares, checked up front — an unknown key raises
+:class:`~repro.common.errors.UnknownOptionError` naming the scheme and
+the key instead of disappearing into ``**options``.
 """
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, UnknownOptionError
 from repro.schedules.chimera import build_chimera_schedule
 from repro.schedules.dapple import build_dapple_schedule
 from repro.schedules.gems import build_gems_schedule
 from repro.schedules.gpipe import build_gpipe_schedule
 from repro.schedules.ir import Schedule
+from repro.schedules.passes import SchedulePass, resolve_pipeline
 from repro.schedules.pipedream import build_pipedream_schedule
 from repro.schedules.pipedream_2bw import build_pipedream_2bw_schedule
 from repro.schedules.zero_bubble import (
@@ -50,6 +68,10 @@ _BUILDERS: dict[str, Callable[..., Schedule]] = {
     "zb_vmin": build_zb_vmin_schedule,
 }
 
+#: Options the registry itself consumes; valid for every scheme and never
+#: forwarded to a builder.
+PIPELINE_OPTIONS = ("recompute", "passes")
+
 
 @dataclass(frozen=True)
 class SchemeTraits:
@@ -67,11 +89,17 @@ class SchemeTraits:
         down/up merge needs an even ``D``.
     synchronous:
         False for the flush-free PipeDream family (stale updates).
+    default_passes:
+        The pass pipeline :func:`build_schedule` always applies to the
+        builder's output (before any requested ``recompute`` /
+        ``passes``). Empty for schemes whose synchronization is
+        scheme-managed inside the builder.
     """
 
     stages_per_worker: int = 1
     requires_even_depth: bool = False
     synchronous: bool = True
+    default_passes: tuple[str, ...] = ("insert_sync",)
 
     def stage_count(self, depth: int) -> int:
         """Number of model stages a schedule at ``depth`` workers has."""
@@ -79,12 +107,12 @@ class SchemeTraits:
 
 
 _TRAITS: dict[str, SchemeTraits] = {
-    "pipedream": SchemeTraits(synchronous=False),
+    "pipedream": SchemeTraits(synchronous=False, default_passes=()),
     "pipedream_2bw": SchemeTraits(synchronous=False),
     "gpipe": SchemeTraits(),
     "gems": SchemeTraits(requires_even_depth=True),
     "dapple": SchemeTraits(),
-    "chimera": SchemeTraits(requires_even_depth=True),
+    "chimera": SchemeTraits(requires_even_depth=True, default_passes=()),
     "zb_h1": SchemeTraits(),
     "zb_v": SchemeTraits(stages_per_worker=2),
     "zb_vhalf": SchemeTraits(stages_per_worker=2),
@@ -109,14 +137,55 @@ def scheme_traits(scheme: str) -> SchemeTraits:
         ) from None
 
 
+def builder_options(scheme: str) -> tuple[str, ...]:
+    """The keyword options a scheme's builder declares (sorted)."""
+    try:
+        builder = _BUILDERS[scheme]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scheme {scheme!r}; available: {list(available_schemes())}"
+        ) from None
+    params = inspect.signature(builder).parameters
+    return tuple(
+        sorted(
+            name
+            for name, p in params.items()
+            if p.kind is inspect.Parameter.KEYWORD_ONLY
+        )
+    )
+
+
+def _check_builder_options(scheme: str, options: dict) -> None:
+    known = set(builder_options(scheme))
+    for key in options:
+        if key not in known:
+            raise UnknownOptionError(
+                f"scheme {scheme!r} does not accept builder option {key!r}; "
+                f"valid options for {scheme}: {sorted(known)} "
+                f"(plus the universal pipeline options "
+                f"{list(PIPELINE_OPTIONS)})"
+            )
+
+
 def build_schedule(
     scheme: str, depth: int, num_micro_batches: int, **options: object
 ) -> Schedule:
-    """Build a schedule by scheme name.
+    """Build a schedule by scheme name and run its pass pipeline.
 
-    Options are forwarded to the scheme's builder (e.g. ``recompute=True``
-    for any scheme, ``concat=``/``num_down_pipelines=``/``sync_mode=`` for
-    Chimera, ``max_in_flight=`` for the greedy zero-bubble pair).
+    Universal pipeline options (any scheme):
+
+    * ``recompute=True`` — append the activation-recomputation pass;
+    * ``passes=...`` — extra passes after the defaults: a comma-separated
+      spec string (``"fill_bubbles,lower_p2p,fuse_comm"``), a sequence of
+      specs / :class:`~repro.schedules.passes.SchedulePass` objects, or a
+      pre-built pipeline.
+
+    Everything else is forwarded to the scheme's builder (e.g.
+    ``concat=``/``num_down_pipelines=``/``sync_mode=`` for Chimera,
+    ``max_in_flight=`` for the greedy zero-bubble pair) and must be a
+    keyword the builder declares — an unknown key raises
+    :class:`~repro.common.errors.UnknownOptionError` naming the scheme
+    and the key.
     """
     try:
         builder = _BUILDERS[scheme]
@@ -124,4 +193,15 @@ def build_schedule(
         raise ConfigurationError(
             f"unknown scheme {scheme!r}; available: {list(available_schemes())}"
         ) from None
-    return builder(depth, num_micro_batches, **options)
+    recompute = bool(options.pop("recompute", False))
+    passes = options.pop("passes", None)
+    _check_builder_options(scheme, options)
+
+    schedule = builder(depth, num_micro_batches, **options)
+
+    specs: list[str | SchedulePass] = list(_TRAITS[scheme].default_passes)
+    if recompute:
+        specs.append("recompute")
+    if passes is not None:
+        specs.extend(resolve_pipeline(passes).passes)
+    return resolve_pipeline(specs).run(schedule)

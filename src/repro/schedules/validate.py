@@ -23,8 +23,15 @@ strict mode. It enforces the invariants that make a schedule executable:
    one ``SEND``/``RECV`` pair, no comm op covers a same-worker (local) hop,
    and comm ops appear only in schedules marked lowered. (That each ``RECV``
    has a matching ``SEND`` and each ``SEND`` a local producer is enforced
-   while building the dependency graph.)
-6. Optionally, **synchronization coverage** — every hosted stage replica has
+   while building the dependency graph.) Fused schedules
+   (:mod:`repro.schedules.passes.fuse`) instead require every flow covered
+   by exactly one batched ``SEND`` and **no** ``RECV`` ops at all.
+6. **Recompute coverage** — explicit ``RECOMPUTE`` ops (the recompute
+   pass) are unique per (replica, stage, micro-batch), sit *before* the
+   micro-batch's first backward part on the same worker, and never double
+   up with a flag-recomputed backward (whose rematerialization is already
+   charged in-op).
+7. Optionally, **synchronization coverage** — every hosted stage replica has
    a gradient allreduce op (synchronous schemes only).
 """
 
@@ -53,6 +60,7 @@ def validate_schedule(
     _check_placement(schedule)
     _check_completeness(schedule)
     _check_lowering(schedule)
+    _check_recompute(schedule)
     _check_acyclic(graph)
     if require_sync_ops:
         _check_sync_coverage(schedule)
@@ -99,7 +107,7 @@ def _check_completeness(schedule: Schedule) -> None:
     input_parts: dict[tuple[int, int], set[tuple[int, int]]] = defaultdict(set)
     weight_parts: dict[tuple[int, int], set[tuple[int, int]]] = defaultdict(set)
     for _, op in schedule.all_ops():
-        if op.kind is OpKind.ALLREDUCE or op.is_comm:
+        if op.kind is OpKind.ALLREDUCE or op.is_comm or op.is_recompute:
             continue
         for mb in op.micro_batches:
             if op.replica != owner.get(mb):
@@ -180,6 +188,7 @@ def _check_lowering(schedule: Schedule) -> None:
                 "(run it through repro.schedules.lowering.lower_schedule)"
             )
         return
+    fused = bool(schedule.metadata.get("fused_comm", False))
 
     depth = schedule.num_stages
     sends: set[tuple] = set()  # (replica, src_stage, mb, part, payload)
@@ -214,6 +223,12 @@ def _check_lowering(schedule: Schedule) -> None:
             for mb in op.micro_batches:
                 add_flow(sends, op, (op.replica, src, mb, op.part, op.payload))
         elif op.kind is OpKind.RECV:
+            if fused:
+                raise ValidationError(
+                    f"fused schedule still carries a RECV op {op.short()} "
+                    f"(replica {op.replica}) — fuse_comm batches every "
+                    f"transfer into its SEND"
+                )
             src = op.peer_stage
             for mb in op.micro_batches:
                 add_flow(recvs, op, (op.replica, src, mb, op.part, op.payload))
@@ -233,7 +248,8 @@ def _check_lowering(schedule: Schedule) -> None:
                 for mb in op.micro_batches:
                     required.add((op.replica, op.stage + 1, mb, op.part, "grad"))
 
-    for name, have in (("SEND", sends), ("RECV", recvs)):
+    pairs = (("SEND", sends),) if fused else (("SEND", sends), ("RECV", recvs))
+    for name, have in pairs:
         missing = required - have
         if missing:
             replica, stage, mb, part, payload = sorted(missing)[0]
@@ -249,6 +265,50 @@ def _check_lowering(schedule: Schedule) -> None:
                 f"lowered schedule has a {name} with no consumer: {payload} "
                 f"of micro-batch {mb} part {part} out of stage {stage} "
                 f"(replica {replica}); {len(extra)} stray flow(s)"
+            )
+
+
+def _check_recompute(schedule: Schedule) -> None:
+    """Positional and uniqueness rules for explicit RECOMPUTE ops.
+
+    (The matching-forward requirement and per-micro-batch uniqueness are
+    enforced while building the dependency graph; here we pin the
+    *placement*: a rematerialization must precede the first backward part
+    of its micro-batch on the same worker, and must not double up with a
+    flag-recomputed backward.)
+    """
+    remat_pos: dict[tuple[int, int, int], tuple[int, int]] = {}
+    first_bwd_pos: dict[tuple[int, int, int], tuple[int, int]] = {}
+    flagged: set[tuple[int, int, int]] = set()
+    for worker, ops in enumerate(schedule.worker_ops):
+        for pos, op in enumerate(ops):
+            if op.is_recompute:
+                for mb in op.micro_batches:
+                    remat_pos[(op.replica, op.stage, mb)] = (worker, pos)
+            elif op.is_backward:
+                for mb in op.micro_batches:
+                    key = (op.replica, op.stage, mb)
+                    if key not in first_bwd_pos:
+                        first_bwd_pos[key] = (worker, pos)
+                    if op.recompute:
+                        flagged.add(key)
+    for key, (worker, pos) in remat_pos.items():
+        if key in flagged:
+            raise ValidationError(
+                f"(replica, stage, mb) = {key} has both an explicit "
+                f"RECOMPUTE op and a flag-recomputed backward — the "
+                f"rematerialization would be charged twice"
+            )
+        bwd = first_bwd_pos.get(key)
+        if bwd is None:
+            raise ValidationError(
+                f"RECOMPUTE for (replica, stage, mb) = {key} has no backward"
+            )
+        if bwd[0] != worker or bwd[1] < pos:
+            raise ValidationError(
+                f"RECOMPUTE for (replica, stage, mb) = {key} on worker "
+                f"{worker} does not precede its first backward "
+                f"(worker {bwd[0]}, position {bwd[1]})"
             )
 
 

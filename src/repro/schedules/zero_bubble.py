@@ -61,7 +61,6 @@ from __future__ import annotations
 from collections import deque
 
 from repro.common.errors import ScheduleError
-from repro.schedules._sync import append_lazy_sync
 from repro.schedules.ir import Operation, OpKind, Schedule, freeze_worker_ops
 from repro.schedules.placement import StagePlacement
 
@@ -70,7 +69,6 @@ def build_zb_h1_schedule(
     depth: int,
     num_micro_batches: int,
     *,
-    recompute: bool = False,
     max_in_flight: int | None = None,
     f_time: float = 1.0,
     b_time: float = 1.0,
@@ -82,9 +80,6 @@ def build_zb_h1_schedule(
     ----------
     depth, num_micro_batches:
         Pipeline depth ``D`` (= workers = stages) and micro-batch count.
-    recompute:
-        Stamp activation recomputation on the input-gradient ops (the
-        rematerialization cost is charged to ``Bi`` by the cost model).
     max_in_flight:
         Optional tighter cap on live stashes (forward to ``W``) per stage;
         the default is the 1F1B bound ``D - s`` at stage ``s``.
@@ -108,9 +103,7 @@ def build_zb_h1_schedule(
         f_time=f_time,
         b_time=b_time,
         w_time=w_time,
-        recompute=recompute,
     )
-    append_lazy_sync(rows, placement)
     return Schedule(
         scheme="zb_h1",
         placement=placement,
@@ -118,7 +111,6 @@ def build_zb_h1_schedule(
         worker_ops=freeze_worker_ops(rows),
         synchronous=True,
         metadata={
-            "recompute": recompute,
             "caps": tuple(caps),
             "unit_times": (f_time, b_time, w_time),
         },
@@ -129,7 +121,6 @@ def build_zb_v_schedule(
     depth: int,
     num_micro_batches: int,
     *,
-    recompute: bool = False,
     max_in_flight: int | None = None,
     f_time: float = 1.0,
     b_time: float = 1.0,
@@ -162,9 +153,7 @@ def build_zb_v_schedule(
         f_time=f_time,
         b_time=b_time,
         w_time=w_time,
-        recompute=recompute,
     )
-    append_lazy_sync(rows, placement)
     return Schedule(
         scheme="zb_v",
         placement=placement,
@@ -172,19 +161,13 @@ def build_zb_v_schedule(
         worker_ops=freeze_worker_ops(rows),
         synchronous=True,
         metadata={
-            "recompute": recompute,
             "caps": tuple(caps),
             "unit_times": (f_time, b_time, w_time),
         },
     )
 
 
-def build_zb_vhalf_schedule(
-    depth: int,
-    num_micro_batches: int,
-    *,
-    recompute: bool = False,
-) -> Schedule:
+def build_zb_vhalf_schedule(depth: int, num_micro_batches: int) -> Schedule:
     """Build ZB-vhalf: the half-memory controllable V-schedule.
 
     Same V-shaped placement as ZB-V, but forwards enter on a stretched
@@ -194,17 +177,10 @@ def build_zb_vhalf_schedule(
     ``6N + (7D - 4)/2`` for even ``D`` and ``6N + 7(D - 1)/2`` for odd
     ``D``, exact for ``N >= D``.
     """
-    return _build_v_pattern_schedule(
-        "zb_vhalf", depth, num_micro_batches, recompute=recompute
-    )
+    return _build_v_pattern_schedule("zb_vhalf", depth, num_micro_batches)
 
 
-def build_zb_vmin_schedule(
-    depth: int,
-    num_micro_batches: int,
-    *,
-    recompute: bool = False,
-) -> Schedule:
+def build_zb_vmin_schedule(depth: int, num_micro_batches: int) -> Schedule:
     """Build ZB-vmin: the minimum-memory controllable V-schedule.
 
     The tightest stable pattern of the controllable-memory paper: the V is
@@ -217,9 +193,7 @@ def build_zb_vmin_schedule(
     micro-batches, so it does not stretch a single-micro-batch ramp),
     else ``i = 0``.
     """
-    return _build_v_pattern_schedule(
-        "zb_vmin", depth, num_micro_batches, recompute=recompute
-    )
+    return _build_v_pattern_schedule("zb_vmin", depth, num_micro_batches)
 
 
 #: Stable-pattern variants and their steady-state tick-offset generators.
@@ -268,11 +242,7 @@ def stable_pattern(scheme: str, depth: int) -> tuple[tuple[int, int, int, int], 
 
 
 def v_pattern_compute_rows(
-    scheme: str,
-    depth: int,
-    num_micro_batches: int,
-    *,
-    recompute: bool = False,
+    scheme: str, depth: int, num_micro_batches: int
 ) -> list[list[Operation]]:
     """Per-worker compute-op order of a stable-pattern V-schedule.
 
@@ -313,11 +283,7 @@ def v_pattern_compute_rows(
             else:
                 ops.append(
                     Operation(
-                        OpKind.BACKWARD_INPUT,
-                        0,
-                        stage,
-                        micro_batches=(mb,),
-                        recompute=recompute,
+                        OpKind.BACKWARD_INPUT, 0, stage, micro_batches=(mb,)
                     )
                 )
                 pending_w.append((stage, mb))
@@ -330,11 +296,7 @@ def v_pattern_compute_rows(
 
 
 def _build_v_pattern_schedule(
-    scheme: str,
-    depth: int,
-    num_micro_batches: int,
-    *,
-    recompute: bool,
+    scheme: str, depth: int, num_micro_batches: int
 ) -> Schedule:
     """Wrap the pattern rows into a validated :class:`Schedule`."""
     if depth < 1:
@@ -342,17 +304,14 @@ def _build_v_pattern_schedule(
     if num_micro_batches < 1:
         raise ScheduleError(f"{scheme} needs at least one micro-batch")
     placement = StagePlacement.vshaped(depth)
-    rows = v_pattern_compute_rows(
-        scheme, depth, num_micro_batches, recompute=recompute
-    )
-    append_lazy_sync(rows, placement)
+    rows = v_pattern_compute_rows(scheme, depth, num_micro_batches)
     return Schedule(
         scheme=scheme,
         placement=placement,
         num_micro_batches=num_micro_batches,
         worker_ops=freeze_worker_ops(rows),
         synchronous=True,
-        metadata={"recompute": recompute, "pattern": scheme.removeprefix("zb_")},
+        metadata={"pattern": scheme.removeprefix("zb_")},
     )
 
 
@@ -364,7 +323,6 @@ def _greedy_split_backward_rows(
     f_time: float,
     b_time: float,
     w_time: float,
-    recompute: bool,
 ) -> list[list[Operation]]:
     """Greedy list-scheduling of F / Bi / W over a single-replica chain.
 
@@ -473,13 +431,7 @@ def _greedy_split_backward_rows(
             next_b[s] += 1
             pending_w[w].append((s, mb))
             rows[w].append(
-                Operation(
-                    OpKind.BACKWARD_INPUT,
-                    0,
-                    s,
-                    micro_batches=(mb,),
-                    recompute=recompute,
-                )
+                Operation(OpKind.BACKWARD_INPUT, 0, s, micro_batches=(mb,))
             )
         elif rank == 1:
             end = start + f_time

@@ -148,15 +148,29 @@ class CostModel:
             return self.backward_ratio
         return self.input_grad_ratio() + self.weight_grad_ratio()
 
+    def remat_ratio(self) -> float:
+        """Rematerialization cost as a multiple of ``F_t``.
+
+        The paper models a recomputed backward as 3F instead of 2F — one
+        extra forward-equivalent. An explicit ``RECOMPUTE`` op (the
+        recompute pass) carries exactly that difference, so flag-based and
+        op-based recomputation cost the same total. Clamped at zero for
+        degenerate models where the recompute ratio is not larger.
+        """
+        return max(0.0, self.recompute_backward_ratio - self.backward_ratio)
+
     def compute_time(self, op: Operation) -> float:
         """Simulated duration of a compute op (0 for ALLREDUCE).
 
-        Recomputation adds one extra forward-equivalent
+        Flag-based recomputation adds one extra forward-equivalent
         (``recompute_backward_ratio - backward_ratio``) to the fused
         backward — or, under splitting, to the input-gradient half (the
-        weight-gradient half reuses the rematerialized activations).
-        Comm ops block the worker only for ``comm_launch_overhead`` — the
-        transfer itself is timed by the engine on the link.
+        weight-gradient half reuses the rematerialized activations). An
+        explicit ``RECOMPUTE`` op (recompute pass) carries the same
+        forward-equivalent as its own duration instead, leaving the
+        backward at its base ratio. Comm ops block the worker only for
+        ``comm_launch_overhead`` — the transfer itself is timed by the
+        engine on the link.
         """
         if op.kind is OpKind.ALLREDUCE:
             return 0.0
@@ -165,6 +179,8 @@ class CostModel:
         base = self.forward_time * self._scale(op.stage) * op.work_units
         if op.is_forward:
             return base
+        if op.is_recompute:
+            return base * self.remat_ratio()
         remat = (
             self.recompute_backward_ratio - self.backward_ratio
             if op.recompute

@@ -143,4 +143,6 @@ def _label(op) -> str:
         return f"{mbs}b"
     if op.kind is OpKind.BACKWARD_WEIGHT:
         return f"{mbs}w"
+    if op.kind is OpKind.RECOMPUTE:
+        return f"{mbs}r"
     return mbs

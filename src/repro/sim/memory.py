@@ -12,6 +12,11 @@ Two components:
   layer inputs — and only the matching ``W`` releases it; this is why the
   zero-bubble schedules trade activation lifetime for bubble time. A ``Bi``
   that rematerializes keeps the full activations live until its ``W``.
+  Recomputation comes in two equivalent forms: the legacy ``recompute``
+  flag on backward ops, and the recompute pass's explicit ``RECOMPUTE``
+  ops — at an explicit op the full activations become live (the stash is
+  promoted from the stage input) and the releasing backward(s) free them,
+  which yields the same peak as the flag accounting.
 * **Weights** — each hosted stage replica stores parameters (+ gradients +
   optimizer state); PipeDream additionally stashes up to ``D - s`` weight
   versions at stage ``s`` for version consistency, PipeDream-2BW exactly 2.
@@ -143,14 +148,21 @@ def analyze_memory(schedule: Schedule, model: MemoryModel) -> MemoryReport:
     runtime peak for any cost model (liveness only changes at this worker's
     own operations).
     """
-    # Which (replica, stage, mb) backwards recompute — decided by the
-    # builder and stamped on the backward op; the forward must know to stash
-    # only the stage input.
+    # Which (replica, stage, mb) triples recompute. Two sources: the
+    # legacy flag on backward ops (rematerialization transient charged at
+    # the backward) and the recompute pass's explicit RECOMPUTE ops
+    # (promotion charged at the op). Either way the forward must know to
+    # stash only the stage input.
     recompute: set[tuple[int, int, int]] = set()
+    explicit: set[tuple[int, int, int]] = set()
     for _, op in schedule.all_ops():
         if op.is_backward and op.recompute:
             for mb in op.micro_batches:
                 recompute.add((op.replica, op.stage, mb))
+        elif op.is_recompute:
+            for mb in op.micro_batches:
+                explicit.add((op.replica, op.stage, mb))
+    stash_only = recompute | explicit
 
     workers: list[WorkerMemory] = []
     for worker in range(schedule.num_workers):
@@ -170,7 +182,7 @@ def analyze_memory(schedule: Schedule, model: MemoryModel) -> MemoryReport:
                     key = (op.replica, op.stage, mb)
                     stored = (
                         model.stash(op.stage)
-                        if key in recompute
+                        if key in stash_only
                         else model.act(op.stage)
                     )
                     stash_of[key] = stored
@@ -179,6 +191,23 @@ def analyze_memory(schedule: Schedule, model: MemoryModel) -> MemoryReport:
                     live_units += 1.0
                 peak_bytes = max(peak_bytes, live_bytes)
                 peak_units = max(peak_units, live_units)
+            elif op.is_recompute:
+                # Explicit rematerialization: promote the stashed stage
+                # input to the full activations; the releasing backward(s)
+                # free the promoted stash.
+                for mb in op.micro_batches:
+                    key = (op.replica, op.stage, mb)
+                    if key not in remaining_parts:
+                        raise MemoryModelError(
+                            f"RECOMPUTE of micro-batch {mb} at stage "
+                            f"{op.stage} without a live forward stash on "
+                            f"worker {worker}"
+                        )
+                    full = model.act(op.stage)
+                    if stash_of[key] < full:
+                        live_bytes += (full - stash_of[key]) * remaining_parts[key]
+                        stash_of[key] = full
+                peak_bytes = max(peak_bytes, live_bytes)
             elif op.is_backward_input:
                 # Split input gradient: consumes the stash but does not
                 # release it (the weight-gradient half still needs the layer

@@ -37,6 +37,8 @@ def to_chrome_trace(result: SimulationResult) -> list[dict]:
         name = op.kind.value + ",".join(str(m) for m in op.micro_batches)
         if op.is_forward:
             cat = "forward"
+        elif op.is_recompute:
+            cat = "recompute"
         elif op.is_backward_weight:
             cat = "weight_grad"
         else:

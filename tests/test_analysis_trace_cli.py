@@ -103,6 +103,60 @@ class TestCLI:
         assert rc == 0
         assert "selected" in capsys.readouterr().out
 
+    def test_show_with_passes_and_fusion(self, capsys):
+        rc = cli_main(
+            [
+                "show", "--scheme", "dapple", "-D", "4", "-N", "4",
+                "--recompute", "--fuse-comm",
+                "--link-alpha", "0.2", "--link-beta", "0.2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0r" in out  # explicit RECOMPUTE op on the Gantt
+        assert "p2p transfers" in out  # batched transfers on the wire
+
+    def test_show_explicit_pass_spec(self, capsys):
+        rc = cli_main(
+            [
+                "show", "--scheme", "zb_h1", "-D", "4", "-N", "4",
+                "--passes", "fill_bubbles,lower_p2p,fuse_comm",
+            ]
+        )
+        assert rc == 0
+        assert "P0" in capsys.readouterr().out
+
+    def test_show_unknown_pass_is_actionable(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown schedule pass"):
+            cli_main(
+                ["show", "--scheme", "dapple", "--passes", "no_such_pass"]
+            )
+
+    def test_simulate_fused(self, capsys):
+        rc = cli_main(
+            [
+                "simulate", "--scheme", "dapple", "-W", "8", "-D", "4",
+                "-B", "8", "--fuse-comm",
+            ]
+        )
+        assert rc == 0
+        assert "throughput" in capsys.readouterr().out
+
+    def test_plan_pass_axes(self, capsys):
+        rc = cli_main(
+            [
+                "plan", "-P", "8", "--mini-batch", "64",
+                "--schemes", "dapple", "zb_vhalf",
+                "--budget-gib", "6", "--fuse-comm", "--recompute",
+                "--top", "3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rank" in out and ", R)" in out
+
     def test_plan(self, capsys):
         rc = cli_main(
             [

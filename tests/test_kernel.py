@@ -252,8 +252,8 @@ def test_cache_distinguishes_options():
     plain = cache.artifacts("gpipe", 2, 4)
     recompute = cache.artifacts("gpipe", 2, 4, recompute=True)
     assert plain is not recompute
-    assert not any(op.recompute for _, op in plain.schedule.all_ops())
-    assert any(op.recompute for _, op in recompute.schedule.all_ops())
+    assert not any(op.is_recompute for _, op in plain.schedule.all_ops())
+    assert any(op.is_recompute for _, op in recompute.schedule.all_ops())
 
 
 def test_cache_lru_eviction():

@@ -56,9 +56,11 @@ class TestOneFB:
         assert fwd == list(range(6))
         assert bwd == list(range(6))
 
-    def test_recompute_flag_propagates(self):
-        ops = onefb_stage_order(0, 2, range(2), recompute=True)
-        assert all(op.recompute for op in ops if op.is_backward)
+    def test_recompute_is_a_pass_not_a_helper_flag(self):
+        # Recomputation moved to the recompute pass; the stage-order
+        # helpers emit plain backwards.
+        ops = onefb_stage_order(0, 2, range(2))
+        assert not any(op.recompute for op in ops)
 
     def test_stage_out_of_range(self):
         with pytest.raises(ScheduleError):

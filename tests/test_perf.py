@@ -11,8 +11,9 @@ from repro.perf.model import (
     predict_closed_form,
     predict_iteration_time,
 )
-from repro.perf.selector import greedy_micro_batch, select_configuration
+from repro.perf.planner import greedy_micro_batch, select_configuration
 from repro.schedules.chimera import build_chimera_schedule
+from repro.schedules.registry import build_schedule
 from repro.sim.cost import CostModel
 from repro.sim.engine import simulate
 
@@ -91,7 +92,7 @@ class TestFullModel:
             )
             pred = predict_iteration_time(depth, n, cost, recompute=recompute)
             sim = simulate(
-                build_chimera_schedule(depth, n, recompute=recompute), cost
+                build_schedule("chimera", depth, n, recompute=recompute), cost
             )
             ranked_model.append((pred.iteration_time, depth))
             ranked_sim.append((sim.iteration_time, depth))
@@ -155,3 +156,27 @@ class TestCalibration:
         profiles = BERT48.stage_profiles(4, 4)
         for stage, p in enumerate(profiles):
             assert cost.grad_bytes(stage) == pytest.approx(4.0 * p.params)
+
+
+class TestSelectorShim:
+    def test_deprecated_module_reexports_planner_objects(self):
+        """repro.perf.selector is a thin DeprecationWarning shim over the
+        planner (the §3.4 procedure moved there in this refactor)."""
+        import importlib
+        import sys
+        import warnings
+
+        sys.modules.pop("repro.perf.selector", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shim = importlib.import_module("repro.perf.selector")
+        assert any(
+            issubclass(w.category, DeprecationWarning)
+            and "repro.perf.planner" in str(w.message)
+            for w in caught
+        )
+        from repro.perf import planner
+
+        assert shim.select_configuration is planner.select_configuration
+        assert shim.greedy_micro_batch is planner.greedy_micro_batch
+        assert shim.ConfigCandidate is planner.ConfigCandidate

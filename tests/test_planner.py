@@ -211,3 +211,73 @@ class TestHarnessBudgetThreading:
     def test_nonpositive_budget_rejected(self):
         with pytest.raises(ConfigurationError, match="budget"):
             self.cfg(-1.0)
+
+
+class TestPassAxes:
+    """Schedule passes as planning axes: recompute on/off and fused comm."""
+
+    def test_tight_budget_needs_the_recompute_pass(self):
+        """Acceptance: under a tight budget the planner selects a
+        recompute configuration that the pass-less planner
+        (``recompute=False``) must reject as OOM."""
+        budget = dict(
+            num_workers=8, mini_batch=64, memory_budget_bytes=1.5 * GIB
+        )
+        entries = plan_configurations(PIZ_DAINT, BERT48, **budget)
+        assert entries and all(e.recompute for e in entries)
+        with pytest.raises(ConfigurationError, match="memory.*budget"):
+            plan_configurations(
+                PIZ_DAINT, BERT48, recompute=False, **budget
+            )
+
+    def test_recompute_forced_on(self):
+        entries = small_plan(recompute=True)
+        assert entries and all(e.recompute for e in entries)
+
+    def test_recompute_entries_match_harness(self):
+        """A recompute plan entry is exactly the harness outcome — the
+        pass runs through the same cached artifacts."""
+        entry = small_plan(recompute=True, top_k=1)[0]
+        cfg = ExperimentConfig(
+            scheme=entry.scheme,
+            machine=PIZ_DAINT,
+            workload=BERT48,
+            width=entry.width,
+            depth=entry.depth,
+            micro_batch=entry.micro_batch,
+            mini_batch=64,
+            recompute=True,
+            lowered=False,
+        )
+        result = run_configuration(cfg)
+        assert result.recompute
+        assert result.throughput == pytest.approx(entry.throughput, rel=1e-9)
+        assert result.iteration_time == pytest.approx(
+            entry.iteration_time, rel=1e-9
+        )
+
+    def test_fused_ranking_matches_harness_and_feasible_set(self):
+        """``fused=True`` ranks the same feasible set (fusion never
+        changes memory) and each entry equals its harness outcome."""
+        lowered = small_plan(lowered=True)
+        fused = small_plan(lowered=True, fused=True)
+        assert {e.label() for e in fused} == {e.label() for e in lowered}
+        entry = fused[0]
+        cfg = ExperimentConfig(
+            scheme=entry.scheme,
+            machine=PIZ_DAINT,
+            workload=BERT48,
+            width=entry.width,
+            depth=entry.depth,
+            micro_batch=entry.micro_batch,
+            mini_batch=64,
+            recompute=entry.recompute,
+            lowered=True,
+            fused=True,
+        )
+        result = run_configuration(cfg)
+        assert result.throughput == pytest.approx(entry.throughput, rel=1e-9)
+
+    def test_fused_requires_lowered(self):
+        with pytest.raises(ConfigurationError, match="fused.*lowered"):
+            small_plan(lowered=False, fused=True)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.common.errors import (
+    UnknownOptionError,
     CommunicationError,
     ConfigurationError,
     DeadlockError,
@@ -49,8 +50,15 @@ class TestRegistry:
         assert schedule.metadata["concat"] == "halving"
 
     def test_bad_option_surfaces(self):
-        with pytest.raises(TypeError):
+        # Unknown builder options fail up front with a distinguished
+        # error naming the scheme and the key (not a TypeError deep in
+        # the builder).
+        with pytest.raises(UnknownOptionError, match="gpipe.*concat"):
             build_schedule("gpipe", 4, 4, concat="halving")
+        with pytest.raises(UnknownOptionError, match="dapple.*max_in_flight"):
+            build_schedule("dapple", 4, 4, max_in_flight=2)
+        # ...while pipeline options are universal.
+        build_schedule("gpipe", 2, 2, recompute=True, passes="lower_p2p")
 
 
 class TestErrorHierarchy:

@@ -179,3 +179,46 @@ def test_trainer_rejects_wrong_micro_batch_count(tiny_config):
     )
     with pytest.raises(ReproError):
         trainer.train_step(make_micro_batches(tiny_config, 3, 2))
+
+
+# ---------------------------------------------------------------- pass layer
+@pytest.mark.parametrize(
+    "scheme", ["gpipe", "dapple", "chimera", "zb_v", "zb_vmin"]
+)
+def test_recompute_pass_bit_identical(tiny_config, scheme):
+    """Acceptance (D=2 smoke model): explicit RECOMPUTE ops train to a
+    loss bit-identical to the non-recompute path for every scheme kind
+    (fused, split, bidirectional backwards)."""
+    _, _, plain_losses, _ = run_both(tiny_config, scheme, depth=2, n=4)
+    _, _, recompute_losses, _ = run_both(
+        tiny_config, scheme, depth=2, n=4, recompute=True
+    )
+    assert recompute_losses == plain_losses
+
+
+@pytest.mark.parametrize("scheme", ["dapple", "zb_v", "pipedream_2bw"])
+def test_fused_comm_bit_identical(tiny_config, scheme):
+    """Batched transfers (fuse_comm) execute bit-identically to the
+    explicit SEND/RECV path and the implicit path."""
+    _, _, plain_losses, _ = run_both(tiny_config, scheme, depth=2, n=4)
+    _, _, fused_losses, _ = run_both(
+        tiny_config, scheme, depth=2, n=4, lowered=True, fused=True
+    )
+    assert fused_losses == plain_losses
+
+
+def test_pipedream_recompute_and_fusion_preserve_staleness_semantics(tiny_config):
+    """PipeDream reruns rematerialization under the *stashed* weight
+    version; recompute + fused paths must reproduce the plain PipeDream
+    loss sequence exactly."""
+    _, _, plain_losses, _ = run_both(tiny_config, "pipedream", depth=2, n=4)
+    _, _, passed_losses, _ = run_both(
+        tiny_config,
+        "pipedream",
+        depth=2,
+        n=4,
+        recompute=True,
+        lowered=True,
+        fused=True,
+    )
+    assert passed_losses == plain_losses

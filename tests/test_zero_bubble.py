@@ -60,7 +60,10 @@ ALL_ZB_BUILDERS = [
 class TestZeroBubbleStructure:
     @pytest.mark.parametrize("depth,n", SHAPES)
     def test_validates_with_sync(self, builder, depth, n):
-        validate_schedule(builder(depth, n), require_sync_ops=True)
+        # Sync placement is the registry's insert_sync pass, not the
+        # builder's job.
+        scheme = builder(2, 2).scheme
+        validate_schedule(build_schedule(scheme, depth, n), require_sync_ops=True)
 
     @pytest.mark.parametrize("depth,n", [(4, 8)])
     def test_every_backward_is_split(self, builder, depth, n):
@@ -138,7 +141,7 @@ class TestZeroBubbleSignatures:
     def test_max_in_flight_tightens_memory(self):
         """The cap trades bubble time for activation memory on ZB-H1."""
         for cap in (1, 2, 3):
-            schedule = build_zb_h1_schedule(4, 8, max_in_flight=cap)
+            schedule = build_schedule("zb_h1", 4, 8, max_in_flight=cap)
             validate_schedule(schedule, require_sync_ops=True)
             report = analyze_memory(schedule, MemoryModel(activation_bytes=1.0))
             assert max(w.activation_peak_units for w in report.workers) <= cap
@@ -146,7 +149,7 @@ class TestZeroBubbleSignatures:
     def test_zb_v_cap_is_best_effort_at_the_turn(self):
         """ZB-V's worker 0 hosts both ends of the V; a cap below the round
         trip is relaxed just enough to keep the pipeline deadlock-free."""
-        schedule = build_zb_v_schedule(4, 8, max_in_flight=6)
+        schedule = build_schedule("zb_v", 4, 8, max_in_flight=6)
         validate_schedule(schedule, require_sync_ops=True)
         report = analyze_memory(schedule, MemoryModel(activation_bytes=1.0))
         units = [w.activation_peak_units for w in report.workers]
@@ -159,13 +162,14 @@ class TestZeroBubbleSignatures:
         assert props.weight_copies == 1.0
         assert props.bubble_ratio == pytest.approx(14 / 38)
 
-    def test_recompute_stamped_on_input_half(self):
-        schedule = build_zb_h1_schedule(4, 4, recompute=True)
-        for _, op in schedule.all_ops():
-            if op.kind is OpKind.BACKWARD_INPUT:
-                assert op.recompute
-            elif op.kind is OpKind.BACKWARD_WEIGHT:
-                assert not op.recompute
+    def test_recompute_inserts_explicit_ops(self):
+        """The recompute pass precedes each first backward (the Bi half)
+        with one RECOMPUTE op; no flags are stamped."""
+        schedule = build_schedule("zb_h1", 4, 4, recompute=True)
+        assert not any(op.recompute for _, op in schedule.all_ops())
+        remats = schedule.count(OpKind.RECOMPUTE)
+        assert remats == schedule.count(OpKind.BACKWARD_INPUT)
+        validate_schedule(schedule)
 
 
 class TestMemoryControllable:
@@ -257,13 +261,13 @@ class TestMemoryControllable:
             stable_pattern("zb_h1", 4)
 
     @pytest.mark.parametrize("scheme", ["zb_vhalf", "zb_vmin"])
-    def test_recompute_stamped_on_input_half(self, scheme):
+    def test_recompute_inserts_explicit_ops(self, scheme):
         schedule = build_schedule(scheme, 4, 4, recompute=True)
-        for _, op in schedule.all_ops():
-            if op.kind is OpKind.BACKWARD_INPUT:
-                assert op.recompute
-            elif op.kind is OpKind.BACKWARD_WEIGHT:
-                assert not op.recompute
+        assert not any(op.recompute for _, op in schedule.all_ops())
+        assert schedule.count(OpKind.RECOMPUTE) == schedule.count(
+            OpKind.BACKWARD_INPUT
+        )
+        validate_schedule(schedule)
 
     @pytest.mark.parametrize("scheme", ["zb_vhalf", "zb_vmin"])
     def test_constant_memory_in_n(self, scheme):
