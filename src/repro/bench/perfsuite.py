@@ -3,15 +3,15 @@
 Simulation throughput is the quantity every planner sweep and experiment
 grid stands on, so it is measured — not assumed. This module runs a fixed
 suite (every registered scheme × pipeline depths {8, 16, 32} × {implicit,
-lowered, fused}) three ways per case:
+lowered, fused, contended, contended_fused}) three ways per case:
 
 * the PR-2 **event**-queue engine (:func:`repro.sim.engine.simulate`),
 * the array-kernel **fast** path (:func:`repro.sim.kernel.simulate_fast`),
 * the **batch** API (:func:`repro.sim.kernel.simulate_batch`, several cost
   models amortized over one cached dense schedule),
 
-checks that all three report identical makespans to 1e-9 (the suite's cost
-model is contention-free, where the kernel must be engine-exact), and
+checks that all three report identical makespans to 1e-9 (the kernel is
+engine-exact in *every* regime — there is no event-engine fallback), and
 emits a schema-versioned ``BENCH_<rev>.json`` with wall times, ops/sec,
 and makespan checksums. The ``fused`` mode runs the lowered schedule
 through the fuse_comm pass (each SEND/RECV pair batched into one
@@ -21,6 +21,18 @@ contention-free links — while the event engine processes roughly a third
 fewer ops, which ``summary["d16_fused_event_speedup_min"]`` quantifies
 (lowered event wall time over fused event wall time, per scheme at
 D=16).
+
+The ``contended`` and ``contended_fused`` modes (schema 3) run the
+lowered/fused schedules under :func:`contended_suite_model` — nonzero
+``beta`` with a large message size, so every transfer occupies its
+channel for ``beta * L`` seconds and per-channel FIFO queueing genuinely
+fires. These exercise the kernel's contended paths (inline FIFO
+serialization on full-duplex links; the fixed-point relaxation for
+half-duplex/blocking is covered by the test battery) and gate the
+headline claim: batched kernel throughput at least
+:data:`CONTENDED_BATCH_SPEEDUP_FLOOR` × the event engine on lowered
+contended schedules at the D=16, N=64 reference point
+(``summary["d16_contended_batch_speedup_min"]``).
 
 Regression gating
 -----------------
@@ -65,8 +77,10 @@ from repro.sim.network import FlatTopology, LinkSpec
 
 #: Bumped whenever the JSON layout or the suite contents change; the
 #: checker refuses to compare across versions. 2: added the ``fused``
-#: mode cases and the fused-speedup summary keys.
-SCHEMA_VERSION = 2
+#: mode cases and the fused-speedup summary keys. 3: added the
+#: ``contended``/``contended_fused`` modes (nonzero-beta cost model) and
+#: the contended-speedup summary keys with their absolute floor.
+SCHEMA_VERSION = 3
 
 #: Full-suite grid: every registered scheme at these depths, N=64 — the
 #: acceptance grid of the array kernel (D=16, N=64 is the reference point).
@@ -76,7 +90,17 @@ SUITE_MICRO_BATCHES = 64
 FAST_DEPTHS = (8,)
 FAST_MICRO_BATCHES = 16
 
-MODES = ("implicit", "lowered", "fused")
+MODES = ("implicit", "lowered", "fused", "contended", "contended_fused")
+
+#: Modes evaluated under the contended (nonzero-beta) cost model.
+CONTENDED_MODES = ("contended", "contended_fused")
+
+#: Absolute floor on ``d16_contended_batch_speedup_min``: the batched
+#: kernel must beat the event engine by at least this factor on lowered
+#: contended schedules at D=16, N=64. A ratio of two wall times on the
+#: same host, so it needs no calibration; the checker enforces it on the
+#: current run directly.
+CONTENDED_BATCH_SPEEDUP_FLOOR = 5.0
 
 #: Cost models evaluated by the batch-path measurement: the base model
 #: plus f/b/w variations, so each batch row exercises a distinct duration
@@ -128,7 +152,7 @@ def suite_cases(
 
 
 def suite_cost_model() -> CostModel:
-    """The fixed, contention-free suite model (beta=0: kernel-eligible)."""
+    """The fixed, contention-free suite model (beta=0: no queueing)."""
     return CostModel(
         forward_time=1.0,
         topology=FlatTopology(LinkSpec(alpha=0.05, beta=0.0)),
@@ -138,9 +162,26 @@ def suite_cost_model() -> CostModel:
     )
 
 
-def batch_cost_models(count: int = BATCH_VARIANTS) -> list[CostModel]:
-    """``count`` model variants; index 0 is the base suite model."""
-    base = suite_cost_model()
+def contended_suite_model() -> CostModel:
+    """The fixed contended suite model: heavy per-channel occupancy.
+
+    ``beta * activation_message_bytes = 2.0`` — each transfer holds its
+    channel for twice a forward step, so back-to-back sends on one link
+    genuinely queue and the kernel's FIFO serialization is load-bearing,
+    not a no-op.
+    """
+    return suite_cost_model().with_(
+        topology=FlatTopology(LinkSpec(alpha=0.05, beta=0.25)),
+        activation_message_bytes=8.0,
+    )
+
+
+def batch_cost_models(
+    count: int = BATCH_VARIANTS, *, base: CostModel | None = None
+) -> list[CostModel]:
+    """``count`` model variants; index 0 is the base (suite) model."""
+    if base is None:
+        base = suite_cost_model()
     models = [base]
     for i in range(1, count):
         models.append(
@@ -236,17 +277,23 @@ def run_case(
 ) -> dict:
     """Measure one case three ways and verify engine/kernel parity."""
     arts = schedule_artifacts(case.scheme, case.depth, case.num_micro_batches)
-    lowered = case.mode in ("lowered", "fused")
-    fused = case.mode == "fused"
+    contended = case.mode in CONTENDED_MODES
+    lowered = case.mode != "implicit"
+    fused = case.mode in ("fused", "contended_fused")
     schedule = arts.schedule_for(lowered, fused)
     graph = arts.graph_for(lowered, fused)
-    base = suite_cost_model()
-    if not fast_path_supported(schedule, base, graph=graph):
+    base = contended_suite_model() if contended else suite_cost_model()
+    # fast_path_supported is a telemetry hint, not a gate: True means the
+    # single-sweep vectorized pass, False means the contended handling.
+    # Either way the case runs on the kernel; assert the hint matches the
+    # regime so a routing regression fails loudly here.
+    hint = fast_path_supported(schedule, base, graph=graph)
+    if hint == contended:
         raise ScheduleError(
-            f"suite model must be contention-free, but {case.case_id} "
-            f"rejected the fast path"
+            f"kernel path hint mismatch on {case.case_id}: expected "
+            f"{'contended' if contended else 'single-sweep'} routing"
         )
-    models = batch_cost_models(batch_size)
+    models = batch_cost_models(batch_size, base=base)
 
     event_wall, event = _best_wall(
         lambda: simulate(schedule, base, graph=graph), repeats
@@ -337,12 +384,25 @@ def run_suite(
     fused_speedups = _fused_event_speedups(results)
     if fused_speedups:
         summary["fused_event_speedup_min"] = min(fused_speedups.values())
+    contended = [c for c in results if c["mode"] == "contended"]
+    if contended:
+        summary["contended_fast_speedup_min"] = min(
+            c["fast"]["speedup"] for c in contended
+        )
+        summary["contended_batch_speedup_min"] = min(
+            c["batch"]["speedup"] for c in contended
+        )
     if d16:
         summary["d16_fast_speedup_min"] = min(c["fast"]["speedup"] for c in d16)
         summary["d16_batch_speedup_min"] = min(c["batch"]["speedup"] for c in d16)
         d16_fused = {k: v for k, v in fused_speedups.items() if k[1] == 16}
         if d16_fused:
             summary["d16_fused_event_speedup_min"] = min(d16_fused.values())
+        d16_contended = [c for c in contended if c["depth"] == 16]
+        if d16_contended:
+            summary["d16_contended_batch_speedup_min"] = min(
+                c["batch"]["speedup"] for c in d16_contended
+            )
     return {
         "schema_version": SCHEMA_VERSION,
         "suite": "fast" if fast else "full",
@@ -419,8 +479,18 @@ def check_against(
     Makespans must match to :data:`MAKESPAN_ATOL`; normalized throughput
     (ops/sec over the run's own calibration score) must not drop more
     than ``tolerance`` relative to the baseline, per case and per engine.
+    When the run covers the D=16 contended reference point, its batched
+    kernel speedup over the event engine must also clear the absolute
+    :data:`CONTENDED_BATCH_SPEEDUP_FLOOR` — a same-host wall-time ratio,
+    so it is checked unnormalized on the current run.
     """
     violations: list[str] = []
+    floor = current.get("summary", {}).get("d16_contended_batch_speedup_min")
+    if floor is not None and floor < CONTENDED_BATCH_SPEEDUP_FLOOR:
+        violations.append(
+            f"d16 contended batch speedup {floor:.2f}x fell below the "
+            f"{CONTENDED_BATCH_SPEEDUP_FLOOR:.0f}x floor"
+        )
     if current.get("schema_version") != baseline.get("schema_version"):
         return [
             f"schema version mismatch: current "
@@ -502,6 +572,12 @@ def format_suite(payload: dict) -> str:
         f"calibration {payload['calibration_score']:.0f} steps/s",
         f"min speedup: fast {summary['fast_speedup_min']:.1f}x, "
         f"batch {summary['batch_speedup_min']:.1f}x",
-        f"makespan checksum {summary['makespan_checksum'][:16]}…",
     ]
+    if "contended_batch_speedup_min" in summary:
+        lines.append(
+            f"min contended speedup: batch "
+            f"{summary['contended_batch_speedup_min']:.1f}x "
+            f"(floor {CONTENDED_BATCH_SPEEDUP_FLOOR:.0f}x at D=16)"
+        )
+    lines.append(f"makespan checksum {summary['makespan_checksum'][:16]}…")
     return "\n".join(lines)

@@ -11,10 +11,14 @@ Commands
               an optional ``--budget-gib`` peak-memory budget, and rank
               the survivors with the contention-aware event-queue engine.
 ``bench``     Run the engine performance suite (event engine vs the array
-              kernel's fast/batch paths over every registered scheme),
-              write a schema-versioned ``BENCH_<rev>.json``, and — with
+              kernel's fast/batch paths over every registered scheme ×
+              {implicit, lowered, fused, contended, contended_fused} —
+              the contended modes use a nonzero-beta link model, so
+              transfers queue per channel), write a schema-versioned
+              (v3) ``BENCH_<rev>.json``, and — with
               ``--check-against benchmarks/baseline.json`` — fail on
-              makespan mismatches or >20% throughput regressions (the CI
+              makespan mismatches, >20% throughput regressions, or a
+              D=16 contended batch speedup below its 5x floor (the CI
               gate; see ``docs/benchmarking.md``).
 ``figure``    Regenerate one of the paper's tables/figures.
 ``trace``     Export a simulated schedule as Chrome-tracing JSON.
@@ -394,7 +398,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_plan)
 
-    p = sub.add_parser("bench", help="run the engine perf suite / check the CI gate")
+    p = sub.add_parser(
+        "bench",
+        help="run the engine perf suite (incl. contended modes, schema v3) "
+        "/ check the CI gate",
+    )
     p.add_argument(
         "--output",
         "-o",

@@ -47,6 +47,19 @@ class DeadlockError(CommunicationError):
     """
 
 
+class KernelConvergenceError(ReproError):
+    """The array kernel's fixed-point relaxation failed to converge.
+
+    The contended fast path iterates [longest-path sweep -> per-channel
+    FIFO serialization] until transfer queueing delays (and blocking
+    collective release times) are exactly stable. The iteration cap is a
+    safety net far above any observed schedule; hitting it means the
+    relaxation is oscillating and the kernel refuses to return times that
+    are not self-consistent. Carries enough context to reproduce: the
+    sweep cap and the schedule size.
+    """
+
+
 class MemoryModelError(ReproError):
     """The memory model was asked for an inconsistent accounting.
 

@@ -19,9 +19,11 @@ becomes a genuine search problem over ``(scheme, W, D, B)``:
    ``min(machine.usable_memory_bytes, memory_budget_bytes)`` — retrying
    once with activation recomputation, exactly like the experiment
    harness.
-3. **Rank.** Simulate each survivor with the event-queue engine — lowered
-   by default, so p2p transfers contend for link bandwidth — and sort by
-   simulated end-to-end throughput.
+3. **Rank.** Simulate every survivor in one batched array-kernel call
+   (:func:`repro.sim.kernel.simulate_batch_many`) — lowered by default,
+   so p2p transfers contend for link bandwidth, with the kernel's
+   per-channel FIFO serialization matching the event engine to 1e-9 —
+   and sort by simulated end-to-end throughput.
 
 Schedule-transform passes (:mod:`repro.schedules.passes`) are planning
 *axes*: the pruning step enumerates recomputation on/off through the
@@ -54,7 +56,7 @@ from repro.bench.machines import MachineSpec
 from repro.bench.workloads import TransformerSpec
 from repro.perf.calibration import calibrate_cost_model
 from repro.schedules.registry import available_schemes, scheme_traits
-from repro.sim.kernel import simulate_batch
+from repro.sim.kernel import simulate_batch_many
 from repro.sim.memory import MemoryReport
 
 #: Largest micro-batch size the enumeration considers (power-of-two scan).
@@ -273,21 +275,20 @@ def _rank_survivors(
 ) -> list[PlanEntry]:
     """Simulate the memory-feasible candidates and build plan entries.
 
-    Synchronous schemes rank through :func:`repro.sim.kernel.simulate_batch`:
-    survivors sharing a schedule — same ``(scheme, D, N, recompute)``, only
-    ``(W, B)`` differ, and those only change the *cost model* — are grouped
-    and evaluated against one cached dense schedule in a single batched
-    call. With ``lowered=False`` every row runs on the wave-vectorized
-    array kernel; the default lowered ranking models link contention,
-    which only the event engine can express, so its rows fall back to
-    per-model event simulation and the win is the shared cached
-    schedule/graph/dense structures rather than vectorization.
+    Synchronous schemes rank through **one**
+    :func:`repro.sim.kernel.simulate_batch_many` call: every survivor is
+    a row, rows carry heterogeneous shapes — ``(scheme, D, N, recompute,
+    pipeline)`` as well as ``(W, B)``/topology — and rows sharing a
+    cached dependency graph vectorize together inside the kernel. The
+    default lowered ranking models link contention; the kernel computes
+    per-channel FIFO serialization itself, so contended rows stay on the
+    array path and nothing falls back to per-model event simulation.
     Asynchronous schemes keep the steady-state measurement of
     :func:`~repro.bench.harness.run_configuration` (their throughput is a
     marginal rate between two window sizes, not one iteration time).
     """
     entries: list[PlanEntry] = []
-    groups: dict[tuple, list[tuple[ExperimentConfig, MemoryReport]]] = {}
+    sync_members: list[tuple[ExperimentConfig, MemoryReport]] = []
     for cfg, report in survivors:
         if not scheme_traits(cfg.scheme).synchronous:
             try:
@@ -309,50 +310,47 @@ def _rank_survivors(
                 )
             )
             continue
-        key = (
-            cfg.scheme,
-            cfg.depth,
-            cfg.num_micro_batches(),
-            cfg.recompute,
-            cfg.lowered,
-            cfg.fused,
-            tuple(sorted(cfg.options.items())),
-        )
-        groups.setdefault(key, []).append((cfg, report))
+        sync_members.append((cfg, report))
 
-    for members in groups.values():
-        first = members[0][0]
-        arts = config_artifacts(first, bool(first.recompute))
-        schedule = arts.schedule_for(first.lowered, first.fused)
-        graph = arts.graph_for(first.lowered, first.fused)
-        cost_models = [
-            calibrate_cost_model(
-                cfg.machine,
-                cfg.workload,
-                depth=schedule.num_stages,
-                micro_batch=cfg.micro_batch,
-                data_parallel_width=cfg.width,
-            )
-            for cfg, _ in members
-        ]
-        batch = simulate_batch(schedule, cost_models, graph=graph)
-        for k, (cfg, report) in enumerate(members):
-            entries.append(
-                PlanEntry(
-                    scheme=cfg.scheme,
-                    width=cfg.width,
-                    depth=cfg.depth,
+    if not sync_members:
+        return entries
+
+    items = []
+    graphs = []
+    for cfg, _ in sync_members:
+        arts = config_artifacts(cfg, bool(cfg.recompute))
+        schedule = arts.schedule_for(cfg.lowered, cfg.fused)
+        graphs.append(arts.graph_for(cfg.lowered, cfg.fused))
+        items.append(
+            (
+                schedule,
+                calibrate_cost_model(
+                    cfg.machine,
+                    cfg.workload,
+                    depth=schedule.num_stages,
                     micro_batch=cfg.micro_batch,
-                    num_micro_batches=cfg.num_micro_batches(),
-                    recompute=bool(cfg.recompute),
-                    iteration_time=float(batch.iteration_time[k]),
-                    throughput=batch.throughput(
-                        k, micro_batch=cfg.micro_batch, width=cfg.width
-                    ),
-                    bubble_ratio=batch.bubble_ratio(k),
-                    peak_memory_bytes=report.peak_bytes,
-                )
+                    data_parallel_width=cfg.width,
+                ),
             )
+        )
+    batch = simulate_batch_many(items, graphs=graphs)
+    for k, (cfg, report) in enumerate(sync_members):
+        entries.append(
+            PlanEntry(
+                scheme=cfg.scheme,
+                width=cfg.width,
+                depth=cfg.depth,
+                micro_batch=cfg.micro_batch,
+                num_micro_batches=cfg.num_micro_batches(),
+                recompute=bool(cfg.recompute),
+                iteration_time=float(batch.iteration_time[k]),
+                throughput=batch.throughput(
+                    k, micro_batch=cfg.micro_batch, width=cfg.width
+                ),
+                bubble_ratio=batch.bubble_ratio(k),
+                peak_memory_bytes=report.peak_bytes,
+            )
+        )
     return entries
 
 

@@ -160,6 +160,20 @@ class ScheduleArtifacts:
             return self.fused_graph()
         return self.lowered_graph() if lowered else self.graph()
 
+    def kernel_for(self, lowered: bool, fused: bool = False):
+        """The matching array kernel (levelization, edge, FIFO tables).
+
+        Kernels attach to their dependency graph
+        (:func:`repro.sim.kernel.kernel_of`), so this materializes the
+        graph and its kernel exactly once per cache entry — planner
+        ranking and the bench suite reuse the same arrays across every
+        cost model they evaluate. Imported lazily to keep the schedule
+        layer importable without the simulation stack.
+        """
+        from repro.sim.kernel import kernel_of
+
+        return kernel_of(self.graph_for(lowered, fused))
+
 
 @dataclass(frozen=True)
 class CacheStats:

@@ -204,16 +204,24 @@ class _DenseSchedule:
         self.ops_flat: list[Operation] = []
         self.op_worker: list[int] = []
         self.row_ids: list[list[int]] = []
+        #: Position of each op within its worker's row. Together with
+        #: ``(end, worker)`` this reconstructs the event loop's pop order:
+        #: the heap orders events by ``(end, worker)``, and a worker's own
+        #: ties resolve in program order because its next event is only
+        #: pushed after the previous one pops. The array kernel's FIFO
+        #: serialization sorts transfers by exactly this key.
+        self.row_pos: list[int] = []
         #: ``op.key() -> dense id`` (the array kernel indexes through it).
         self.id_of: dict[OpKey, int] = {}
         id_of = self.id_of
         for worker, row in enumerate(schedule.worker_ops):
             ids = []
-            for op in row:
+            for pos, op in enumerate(row):
                 oid = len(self.ops_flat)
                 id_of[op.key()] = oid
                 self.ops_flat.append(op)
                 self.op_worker.append(worker)
+                self.row_pos.append(pos)
                 ids.append(oid)
             self.row_ids.append(ids)
         total = len(self.ops_flat)

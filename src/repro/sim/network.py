@@ -32,6 +32,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.common.errors import ConfigurationError
 
 #: Valid values for a topology's ``duplex`` mode.
@@ -91,6 +93,25 @@ def _channel(src: int, dst: int, duplex: str) -> tuple[int, int]:
     return (src, dst)
 
 
+def _channel_id_array(
+    src: np.ndarray, dst: np.ndarray, duplex: str, num_workers: int
+) -> np.ndarray:
+    """Integer-encoded contention channels for many transfers at once.
+
+    The array form of :func:`_channel`: channel ``(a, b)`` encodes as
+    ``a * num_workers + b`` (after the half-duplex canonicalization), so
+    ``(id // num_workers, id % num_workers)`` recovers the tuple the
+    event engine reports in its :class:`TransferRecord`\\ s.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if duplex == "half":
+        lo = np.minimum(src, dst)
+        hi = np.maximum(src, dst)
+        return lo * num_workers + hi
+    return src * num_workers + dst
+
+
 class FlatTopology:
     """All worker pairs share one link class."""
 
@@ -111,6 +132,26 @@ class FlatTopology:
     def channel(self, src: int, dst: int) -> tuple[int, int]:
         """The contention channel a ``src -> dst`` transfer occupies."""
         return _channel(src, dst, self.duplex)
+
+    def link_table(
+        self, src: np.ndarray, dst: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-transfer ``(alpha, beta)`` arrays — :meth:`link_of` in bulk.
+
+        The array kernel builds its per-SEND wire/occupancy tables from
+        this instead of calling ``link_of`` once per transfer.
+        """
+        n = len(np.asarray(src))
+        return (
+            np.full(n, self.link.alpha),
+            np.full(n, self.link.beta),
+        )
+
+    def channel_id_array(
+        self, src: np.ndarray, dst: np.ndarray, num_workers: int
+    ) -> np.ndarray:
+        """Integer channel ids for many transfers — :meth:`channel` in bulk."""
+        return _channel_id_array(src, dst, self.duplex, num_workers)
 
     def group_link(self, workers: tuple[int, ...]) -> LinkSpec:
         """The link class that bounds a collective over ``workers``."""
@@ -154,6 +195,23 @@ class HierarchicalTopology:
     def channel(self, src: int, dst: int) -> tuple[int, int]:
         """The contention channel a ``src -> dst`` transfer occupies."""
         return _channel(src, dst, self.duplex)
+
+    def link_table(
+        self, src: np.ndarray, dst: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-transfer ``(alpha, beta)`` arrays — :meth:`link_of` in bulk."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        intra = (src // self.gpus_per_node) == (dst // self.gpus_per_node)
+        alpha = np.where(intra, self.intra.alpha, self.inter.alpha)
+        beta = np.where(intra, self.intra.beta, self.inter.beta)
+        return alpha, beta
+
+    def channel_id_array(
+        self, src: np.ndarray, dst: np.ndarray, num_workers: int
+    ) -> np.ndarray:
+        """Integer channel ids for many transfers — :meth:`channel` in bulk."""
+        return _channel_id_array(src, dst, self.duplex, num_workers)
 
     def group_link(self, workers: tuple[int, ...]) -> LinkSpec:
         """Bounding link for a collective: inter-node if the group spans nodes."""

@@ -3,8 +3,11 @@
 One checked-in rendering per registered scheme at a fixed small
 configuration (D=4 workers, N=4 micro-batches, practical cost model,
 implicit communication), plus pass-pipeline variants — a recomputed
-schedule (explicit RECOMPUTE ops in the rows) and a fused-communication
-schedule (batched transfers on a finite link, comm lanes visible). Any
+schedule (explicit RECOMPUTE ops in the rows), a fused-communication
+schedule (batched transfers on a finite link, comm lanes visible), and a
+contended lowered schedule (nonzero-beta link, transfers queueing on
+per-channel FIFOs — the kernel's serialization path is what times these
+lanes). Any
 change to a builder's op order, to the greedy or stable-pattern
 placement, to a pass's insertion rules, or to the simulator's timing of
 these shapes shows up as a golden diff instead of a silent throughput
@@ -54,10 +57,20 @@ def _rendered_fused() -> str:
     return render_gantt(schedule, cost_model=cost) + "\n"
 
 
+def _rendered_contended() -> str:
+    schedule = build_schedule("dapple", DEPTH, MICRO_BATCHES, passes="lower_p2p")
+    cost = CostModel.practical().with_(
+        topology=FlatTopology(LinkSpec(alpha=0.25, beta=0.5)),
+        activation_message_bytes=2.0,
+    )
+    return render_gantt(schedule, cost_model=cost) + "\n"
+
+
 #: Pass-pipeline golden variants: name -> renderer.
 VARIANTS = {
     "dapple_recompute": _rendered_recompute,
     "dapple_fused": _rendered_fused,
+    "dapple_contended": _rendered_contended,
 }
 
 

@@ -28,15 +28,17 @@ def small_payload():
 
 def test_suite_grid_covers_every_scheme():
     cases = perfsuite.suite_cases()
-    assert len(cases) == len(available_schemes()) * 3 * 3
+    assert len(cases) == len(available_schemes()) * 3 * 5
     ids = {c.case_id for c in cases}
     assert len(ids) == len(cases)
     for scheme in available_schemes():
         for depth in perfsuite.SUITE_DEPTHS:
             for mode in perfsuite.MODES:
                 assert f"{scheme}/D{depth}/N64/{mode}" in ids
-    assert perfsuite.MODES == ("implicit", "lowered", "fused")
-    assert len(perfsuite.suite_cases(fast=True)) == len(available_schemes()) * 3
+    assert perfsuite.MODES == (
+        "implicit", "lowered", "fused", "contended", "contended_fused"
+    )
+    assert len(perfsuite.suite_cases(fast=True)) == len(available_schemes()) * 5
 
 
 def test_payload_schema(small_payload):
@@ -44,7 +46,8 @@ def test_payload_schema(small_payload):
     assert payload["schema_version"] == perfsuite.SCHEMA_VERSION
     assert payload["suite"] == "fast"
     assert payload["calibration_score"] > 0
-    assert len(payload["cases"]) == len(SMALL["schemes"]) * 3
+    assert len(payload["cases"]) == len(SMALL["schemes"]) * 5
+    assert "contended_batch_speedup_min" in payload["summary"]
     for case in payload["cases"]:
         assert case["ops"] > 0
         assert case["compute_makespan"] > 0
@@ -161,13 +164,30 @@ def test_cli_bench_writes_json_and_gates(tmp_path):
 
 def test_acceptance_batch_speedup_at_d16():
     """Tentpole acceptance: batch path >= 3x the event engine at D=16, N=64
-    for every registered scheme, implicit/lowered/fused, with makespan
-    parity enforced inside ``run_case`` (it raises beyond 1e-9) and
-    fused-vs-lowered parity in ``run_suite``."""
+    for every registered scheme across all five modes — and >= 5x
+    (:data:`perfsuite.CONTENDED_BATCH_SPEEDUP_FLOOR`) on the lowered
+    *contended* cases, where the event engine pays per-event channel
+    bookkeeping while the kernel's FIFO serialization stays in one
+    vectorized sweep. Makespan parity is enforced inside ``run_case``
+    (it raises beyond 1e-9), fused-vs-lowered parity in ``run_suite``."""
     payload = perfsuite.run_suite(depths=(16,), repeats=2)
-    assert len(payload["cases"]) == len(available_schemes()) * 3
+    assert len(payload["cases"]) == len(available_schemes()) * 5
     worst = payload["summary"]["d16_batch_speedup_min"]
     assert worst >= 3.0, f"batch path only {worst:.1f}x the event engine"
+    contended = payload["summary"]["d16_contended_batch_speedup_min"]
+    assert contended >= perfsuite.CONTENDED_BATCH_SPEEDUP_FLOOR, (
+        f"contended batch path only {contended:.1f}x the event engine"
+    )
+    assert perfsuite.check_against(payload, payload) == []
+
+
+def test_contended_floor_trips_checker(small_payload):
+    """A run whose D=16 contended speedup sinks below the absolute floor
+    fails the gate even against an equally slow baseline."""
+    slow = copy.deepcopy(small_payload)
+    slow["summary"]["d16_contended_batch_speedup_min"] = 4.2
+    violations = perfsuite.check_against(slow, slow)
+    assert any("below" in v and "floor" in v for v in violations)
 
 
 #: Schemes whose lowered form is dominated by SEND/RECV pairs (two of
