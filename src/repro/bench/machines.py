@@ -100,3 +100,9 @@ V100_CLUSTER = MachineSpec(
     inter_link=LinkSpec.from_bandwidth(alpha=2e-5, bandwidth_bytes_per_sec=2.5e9),
     gpus_per_node=8,
 )
+
+#: Short names accepted by the CLI and the planner service.
+MACHINES: dict[str, MachineSpec] = {
+    "piz-daint": PIZ_DAINT,
+    "v100": V100_CLUSTER,
+}

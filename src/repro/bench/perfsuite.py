@@ -34,6 +34,13 @@ headline claim: batched kernel throughput at least
 contended schedules at the D=16, N=64 reference point
 (``summary["d16_contended_batch_speedup_min"]``).
 
+The ``planner_qps`` section (schema 4) is the planner-as-a-service load
+harness: a heterogeneous request stream is planned per-request
+(sequential reference), as one :func:`repro.perf.planner.plan_many`
+batch (verified 1e-9-identical, wall-clock gated against
+:data:`PLAN_MANY_SPEEDUP_FLOOR`), and through concurrent client threads
+(QPS + p50/p99 latency + cache hit rates) — see :func:`run_planner_qps`.
+
 Regression gating
 -----------------
 :func:`check_against` compares a fresh run to a committed baseline
@@ -42,7 +49,7 @@ Regression gating
 * any makespan difference beyond 1e-9 (correctness — deterministic, zero
   tolerance),
 * any case whose throughput fell more than ``tolerance`` (default 20%)
-  below the baseline.
+  below the baseline — planner QPS is gated the same normalized way.
 
 Raw ops/sec depends on the host, so the throughput gate compares
 *normalized* scores: each measurement is divided by a calibration score —
@@ -79,8 +86,11 @@ from repro.sim.network import FlatTopology, LinkSpec
 #: checker refuses to compare across versions. 2: added the ``fused``
 #: mode cases and the fused-speedup summary keys. 3: added the
 #: ``contended``/``contended_fused`` modes (nonzero-beta cost model) and
-#: the contended-speedup summary keys with their absolute floor.
-SCHEMA_VERSION = 3
+#: the contended-speedup summary keys with their absolute floor. 4: added
+#: the ``planner_qps`` load-harness section (QPS, p50/p99 latency,
+#: plan_many batch speedup with its absolute floor, cache hit rates) and
+#: the non-gating ``schedule_cache`` metadata block.
+SCHEMA_VERSION = 4
 
 #: Full-suite grid: every registered scheme at these depths, N=64 — the
 #: acceptance grid of the array kernel (D=16, N=64 is the reference point).
@@ -101,6 +111,28 @@ CONTENDED_MODES = ("contended", "contended_fused")
 #: same host, so it needs no calibration; the checker enforces it on the
 #: current run directly.
 CONTENDED_BATCH_SPEEDUP_FLOOR = 5.0
+
+#: Absolute floor on the planner load harness's batch speedup:
+#: ``plan_many`` over the full heterogeneous request batch must beat
+#: per-request ``plan_configurations`` wall-clock by at least this factor
+#: (same-host wall-time ratio, checked unnormalized like the contended
+#: floor). The full suite's scenario covers D=16 cells (P=16 grid).
+PLAN_MANY_SPEEDUP_FLOOR = 5.0
+
+#: Load-harness scenario: total requests hammered through ``plan_many``
+#: and the concurrent client phase; the distinct-request working set they
+#: cycle over is machines × budgets × mini-batches (12 full / 8 fast).
+QPS_REQUESTS = 1000
+QPS_FAST_REQUESTS = 64
+#: Concurrent client threads and per-client batch size in the QPS phase.
+QPS_CLIENTS = 8
+QPS_BATCH = 25
+QPS_FAST_BATCH = 8
+#: Synchronous schemes only: the async schemes' steady-state measurement
+#: is seconds per cell at P=16, which would turn the load harness into an
+#: async-scheme benchmark instead of a planner-throughput one.
+QPS_SCHEMES = ("chimera", "dapple", "zb_h1", "zb_v")
+QPS_FAST_SCHEMES = ("chimera", "dapple")
 
 #: Cost models evaluated by the batch-path measurement: the base model
 #: plus f/b/w variations, so each batch row exercises a distinct duration
@@ -358,6 +390,201 @@ def makespan_checksum(cases: Iterable[dict]) -> str:
     return digest.hexdigest()
 
 
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(q * len(sorted_values))))
+    return sorted_values[rank]
+
+
+def planner_qps_requests(*, fast: bool = False) -> list:
+    """The load-harness request stream (heterogeneous, cycled).
+
+    Distinct cells: both machine models × memory budgets (uncapped plus
+    two tight ones that exercise the recompute-retry axis) × two
+    mini-batch sizes, all at one worker count whose grid covers the D=16
+    reference depth (P=8 in fast mode). Requests cycle over the distinct
+    set up to the total count, the way production traffic repeats a small
+    set of hot configurations.
+    """
+    from repro.bench.machines import PIZ_DAINT, V100_CLUSTER
+    from repro.bench.workloads import BERT48
+    from repro.common.units import GIB
+    from repro.perf.planner import PlanRequest
+
+    schemes = QPS_FAST_SCHEMES if fast else QPS_SCHEMES
+    workers = 8 if fast else 16
+    budgets = (None, 6 * GIB) if fast else (None, 6 * GIB, 3 * GIB)
+    minis = (16, 32) if fast else (32, 64)
+    total = QPS_FAST_REQUESTS if fast else QPS_REQUESTS
+    distinct = [
+        PlanRequest(
+            machine=machine,
+            workload=BERT48,
+            num_workers=workers,
+            mini_batch=mini,
+            memory_budget_bytes=budget,
+            schemes=schemes,
+        )
+        for machine in (PIZ_DAINT, V100_CLUSTER)
+        for budget in budgets
+        for mini in minis
+    ]
+    return [distinct[i % len(distinct)] for i in range(total)]
+
+
+def _entries_close(a, b) -> bool:
+    """1e-9 agreement between two :class:`PlanEntry` rows."""
+    return (
+        (a.scheme, a.width, a.depth, a.micro_batch, a.num_micro_batches,
+         a.recompute)
+        == (b.scheme, b.width, b.depth, b.micro_batch, b.num_micro_batches,
+            b.recompute)
+        and abs(a.iteration_time - b.iteration_time) <= MAKESPAN_ATOL
+        and abs(a.throughput - b.throughput)
+        <= MAKESPAN_ATOL * max(1.0, abs(b.throughput))
+        and abs(a.bubble_ratio - b.bubble_ratio) <= MAKESPAN_ATOL
+        and abs(a.peak_memory_bytes - b.peak_memory_bytes)
+        <= MAKESPAN_ATOL * max(1.0, abs(b.peak_memory_bytes))
+    )
+
+
+def run_planner_qps(
+    *, fast: bool = False, slowdown: float = 1.0, concurrent: bool = True
+) -> dict:
+    """The planner-as-a-service load harness (one ``planner_qps`` run).
+
+    Three phases over one heterogeneous request stream:
+
+    1. **Sequential reference** — per-request ``plan_configurations``
+       over the distinct cells, once each; the full-stream sequential
+       wall extrapolates per-request cost by multiplicity (a duplicated
+       sequential call re-ranks from scratch, so per-request cost is
+       constant — the extrapolation is exact up to timing noise, and
+       measuring it directly would take minutes by construction).
+    2. **One batch** — a single ``plan_many`` over the whole stream,
+       verified 1e-9-identical to the sequential reference per entry;
+       its wall against the sequential wall is ``plan_many_speedup``,
+       gated against :data:`PLAN_MANY_SPEEDUP_FLOOR`.
+    3. **Concurrent clients** — the stream split into batches of
+       :data:`QPS_BATCH`, all submitted at t=0 to :data:`QPS_CLIENTS`
+       client threads (concurrent ``plan_many`` calls share the process
+       cache, like ``repro serve`` handlers); per-request latency is its
+       batch's completion time, yielding QPS and p50/p99.
+
+    ``slowdown`` scales every measured planner wall (the injected-
+    regression hook), so QPS drops under injection and the normalized
+    gate in :func:`check_against` trips. ``concurrent=False`` skips
+    phase 3 (tests asserting only parity and the batch-speedup floor);
+    the section then carries no ``qps``/latency keys and the QPS gate
+    has nothing to compare.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.perf.planner import plan_configurations, plan_many
+    from repro.schedules.cache import disk_cache_stats, schedule_cache_stats
+
+    requests = planner_qps_requests(fast=fast)
+    distinct = list(dict.fromkeys(requests))
+
+    plan_many(distinct)  # warm-up: artifact caches build here, untimed
+
+    mem0, disk0 = schedule_cache_stats(), disk_cache_stats()
+
+    t0 = time.perf_counter()
+    reference: dict[object, object] = {}
+    for request in distinct:
+        try:
+            reference[request] = plan_configurations(
+                request.machine,
+                request.workload,
+                num_workers=request.num_workers,
+                mini_batch=request.mini_batch,
+                memory_budget_bytes=request.memory_budget_bytes,
+                schemes=request.schemes,
+            )
+        except ScheduleError:
+            raise
+        except Exception as err:  # ConfigurationError: empty search space
+            reference[request] = err
+    sequential_distinct_wall = (time.perf_counter() - t0) * slowdown
+    sequential_wall = sequential_distinct_wall * (len(requests) / len(distinct))
+
+    t0 = time.perf_counter()
+    outcomes = plan_many(requests)
+    batch_wall = (time.perf_counter() - t0) * slowdown
+
+    for request, outcome in zip(requests, outcomes):
+        expected = reference[request]
+        if isinstance(expected, Exception):
+            if outcome.error is None or str(outcome.error) != str(expected):
+                raise ScheduleError(
+                    f"plan_many/plan_configurations error divergence for "
+                    f"{request.machine.name}, B̂={request.mini_batch}: "
+                    f"{outcome.error!r} vs {expected!r}"
+                )
+            continue
+        if outcome.error is not None or len(outcome.entries) != len(expected):
+            raise ScheduleError(
+                f"plan_many/plan_configurations shape divergence for "
+                f"{request.machine.name}, B̂={request.mini_batch}"
+            )
+        for got, want in zip(outcome.entries, expected):
+            if not _entries_close(got, want):
+                raise ScheduleError(
+                    f"plan_many entry diverged from plan_configurations "
+                    f"beyond {MAKESPAN_ATOL:.0e}: {got} vs {want}"
+                )
+
+    section = {
+        "requests": len(requests),
+        "distinct_requests": len(distinct),
+        "sequential_wall_s": sequential_wall,
+        "sequential_distinct_wall_s": sequential_distinct_wall,
+        "plan_many_wall_s": batch_wall,
+        "plan_many_speedup": sequential_wall / batch_wall,
+    }
+    if concurrent:
+        qps_batch = QPS_FAST_BATCH if fast else QPS_BATCH
+        batches = [
+            requests[i : i + qps_batch]
+            for i in range(0, len(requests), qps_batch)
+        ]
+        t0 = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=QPS_CLIENTS) as pool:
+
+            def _client(batch: list) -> tuple[int, float]:
+                plan_many(batch)
+                return len(batch), time.perf_counter() - t0
+
+            completions = list(pool.map(_client, batches))
+        concurrent_wall = (time.perf_counter() - t0) * slowdown
+        latencies = sorted(
+            done * slowdown for count, done in completions for _ in range(count)
+        )
+        section.update(
+            clients=QPS_CLIENTS,
+            client_batch=qps_batch,
+            qps=len(requests) / concurrent_wall,
+            p50_ms=_percentile(latencies, 0.50) * 1e3,
+            p99_ms=_percentile(latencies, 0.99) * 1e3,
+            concurrent_wall_s=concurrent_wall,
+        )
+
+    mem1, disk1 = schedule_cache_stats(), disk_cache_stats()
+    mem_lookups = mem1.lookups - mem0.lookups
+    section["schedule_cache_hit_rate"] = (
+        (mem1.hits - mem0.hits) / mem_lookups if mem_lookups else 1.0
+    )
+    if disk0 is not None and disk1 is not None:
+        lookups = disk1.lookups - disk0.lookups
+        section["disk_cache_hit_rate"] = (
+            (disk1.hits - disk0.hits) / lookups if lookups else 1.0
+        )
+    return section
+
+
 def run_suite(
     *,
     fast: bool = False,
@@ -366,8 +593,14 @@ def run_suite(
     repeats: int = 3,
     batch_size: int = BATCH_VARIANTS,
     inject_slowdown: float | None = None,
+    planner: bool = True,
 ) -> dict:
-    """Run the suite and assemble the ``BENCH_*.json`` payload."""
+    """Run the suite and assemble the ``BENCH_*.json`` payload.
+
+    ``planner=False`` drops the :func:`run_planner_qps` phase — for
+    focused engine measurements (a payload without the section cannot be
+    used as a CI baseline gate for planner QPS).
+    """
     slowdown = _resolve_slowdown(inject_slowdown)
     cases = suite_cases(fast=fast, depths=depths, schemes=schemes)
     results = [
@@ -403,15 +636,47 @@ def run_suite(
             summary["d16_contended_batch_speedup_min"] = min(
                 c["batch"]["speedup"] for c in d16_contended
             )
-    return {
+    planner_section = run_planner_qps(fast=fast, slowdown=slowdown) if planner else None
+    if planner_section is not None:
+        summary["planner_qps"] = planner_section["qps"]
+        summary["planner_plan_many_speedup"] = planner_section["plan_many_speedup"]
+
+    # Non-gating cache-efficacy metadata: cumulative process-wide counters
+    # after the whole run (the planner section additionally records its
+    # own phase-local hit rates).
+    from repro.schedules.cache import disk_cache_stats, schedule_cache_stats
+
+    mem = schedule_cache_stats()
+    cache_meta = {
+        "hits": mem.hits,
+        "misses": mem.misses,
+        "entries": mem.entries,
+        "hit_rate": mem.hit_rate,
+    }
+    disk = disk_cache_stats()
+    if disk is not None:
+        cache_meta["disk"] = {
+            "hits": disk.hits,
+            "misses": disk.misses,
+            "stores": disk.stores,
+            "evictions": disk.evictions,
+            "entries": disk.entries,
+            "total_bytes": disk.total_bytes,
+            "hit_rate": disk.hit_rate,
+        }
+    payload = {
         "schema_version": SCHEMA_VERSION,
         "suite": "fast" if fast else "full",
         "revision": current_revision(),
         "calibration_score": calibration_score(),
         "inject_slowdown": slowdown,
         "cases": results,
+        "schedule_cache": cache_meta,
         "summary": summary,
     }
+    if planner_section is not None:
+        payload["planner_qps"] = planner_section
+    return payload
 
 
 def _group_by_scheme_depth(results: Sequence[dict]) -> dict[tuple, dict[str, dict]]:
@@ -482,7 +747,11 @@ def check_against(
     When the run covers the D=16 contended reference point, its batched
     kernel speedup over the event engine must also clear the absolute
     :data:`CONTENDED_BATCH_SPEEDUP_FLOOR` — a same-host wall-time ratio,
-    so it is checked unnormalized on the current run.
+    so it is checked unnormalized on the current run. The planner load
+    harness gates the same two ways: ``plan_many_speedup`` against the
+    absolute :data:`PLAN_MANY_SPEEDUP_FLOOR` (same-host ratio), and
+    normalized planner QPS against the baseline's with the shared
+    ``tolerance``.
     """
     violations: list[str] = []
     floor = current.get("summary", {}).get("d16_contended_batch_speedup_min")
@@ -490,6 +759,13 @@ def check_against(
         violations.append(
             f"d16 contended batch speedup {floor:.2f}x fell below the "
             f"{CONTENDED_BATCH_SPEEDUP_FLOOR:.0f}x floor"
+        )
+    planner = current.get("planner_qps") or {}
+    plan_speedup = planner.get("plan_many_speedup")
+    if plan_speedup is not None and plan_speedup < PLAN_MANY_SPEEDUP_FLOOR:
+        violations.append(
+            f"plan_many batch speedup {plan_speedup:.2f}x fell below the "
+            f"{PLAN_MANY_SPEEDUP_FLOOR:.0f}x floor"
         )
     if current.get("schema_version") != baseline.get("schema_version"):
         return [
@@ -534,6 +810,24 @@ def check_against(
                     f"{drop * 100:.1f}% (> {tolerance * 100:.0f}% allowed; "
                     f"normalized {cur_norm:.3f} vs baseline {base_norm:.3f})"
                 )
+
+    base_planner = baseline.get("planner_qps") or {}
+    if base_planner and not planner:
+        violations.append(
+            "planner_qps section disappeared from the run — refresh or "
+            "investigate"
+        )
+    cur_qps, base_qps = planner.get("qps"), base_planner.get("qps")
+    if cur_qps is not None and base_qps is not None:
+        cur_norm = cur_qps / cur_cal
+        base_norm = base_qps / base_cal
+        if cur_norm < base_norm * (1.0 - tolerance):
+            drop = 1.0 - cur_norm / base_norm
+            violations.append(
+                f"planner_qps: QPS regressed {drop * 100:.1f}% "
+                f"(> {tolerance * 100:.0f}% allowed; normalized "
+                f"{cur_norm:.6f} vs baseline {base_norm:.6f})"
+            )
     return violations
 
 
@@ -578,6 +872,15 @@ def format_suite(payload: dict) -> str:
             f"min contended speedup: batch "
             f"{summary['contended_batch_speedup_min']:.1f}x "
             f"(floor {CONTENDED_BATCH_SPEEDUP_FLOOR:.0f}x at D=16)"
+        )
+    planner = payload.get("planner_qps")
+    if planner and "qps" in planner:
+        lines.append(
+            f"planner: {planner['qps']:.1f} req/s over "
+            f"{planner['requests']} requests "
+            f"(p50 {planner['p50_ms']:.0f} ms, p99 {planner['p99_ms']:.0f} ms), "
+            f"plan_many {planner['plan_many_speedup']:.1f}x sequential "
+            f"(floor {PLAN_MANY_SPEEDUP_FLOOR:.0f}x)"
         )
     lines.append(f"makespan checksum {summary['makespan_checksum'][:16]}…")
     return "\n".join(lines)

@@ -202,3 +202,10 @@ GPT2_32 = TransformerSpec(
     seq=632,
     tied_embeddings=True,
 )
+
+#: Short names accepted by the CLI and the planner service.
+WORKLOADS: dict[str, TransformerSpec] = {
+    "bert-48": BERT48,
+    "gpt2-64": GPT2_64,
+    "gpt2-32": GPT2_32,
+}

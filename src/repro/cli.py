@@ -14,12 +14,20 @@ Commands
               kernel's fast/batch paths over every registered scheme ×
               {implicit, lowered, fused, contended, contended_fused} —
               the contended modes use a nonzero-beta link model, so
-              transfers queue per channel), write a schema-versioned
-              (v3) ``BENCH_<rev>.json``, and — with
+              transfers queue per channel — plus the ``planner_qps``
+              load harness), write a schema-versioned (v4)
+              ``BENCH_<rev>.json``, and — with
               ``--check-against benchmarks/baseline.json`` — fail on
-              makespan mismatches, >20% throughput regressions, or a
-              D=16 contended batch speedup below its 5x floor (the CI
-              gate; see ``docs/benchmarking.md``).
+              makespan mismatches, >20% throughput regressions, a D=16
+              contended batch speedup below its 5x floor, a >20% planner
+              QPS drop, or a plan_many batch speedup below its 5x floor
+              (the CI gate; see ``docs/benchmarking.md``).
+``serve``     Run the planner as a long-lived HTTP/JSON service
+              (``POST /plan``, ``POST /plan_many``, ``GET /stats``; see
+              ``docs/serving.md``).
+``cache``     Inspect (``stats``), wipe (``clear``), or locate (``path``)
+              the schedule-artifact cache, both the in-process LRU and
+              the persistent disk tier under ``~/.cache/repro``.
 ``figure``    Regenerate one of the paper's tables/figures.
 ``trace``     Export a simulated schedule as Chrome-tracing JSON.
 
@@ -51,7 +59,7 @@ import sys
 
 from repro.bench import experiments
 from repro.bench.harness import ExperimentConfig, run_configuration
-from repro.bench.machines import PIZ_DAINT, V100_CLUSTER
+from repro.bench.machines import MACHINES
 from repro.bench.perfsuite import (
     DEFAULT_TOLERANCE,
     check_against,
@@ -60,7 +68,7 @@ from repro.bench.perfsuite import (
     run_suite,
     write_bench_json,
 )
-from repro.bench.workloads import BERT48, GPT2_32, GPT2_64
+from repro.bench.workloads import WORKLOADS
 from repro.common.units import GIB
 from repro.perf.planner import format_plan, plan_configurations
 from repro.perf.planner import select_configuration
@@ -70,9 +78,6 @@ from repro.sim.engine import simulate
 from repro.sim.gantt import render_gantt
 from repro.sim.network import FlatTopology, LinkSpec
 from repro.sim.trace import write_chrome_trace
-
-MACHINES = {"piz-daint": PIZ_DAINT, "v100": V100_CLUSTER}
-WORKLOADS = {"bert-48": BERT48, "gpt2-64": GPT2_64, "gpt2-32": GPT2_32}
 FIGURES = {
     name: getattr(experiments, name)
     for name in experiments.__all__
@@ -308,6 +313,58 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.perf.planner import DEFAULT_PLAN_WORKERS
+    from repro.serve import PlannerService, serve_forever
+
+    workers = (
+        args.plan_workers
+        if args.plan_workers is not None
+        else DEFAULT_PLAN_WORKERS
+    )
+    service = PlannerService(max_inflight=args.max_inflight, plan_workers=workers)
+    serve_forever(args.host, args.port, service=service)
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.schedules.cache import (
+        SCHEDULE_CACHE,
+        clear_schedule_cache,
+        disk_cache_stats,
+        schedule_cache_stats,
+    )
+
+    disk = SCHEDULE_CACHE.disk
+    if args.cache_action == "path":
+        print(disk.root if disk is not None else "(disk tier disabled)")
+        return 0
+    if args.cache_action == "clear":
+        removed = clear_schedule_cache(disk=True)
+        print(f"cleared in-memory cache; removed {removed} disk entr"
+              f"{'y' if removed == 1 else 'ies'}")
+        return 0
+    mem = schedule_cache_stats()
+    print("in-memory LRU")
+    print(f"  entries   : {mem.entries} (max {SCHEDULE_CACHE.max_entries})")
+    print(f"  hits      : {mem.hits}")
+    print(f"  misses    : {mem.misses}")
+    print(f"  hit rate  : {mem.hit_rate * 100:.1f} %")
+    stats = disk_cache_stats()
+    if stats is None:
+        print("disk tier     : disabled")
+        return 0
+    print(f"disk tier ({disk.root})")
+    print(f"  entries   : {stats.entries}")
+    print(f"  size      : {stats.total_bytes / 2**20:.1f} MiB")
+    print(f"  hits      : {stats.hits} (this process)")
+    print(f"  misses    : {stats.misses}")
+    print(f"  stores    : {stats.stores}")
+    print(f"  evictions : {stats.evictions}")
+    print(f"  hit rate  : {stats.hit_rate * 100:.1f} %")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Chimera (SC'21) reproduction toolkit"
@@ -440,6 +497,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", choices=sorted(FIGURES))
     p.add_argument("--full", action="store_true", help="paper-scale sweep")
     p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser(
+        "serve", help="run the planner as an HTTP/JSON service"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8473)
+    p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        help="concurrently admitted plan computations before load "
+        "shedding (HTTP 503)",
+    )
+    p.add_argument(
+        "--plan-workers",
+        type=int,
+        default=None,
+        help="worker pool bound for async-scheme steady-state paths "
+        "(default: min(8, cores))",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "cache", help="inspect or clear the schedule-artifact cache"
+    )
+    p.add_argument(
+        "cache_action",
+        choices=("stats", "clear", "path"),
+        nargs="?",
+        default="stats",
+    )
+    p.set_defaults(func=cmd_cache)
 
     return parser
 

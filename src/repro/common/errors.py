@@ -76,6 +76,16 @@ class ConfigurationError(ReproError):
     """
 
 
+class ServiceOverloadError(ReproError):
+    """The planner service refused a request due to backpressure.
+
+    ``repro serve`` admits at most a bounded number of in-flight plan
+    requests; beyond that it sheds load immediately (HTTP 503) instead of
+    queueing unboundedly. Carries the configured capacity so clients can
+    size their retry/backoff policy.
+    """
+
+
 class UnknownOptionError(ConfigurationError):
     """A schedule builder received an option it does not understand.
 

@@ -9,8 +9,9 @@
   ``(scheme, W, D, B)`` over every registered scheme, prune by the memory
   model against a peak-memory budget, and rank the survivors with the
   contention-aware event-queue simulation, with schedule passes —
-  recomputation, communication fusion — as planning axes).
-  :mod:`repro.perf.selector` is a deprecated shim over the former.
+  recomputation, communication fusion — as planning axes), plus the
+  batched :func:`~repro.perf.planner.plan_many` entry point behind
+  ``repro serve`` and the bench suite's planner load harness.
 * :mod:`repro.perf.calibration` — build cost/memory models from a machine
   spec and a workload spec (the stand-in for the paper's micro-benchmarks).
 """
@@ -24,9 +25,12 @@ from repro.perf.model import (
 from repro.perf.planner import (
     ConfigCandidate,
     PlanEntry,
+    PlanOutcome,
+    PlanRequest,
     format_plan,
     greedy_micro_batch,
     plan_configurations,
+    plan_many,
     select_configuration,
 )
 from repro.perf.calibration import calibrate_cost_model, calibrate_memory_model
@@ -37,8 +41,11 @@ __all__ = [
     "predict_closed_form",
     "predict_iteration_time",
     "PlanEntry",
+    "PlanOutcome",
+    "PlanRequest",
     "format_plan",
     "plan_configurations",
+    "plan_many",
     "ConfigCandidate",
     "greedy_micro_batch",
     "select_configuration",

@@ -1,8 +1,7 @@
 """Configuration planning: scheme-agnostic search plus the §3.4 procedure.
 
 The paper's §3.4 selection procedure (:func:`select_configuration`, kept
-here verbatim for the Figure 13 reproduction; its old home
-``repro.perf.selector`` is a deprecated shim) is hard-wired to the
+here verbatim for the Figure 13 reproduction) is hard-wired to the
 bidirectional schedule: Chimera has so few bubbles that the largest
 micro-batch wins and only ``(W, D)`` needs ranking. With ten registered
 schemes — including the memory-controllable zero-bubble family, whose
@@ -37,30 +36,53 @@ per event simulation, which is the fast mode for big lowered grids.
 Every pruning decision and the final ranking go through the same code
 paths as the benchmark harness (:mod:`repro.bench.harness`), so a plan
 entry is exactly the configuration's ``run_configuration`` outcome.
+
+Batch planning (planner-as-a-service)
+-------------------------------------
+:func:`plan_many` evaluates a whole batch of heterogeneous
+:class:`PlanRequest` queries as one unit of work — the primitive behind
+``repro serve`` and the ``planner_qps`` load harness. It deduplicates at
+three levels: identical requests collapse to one computation; memory
+reports are memoized on the schedule-cache key (``W`` and ``B`` vary far
+more often than the underlying ``(scheme, D, N)`` schedule); and every
+synchronous survivor of every request feeds **one**
+:func:`repro.sim.kernel.simulate_batch_many` call, with rows that share a
+``(dependency graph, cost model)`` pair simulated once. Asynchronous
+schemes keep their steady-state measurement, fanned out over a bounded
+worker pool. Artifacts are pinned for the duration of the call, so a
+batch whose distinct-cell working set exceeds the LRU bound never
+rebuilds a schedule mid-call. Per-request results are bit-identical to
+calling :func:`plan_configurations` once per request.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Iterator, Sequence
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Sequence
 
 from repro.common.errors import ConfigurationError, ScheduleError
 from repro.bench.harness import (
     ExperimentConfig,
     config_artifacts,
     format_table,
-    memory_report,
     run_configuration,
 )
 from repro.bench.machines import MachineSpec
 from repro.bench.workloads import TransformerSpec
-from repro.perf.calibration import calibrate_cost_model
+from repro.perf.calibration import calibrate_cost_model, calibrate_memory_model
+from repro.schedules.cache import ScheduleArtifacts, ScheduleCache
 from repro.schedules.registry import available_schemes, scheme_traits
 from repro.sim.kernel import simulate_batch_many
-from repro.sim.memory import MemoryReport
+from repro.sim.memory import MemoryReport, analyze_memory
 
 #: Largest micro-batch size the enumeration considers (power-of-two scan).
 DEFAULT_MAX_MICRO_BATCH = 512
+
+#: Default bound on the worker pool :func:`plan_many` uses for the
+#: asynchronous schemes' steady-state measurements.
+DEFAULT_PLAN_WORKERS = min(8, os.cpu_count() or 1)
 
 
 @dataclass(frozen=True)
@@ -119,6 +141,133 @@ def candidate_grid(
                 b *= 2
 
 
+@dataclass(frozen=True)
+class PlanRequest:
+    """One planner query, as submitted to :func:`plan_many`.
+
+    Field-for-field the keyword surface of :func:`plan_configurations`;
+    hashable, so identical queries in one batch (the common case under
+    service traffic) collapse to a single computation.
+    """
+
+    machine: MachineSpec
+    workload: TransformerSpec
+    num_workers: int
+    mini_batch: int
+    memory_budget_bytes: float | None = None
+    schemes: tuple[str, ...] | None = None
+    min_depth: int = 2
+    max_micro_batch: int = DEFAULT_MAX_MICRO_BATCH
+    lowered: bool = True
+    fused: bool = False
+    recompute: bool | None = None
+    top_k: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.schemes is not None and not isinstance(self.schemes, tuple):
+            object.__setattr__(self, "schemes", tuple(self.schemes))
+
+
+@dataclass(frozen=True)
+class PlanOutcome:
+    """Per-request result of :func:`plan_many`: a ranking or an error."""
+
+    request: PlanRequest
+    entries: tuple[PlanEntry, ...] = ()
+    error: ConfigurationError | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def raise_or_entries(self) -> list[PlanEntry]:
+        """The ranked entries, re-raising the per-request error if any."""
+        if self.error is not None:
+            raise self.error
+        return list(self.entries)
+
+
+class _PlanContext:
+    """Call-scoped memoization shared by the requests of one batch.
+
+    Pins every touched :class:`ScheduleArtifacts` for the duration of the
+    call (so an LRU working set larger than the process cache never
+    rebuilds mid-batch) and memoizes memory reports on the schedule-cache
+    key plus the calibration inputs.
+    """
+
+    def __init__(self) -> None:
+        self.artifacts: dict[tuple, ScheduleArtifacts] = {}
+        self.reports: dict[tuple, MemoryReport] = {}
+
+    @staticmethod
+    def _akey(cfg: ExperimentConfig, recompute: bool) -> tuple | None:
+        return ScheduleCache.key(
+            cfg.scheme,
+            cfg.depth,
+            cfg.num_micro_batches(),
+            {"recompute": recompute, **dict(cfg.options)},
+        )
+
+    def artifacts_for(
+        self, cfg: ExperimentConfig, recompute: bool
+    ) -> ScheduleArtifacts:
+        key = self._akey(cfg, recompute)
+        if key is not None:
+            hit = self.artifacts.get(key)
+            if hit is not None:
+                return hit
+        arts = config_artifacts(cfg, recompute)
+        if key is not None:
+            self.artifacts[key] = arts
+        return arts
+
+    def memory_report(
+        self, cfg: ExperimentConfig, recompute: bool
+    ) -> tuple[ScheduleArtifacts, MemoryReport]:
+        """Memoized :func:`repro.bench.harness.memory_report` (same math)."""
+        arts = self.artifacts_for(cfg, recompute)
+        akey = self._akey(cfg, recompute)
+        rkey = (
+            (akey, cfg.machine, cfg.workload, cfg.micro_batch)
+            if akey is not None
+            else None
+        )
+        if rkey is not None:
+            hit = self.reports.get(rkey)
+            if hit is not None:
+                return arts, hit
+        schedule = arts.schedule
+        memory_model = calibrate_memory_model(
+            cfg.machine,
+            cfg.workload,
+            depth=schedule.num_stages,
+            micro_batch=cfg.micro_batch,
+        )
+        report = analyze_memory(schedule, memory_model)
+        if rkey is not None:
+            self.reports[rkey] = report
+        return arts, report
+
+
+@dataclass
+class _Survivor:
+    """One memory-feasible candidate, with its pinned artifacts."""
+
+    cfg: ExperimentConfig
+    report: MemoryReport
+    arts: ScheduleArtifacts
+
+
+@dataclass
+class _Pruned:
+    """A validated, pruned request awaiting ranking."""
+
+    request: PlanRequest
+    survivors: list[_Survivor] = field(default_factory=list)
+    closest: tuple[float, str] | None = None  # (peak overshoot, label)
+
+
 def plan_configurations(
     machine: MachineSpec,
     workload: TransformerSpec,
@@ -167,15 +316,87 @@ def plan_configurations(
         failed step: an empty/unknown scheme list, no valid ``(W, D)``
         factorization, or no micro-batch size fitting the budget.
     """
-    if num_workers < 2:
+    request = PlanRequest(
+        machine=machine,
+        workload=workload,
+        num_workers=num_workers,
+        mini_batch=mini_batch,
+        memory_budget_bytes=memory_budget_bytes,
+        schemes=tuple(schemes) if schemes is not None else None,
+        min_depth=min_depth,
+        max_micro_batch=max_micro_batch,
+        lowered=lowered,
+        fused=fused,
+        recompute=recompute,
+        top_k=top_k,
+    )
+    return plan_many([request], max_workers=1)[0].raise_or_entries()
+
+
+def plan_many(
+    requests: Iterable[PlanRequest],
+    *,
+    max_workers: int = DEFAULT_PLAN_WORKERS,
+) -> list[PlanOutcome]:
+    """Plan a batch of heterogeneous requests as one unit of work.
+
+    Returns one :class:`PlanOutcome` per request, in order. Per-request
+    failures (empty search space, nothing fits the budget) are captured
+    in the outcome instead of aborting the batch; results are exactly
+    what :func:`plan_configurations` returns for the same request.
+
+    Shared work is paid once: identical requests collapse, memory
+    reports memoize across requests, every synchronous survivor of every
+    request ranks through a single
+    :func:`~repro.sim.kernel.simulate_batch_many` call (rows sharing a
+    dependency graph and cost model are simulated once), and the
+    asynchronous schemes' steady-state measurements fan out over a
+    bounded pool of at most ``max_workers`` threads.
+    """
+    requests = list(requests)
+    if max_workers < 1:
+        raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+    ctx = _PlanContext()
+
+    unique: dict[PlanRequest, _Pruned | ConfigurationError] = {}
+    for request in requests:
+        if request in unique:
+            continue
+        try:
+            unique[request] = _prune_request(request, ctx)
+        except ConfigurationError as err:
+            unique[request] = err
+
+    pruned = [p for p in unique.values() if isinstance(p, _Pruned)]
+    ranked = _rank_all(pruned, max_workers=max_workers)
+
+    outcomes: dict[PlanRequest, PlanOutcome] = {}
+    for request, state in unique.items():
+        if isinstance(state, ConfigurationError):
+            outcomes[request] = PlanOutcome(request=request, error=state)
+            continue
+        try:
+            entries = _finalize(state, ranked[id(state)])
+        except ConfigurationError as err:
+            outcomes[request] = PlanOutcome(request=request, error=err)
+            continue
+        outcomes[request] = PlanOutcome(request=request, entries=tuple(entries))
+    return [outcomes[request] for request in requests]
+
+
+def _prune_request(request: PlanRequest, ctx: _PlanContext) -> _Pruned:
+    """Validate one request and prune its grid by the memory model."""
+    if request.num_workers < 2:
         raise ConfigurationError(
-            f"need at least two workers for a pipeline, got P={num_workers}"
+            f"need at least two workers for a pipeline, got P={request.num_workers}"
         )
-    if mini_batch < 1:
-        raise ConfigurationError(f"mini-batch must be positive, got {mini_batch}")
+    if request.mini_batch < 1:
+        raise ConfigurationError(
+            f"mini-batch must be positive, got {request.mini_batch}"
+        )
+    schemes = request.schemes
     if schemes is None:
-        schemes = available_schemes()
-    schemes = tuple(schemes)
+        schemes = tuple(available_schemes())
     if not schemes:
         raise ConfigurationError(
             "empty scheme list: pass at least one scheme to plan over, or "
@@ -186,98 +407,130 @@ def plan_configurations(
 
     grid = list(
         candidate_grid(
-            num_workers,
-            workload,
-            mini_batch,
+            request.num_workers,
+            request.workload,
+            request.mini_batch,
             schemes=schemes,
-            min_depth=min_depth,
-            max_micro_batch=max_micro_batch,
+            min_depth=request.min_depth,
+            max_micro_batch=request.max_micro_batch,
         )
     )
     if not grid:
         raise ConfigurationError(
-            f"no valid (W, D) factorization of P={num_workers} for "
-            f"{workload.name} ({workload.num_layers} layers) with schemes "
-            f"{list(schemes)}: every depth in "
-            f"[{min_depth}, {num_workers}] fails a divisibility or parity "
-            f"constraint — try a different worker count or min_depth"
+            f"no valid (W, D) factorization of P={request.num_workers} for "
+            f"{request.workload.name} ({request.workload.num_layers} layers) "
+            f"with schemes {list(schemes)}: every depth in "
+            f"[{request.min_depth}, {request.num_workers}] fails a "
+            f"divisibility or parity constraint — try a different worker "
+            f"count or min_depth"
         )
 
-    if recompute is None:
+    if request.recompute is None:
         attempts: tuple[bool, ...] = (False, True)
     else:
-        attempts = (recompute,)
+        attempts = (request.recompute,)
 
-    closest: tuple[float, str] | None = None  # (peak overshoot, label)
-    survivors: list[tuple[ExperimentConfig, MemoryReport]] = []
+    pruned = _Pruned(request=request)
     for scheme, width, depth, micro_batch in grid:
         cfg = ExperimentConfig(
             scheme=scheme,
-            machine=machine,
-            workload=workload,
+            machine=request.machine,
+            workload=request.workload,
             width=width,
             depth=depth,
             micro_batch=micro_batch,
-            mini_batch=mini_batch,
-            lowered=lowered,
-            fused=fused,
-            memory_budget_bytes=memory_budget_bytes,
+            mini_batch=request.mini_batch,
+            lowered=request.lowered,
+            fused=request.fused,
+            memory_budget_bytes=request.memory_budget_bytes,
         )
         # Prune before ranking: the memory verdict needs no simulation, so
         # OOM candidates never pay the simulation cost.
         try:
-            fits_recompute: bool | None = None
+            fits: tuple[bool, ScheduleArtifacts] | None = None
             for attempt in attempts:
-                _, report = memory_report(cfg, attempt)
+                arts, report = ctx.memory_report(cfg, attempt)
                 if report.fits(cfg.capacity_bytes):
-                    fits_recompute = attempt
+                    fits = (attempt, arts)
                     break
-            if fits_recompute is None:
+            if fits is None:
                 r = ", R" if attempt else ""
                 overshoot = report.peak_bytes - cfg.capacity_bytes
-                if closest is None or overshoot < closest[0]:
-                    closest = (
+                if pruned.closest is None or overshoot < pruned.closest[0]:
+                    pruned.closest = (
                         overshoot,
                         f"{scheme}(W={width}, D={depth}, B={micro_batch}{r})",
                     )
                 continue
         except (ConfigurationError, ScheduleError):
             continue  # structurally invalid corner (e.g. N < 1)
-        survivors.append((replace(cfg, recompute=fits_recompute), report))
+        pruned.survivors.append(
+            _Survivor(
+                cfg=replace(cfg, recompute=fits[0]), report=report, arts=fits[1]
+            )
+        )
+    return pruned
 
-    entries = _rank_survivors(survivors)
 
+def _finalize(pruned: _Pruned, entries: list[PlanEntry]) -> list[PlanEntry]:
+    """Sort/truncate one request's entries, raising if nothing survived."""
+    request = pruned.request
     if not entries:
         budget_gib = (
-            min(machine.usable_memory_bytes, memory_budget_bytes)
-            if memory_budget_bytes is not None
-            else machine.usable_memory_bytes
+            min(request.machine.usable_memory_bytes, request.memory_budget_bytes)
+            if request.memory_budget_bytes is not None
+            else request.machine.usable_memory_bytes
         ) / 2**30
         detail = (
-            f"; closest candidate {closest[1]} overshoots by "
-            f"{closest[0] / 2**30:.2f} GiB" if closest else ""
+            f"; closest candidate {pruned.closest[1]} overshoots by "
+            f"{pruned.closest[0] / 2**30:.2f} GiB"
+            if pruned.closest
+            else ""
         )
         raise ConfigurationError(
             f"no micro-batch size fits the {budget_gib:.2f} GiB memory "
-            f"budget for P={num_workers}, B̂={mini_batch} on "
-            f"{machine.name}{detail} — raise the budget, add workers, or "
-            f"allow deeper pipelines"
+            f"budget for P={request.num_workers}, B̂={request.mini_batch} on "
+            f"{request.machine.name}{detail} — raise the budget, add "
+            f"workers, or allow deeper pipelines"
         )
-
     entries.sort(key=lambda e: (-e.throughput, e.iteration_time, e.label()))
-    if top_k is not None:
-        entries = entries[:top_k]
+    if request.top_k is not None:
+        entries = entries[: request.top_k]
     return entries
 
 
-def _rank_survivors(
-    survivors: Sequence[tuple[ExperimentConfig, MemoryReport]],
-) -> list[PlanEntry]:
-    """Simulate the memory-feasible candidates and build plan entries.
+def _steady_cfg_key(cfg: ExperimentConfig) -> tuple:
+    """Dedup identity of one asynchronous steady-state measurement."""
+    try:
+        options = tuple(sorted(dict(cfg.options).items()))
+        hash(options)
+    except TypeError:
+        options = (id(cfg),)  # unhashable options: never deduplicated
+    return (
+        cfg.scheme,
+        cfg.machine,
+        cfg.workload,
+        cfg.width,
+        cfg.depth,
+        cfg.micro_batch,
+        cfg.mini_batch,
+        cfg.recompute,
+        cfg.lowered,
+        cfg.fused,
+        cfg.memory_budget_bytes,
+        options,
+    )
+
+
+def _rank_all(
+    pruneds: Sequence[_Pruned], *, max_workers: int
+) -> dict[int, list[PlanEntry]]:
+    """Simulate every pruned request's survivors, shared across requests.
 
     Synchronous schemes rank through **one**
-    :func:`repro.sim.kernel.simulate_batch_many` call: every survivor is
-    a row, rows carry heterogeneous shapes — ``(scheme, D, N, recompute,
+    :func:`repro.sim.kernel.simulate_batch_many` call covering all
+    requests: every distinct ``(dependency graph, cost model)`` pair is a
+    row, rows carry heterogeneous shapes — ``(scheme, D, N, recompute,
     pipeline)`` as well as ``(W, B)``/topology — and rows sharing a
     cached dependency graph vectorize together inside the kernel. The
     default lowered ranking models link contention; the kernel computes
@@ -285,73 +538,113 @@ def _rank_survivors(
     array path and nothing falls back to per-model event simulation.
     Asynchronous schemes keep the steady-state measurement of
     :func:`~repro.bench.harness.run_configuration` (their throughput is a
-    marginal rate between two window sizes, not one iteration time).
+    marginal rate between two window sizes, not one iteration time),
+    deduplicated and fanned out over at most ``max_workers`` threads.
+
+    Returns ``id(pruned) -> unsorted entries`` for :func:`_finalize`.
     """
-    entries: list[PlanEntry] = []
-    sync_members: list[tuple[ExperimentConfig, MemoryReport]] = []
-    for cfg, report in survivors:
-        if not scheme_traits(cfg.scheme).synchronous:
-            try:
-                result = run_configuration(cfg)
-            except (ConfigurationError, ScheduleError):
+    # ---- collect distinct work items across every request ---------------
+    sync_rows: dict[tuple, tuple] = {}  # row key -> (schedule, model, graph)
+    async_cfgs: dict[tuple, ExperimentConfig] = {}
+    row_of_survivor: dict[int, tuple] = {}
+    for pruned in pruneds:
+        for survivor in pruned.survivors:
+            cfg, arts = survivor.cfg, survivor.arts
+            if not scheme_traits(cfg.scheme).synchronous:
+                row_of_survivor[id(survivor)] = _steady_cfg_key(cfg)
+                async_cfgs.setdefault(row_of_survivor[id(survivor)], cfg)
                 continue
+            schedule = arts.schedule_for(cfg.lowered, cfg.fused)
+            graph = arts.graph_for(cfg.lowered, cfg.fused)
+            model = calibrate_cost_model(
+                cfg.machine,
+                cfg.workload,
+                depth=schedule.num_stages,
+                micro_batch=cfg.micro_batch,
+                data_parallel_width=cfg.width,
+            )
+            row_key = (id(graph), model)
+            sync_rows.setdefault(row_key, (schedule, model, graph))
+            row_of_survivor[id(survivor)] = row_key
+
+    # ---- one batched kernel call for every synchronous row --------------
+    sync_results: dict[tuple, tuple[float, float, float]] = {}
+    if sync_rows:
+        keys = list(sync_rows)
+        batch = simulate_batch_many(
+            [(s, m) for s, m, _ in sync_rows.values()],
+            graphs=[g for _, _, g in sync_rows.values()],
+        )
+        for k, key in enumerate(keys):
+            sync_results[key] = (
+                float(batch.iteration_time[k]),
+                batch.bubble_ratio(k),
+                float(batch.schedules[k].num_micro_batches),
+            )
+
+    # ---- bounded worker pool for the async steady-state paths -----------
+    async_results: dict[tuple, "object | None"] = {}
+
+    def _steady(item: tuple[tuple, ExperimentConfig]) -> tuple[tuple, object | None]:
+        key, cfg = item
+        try:
+            return key, run_configuration(cfg)
+        except (ConfigurationError, ScheduleError):
+            return key, None
+
+    items = list(async_cfgs.items())
+    if len(items) > 1 and max_workers > 1:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            async_results = dict(pool.map(_steady, items))
+    else:
+        async_results = dict(map(_steady, items))
+
+    # ---- assemble per-request entries from the shared results -----------
+    out: dict[int, list[PlanEntry]] = {}
+    for pruned in pruneds:
+        entries: list[PlanEntry] = []
+        for survivor in pruned.survivors:
+            cfg, report = survivor.cfg, survivor.report
+            key = row_of_survivor[id(survivor)]
+            if not scheme_traits(cfg.scheme).synchronous:
+                result = async_results[key]
+                if result is None:
+                    continue
+                entries.append(
+                    PlanEntry(
+                        scheme=cfg.scheme,
+                        width=cfg.width,
+                        depth=cfg.depth,
+                        micro_batch=cfg.micro_batch,
+                        num_micro_batches=result.num_micro_batches,
+                        recompute=result.recompute,
+                        iteration_time=result.iteration_time,
+                        throughput=result.throughput,
+                        bubble_ratio=result.bubble_ratio,
+                        peak_memory_bytes=result.peak_memory_bytes,
+                    )
+                )
+                continue
+            iteration, bubble, sched_n = sync_results[key]
+            samples = sched_n * cfg.micro_batch * cfg.width
             entries.append(
                 PlanEntry(
                     scheme=cfg.scheme,
                     width=cfg.width,
                     depth=cfg.depth,
                     micro_batch=cfg.micro_batch,
-                    num_micro_batches=result.num_micro_batches,
-                    recompute=result.recompute,
-                    iteration_time=result.iteration_time,
-                    throughput=result.throughput,
-                    bubble_ratio=result.bubble_ratio,
-                    peak_memory_bytes=result.peak_memory_bytes,
+                    num_micro_batches=cfg.num_micro_batches(),
+                    recompute=bool(cfg.recompute),
+                    iteration_time=iteration,
+                    throughput=samples / iteration
+                    if iteration > 0
+                    else float("inf"),
+                    bubble_ratio=bubble,
+                    peak_memory_bytes=report.peak_bytes,
                 )
             )
-            continue
-        sync_members.append((cfg, report))
-
-    if not sync_members:
-        return entries
-
-    items = []
-    graphs = []
-    for cfg, _ in sync_members:
-        arts = config_artifacts(cfg, bool(cfg.recompute))
-        schedule = arts.schedule_for(cfg.lowered, cfg.fused)
-        graphs.append(arts.graph_for(cfg.lowered, cfg.fused))
-        items.append(
-            (
-                schedule,
-                calibrate_cost_model(
-                    cfg.machine,
-                    cfg.workload,
-                    depth=schedule.num_stages,
-                    micro_batch=cfg.micro_batch,
-                    data_parallel_width=cfg.width,
-                ),
-            )
-        )
-    batch = simulate_batch_many(items, graphs=graphs)
-    for k, (cfg, report) in enumerate(sync_members):
-        entries.append(
-            PlanEntry(
-                scheme=cfg.scheme,
-                width=cfg.width,
-                depth=cfg.depth,
-                micro_batch=cfg.micro_batch,
-                num_micro_batches=cfg.num_micro_batches(),
-                recompute=bool(cfg.recompute),
-                iteration_time=float(batch.iteration_time[k]),
-                throughput=batch.throughput(
-                    k, micro_batch=cfg.micro_batch, width=cfg.width
-                ),
-                bubble_ratio=batch.bubble_ratio(k),
-                peak_memory_bytes=report.peak_bytes,
-            )
-        )
-    return entries
+        out[id(pruned)] = entries
+    return out
 
 
 # --------------------------------------------------------------------------

@@ -38,6 +38,17 @@ the array kernel) attach to the graph and are themselves immutable caches.
 Builder options that are not hashable bypass the cache entirely (the
 artifacts are built fresh and not retained), so exotic callers never
 break — they just don't get memoization.
+
+Disk tier
+---------
+Beneath the LRU sits a persistent, content-addressed store
+(:mod:`repro.schedules.diskcache`): a memory miss consults the disk before
+building, and every derived form is written through as it materializes —
+including the dependency graphs with their dense/kernel attachments — so
+a restarted process (a fresh ``repro plan``, a redeployed ``repro serve``)
+resumes at warm-cache speed. The disk key is exactly the LRU key, the
+format is versioned, and corrupt entries are evicted on load, never
+propagated.
 """
 
 from __future__ import annotations
@@ -46,9 +57,11 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from types import MappingProxyType
+from typing import Callable
 
 from repro.common.errors import ReproError, ScheduleError
 from repro.schedules.dependencies import DependencyGraph, build_dependency_graph
+from repro.schedules.diskcache import DiskCacheStats, DiskScheduleCache
 from repro.schedules.ir import Schedule
 from repro.schedules.lowering import lower_schedule
 from repro.schedules.passes import FuseCommPass, pipeline_signature
@@ -84,9 +97,25 @@ class ScheduleArtifacts:
         "_fused",
         "_fused_graph",
         "_lock",
+        "_persist",
     )
 
-    def __init__(self, schedule: Schedule):
+    #: Serialized artifact slots, in materialization order. ``snapshot``
+    #: and ``from_snapshot`` iterate this list, so the disk payload layout
+    #: has one source of truth.
+    _SLOTS = (
+        ("graph", "_graph"),
+        ("lowered", "_lowered"),
+        ("lowered_graph", "_lowered_graph"),
+        ("fused", "_fused"),
+        ("fused_graph", "_fused_graph"),
+    )
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        persist: "Callable[[ScheduleArtifacts], None] | None" = None,
+    ):
         self.schedule = _freeze(schedule)
         self._graph: DependencyGraph | None = None
         self._lowered: Schedule | None = None
@@ -94,6 +123,36 @@ class ScheduleArtifacts:
         self._fused: Schedule | None = None
         self._fused_graph: DependencyGraph | None = None
         self._lock = threading.Lock()
+        self._persist = persist
+
+    def _persist_now(self) -> None:
+        """Write-through hook, fired after a derived form materializes."""
+        if self._persist is not None:
+            self._persist(self)
+
+    def snapshot(self) -> dict:
+        """Every materialized form, keyed by slot name (disk payload)."""
+        out: dict = {"schedule": self.schedule}
+        with self._lock:
+            for name, attr in self._SLOTS:
+                value = getattr(self, attr)
+                if value is not None:
+                    out[name] = value
+        return out
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        payload: dict,
+        persist: "Callable[[ScheduleArtifacts], None] | None" = None,
+    ) -> "ScheduleArtifacts":
+        """Rehydrate an entry from a disk payload (missing slots stay lazy)."""
+        arts = cls(payload["schedule"], persist=persist)
+        for name, attr in cls._SLOTS:
+            value = payload.get(name)
+            if value is not None:
+                setattr(arts, attr, value)
+        return arts
 
     def graph(self) -> DependencyGraph:
         """Dependency graph of the (implicit-communication) schedule."""
@@ -102,6 +161,7 @@ class ScheduleArtifacts:
             with self._lock:
                 if self._graph is None:
                     self._graph = graph
+            self._persist_now()
         return self._graph
 
     def lowered(self) -> Schedule:
@@ -120,6 +180,7 @@ class ScheduleArtifacts:
             with self._lock:
                 if self._lowered_graph is None:
                     self._lowered_graph = graph
+            self._persist_now()
         return self._lowered_graph
 
     def fused(self) -> Schedule:
@@ -138,6 +199,7 @@ class ScheduleArtifacts:
             with self._lock:
                 if self._fused_graph is None:
                     self._fused_graph = graph
+            self._persist_now()
         return self._fused_graph
 
     def schedule_for(self, lowered: bool, fused: bool = False) -> Schedule:
@@ -172,7 +234,14 @@ class ScheduleArtifacts:
         """
         from repro.sim.kernel import kernel_of
 
-        return kernel_of(self.graph_for(lowered, fused))
+        graph = self.graph_for(lowered, fused)
+        fresh = getattr(graph, "_kernel", None) is None
+        kernel = kernel_of(graph)
+        if fresh:
+            # The kernel rides on the graph in the pickled payload; persist
+            # again so a warm process skips levelization too.
+            self._persist_now()
+        return kernel
 
 
 @dataclass(frozen=True)
@@ -187,14 +256,29 @@ class CacheStats:
     def lookups(self) -> int:
         return self.hits + self.misses
 
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
 
 class ScheduleCache:
-    """Bounded LRU of :class:`ScheduleArtifacts`, keyed on builder inputs."""
+    """Bounded LRU of :class:`ScheduleArtifacts`, keyed on builder inputs.
 
-    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+    ``disk`` layers a persistent tier beneath the LRU: memory misses
+    consult it before building, built entries write through to it as
+    their derived forms materialize. ``disk=None`` runs memory-only.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        *,
+        disk: DiskScheduleCache | None = None,
+    ):
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
+        self.disk = disk
         self._entries: OrderedDict[tuple, ScheduleArtifacts] = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
@@ -249,11 +333,10 @@ class ScheduleCache:
                 self._entries.move_to_end(key)
                 return entry
             self._misses += 1
-        # Build outside the lock: builders can take seconds at depth 32,
-        # and a concurrent duplicate build is harmless (first insert wins).
-        entry = ScheduleArtifacts(
-            build_schedule(scheme, depth, num_micro_batches, **options)
-        )
+        # Build (or load from disk) outside the lock: builders can take
+        # seconds at depth 32, and a concurrent duplicate is harmless
+        # (first insert wins).
+        entry = self._load_or_build(key, scheme, depth, num_micro_batches, options)
         with self._lock:
             existing = self._entries.get(key)
             if existing is not None:
@@ -261,6 +344,36 @@ class ScheduleCache:
             self._entries[key] = entry
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+        return entry
+
+    def _load_or_build(
+        self,
+        key: tuple,
+        scheme: str,
+        depth: int,
+        num_micro_batches: int,
+        options: dict,
+    ) -> ScheduleArtifacts:
+        """Disk-tier lookup, falling back to a fresh build (write-through)."""
+        persist = None
+        if self.disk is not None:
+            disk = self.disk
+
+            def persist(arts: ScheduleArtifacts, _key=key) -> None:
+                disk.store(_key, arts.snapshot())
+
+            payload = disk.load(key)
+            if payload is not None:
+                try:
+                    return ScheduleArtifacts.from_snapshot(payload, persist=persist)
+                except (KeyError, TypeError, AttributeError, ReproError):
+                    pass  # malformed payload: rebuild below
+        entry = ScheduleArtifacts(
+            build_schedule(scheme, depth, num_micro_batches, **options),
+            persist=persist,
+        )
+        if persist is not None:
+            persist(entry)
         return entry
 
     def clear(self) -> None:
@@ -277,9 +390,11 @@ class ScheduleCache:
 
 
 #: The process-wide default cache used by the memoized entry points below
-#: (and, through them, by the experiment harness, the planner, and the
-#: benchmark suite).
-SCHEDULE_CACHE = ScheduleCache()
+#: (and, through them, by the experiment harness, the planner, the serve
+#: layer, and the benchmark suite). Its disk tier resolves its directory
+#: lazily from ``REPRO_CACHE_DIR`` (default ``~/.cache/repro``) and can be
+#: disabled with ``REPRO_CACHE_DISABLE=1``.
+SCHEDULE_CACHE = ScheduleCache(disk=DiskScheduleCache())
 
 
 def schedule_artifacts(
@@ -296,11 +411,25 @@ def cached_build_schedule(
     return schedule_artifacts(scheme, depth, num_micro_batches, **options).schedule
 
 
-def clear_schedule_cache() -> None:
-    """Reset the process-wide cache (tests, long-lived services)."""
+def clear_schedule_cache(*, disk: bool = False) -> int:
+    """Reset the process-wide cache (tests, long-lived services).
+
+    ``disk=True`` also deletes the persistent tier's entries; returns how
+    many disk files were removed (0 for a memory-only clear).
+    """
     SCHEDULE_CACHE.clear()
+    if disk and SCHEDULE_CACHE.disk is not None:
+        return SCHEDULE_CACHE.disk.clear()
+    return 0
 
 
 def schedule_cache_stats() -> CacheStats:
     """Counters of the process-wide cache."""
     return SCHEDULE_CACHE.stats()
+
+
+def disk_cache_stats() -> DiskCacheStats | None:
+    """Counters/footprint of the process-wide disk tier (None if absent)."""
+    if SCHEDULE_CACHE.disk is None:
+        return None
+    return SCHEDULE_CACHE.disk.stats()

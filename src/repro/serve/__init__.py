@@ -1,0 +1,20 @@
+"""Planner-as-a-service: the ``repro serve`` HTTP/JSON layer.
+
+:mod:`repro.serve.service` is the transport-free core — JSON payload
+validation into :class:`~repro.perf.planner.PlanRequest`, bounded-
+concurrency admission (backpressure via
+:class:`~repro.common.errors.ServiceOverloadError`), per-request timing,
+and service counters. :mod:`repro.serve.http` wraps it in a stdlib
+:class:`http.server.ThreadingHTTPServer` with graceful shutdown. Both are
+dependency-free beyond the standard library, like the rest of the repo.
+"""
+
+from repro.serve.service import PlannerService, ServiceStats
+from repro.serve.http import PlannerHTTPServer, serve_forever
+
+__all__ = [
+    "PlannerService",
+    "ServiceStats",
+    "PlannerHTTPServer",
+    "serve_forever",
+]

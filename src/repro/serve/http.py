@@ -1,0 +1,162 @@
+"""Stdlib HTTP/JSON transport for the planner service.
+
+Endpoints
+---------
+``GET /healthz``
+    Liveness probe; ``{"ok": true}``.
+``GET /stats``
+    Service counters plus schedule-cache and disk-cache statistics.
+``POST /plan``
+    One request object; responds with a ranked entry list (or 400 with
+    the validation message, 422-style plan failures come back as
+    ``{"ok": false, "error": ...}`` with status 200 — the request was
+    valid, the search space was empty).
+``POST /plan_many``
+    A JSON array of request objects; one :func:`repro.perf.planner.plan_many`
+    call, one result object per request, order-preserving.
+
+Overload (every admission slot busy) maps to 503, malformed JSON and
+validation failures to 400, oversized bodies to 413, everything else to a
+500 whose body carries the exception type. Shutdown is graceful:
+``SIGINT``/``SIGTERM`` stop the accept loop and in-flight handlers drain
+before the process exits.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.common.errors import ConfigurationError, ServiceOverloadError
+from repro.serve.service import PlannerService
+
+#: Reject request bodies beyond this size before reading them fully.
+MAX_BODY_BYTES = 8 * 2**20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the :class:`PlannerService` on the server."""
+
+    server: "PlannerHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------- plumbing
+    def log_message(self, format: str, *args: object) -> None:
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> object:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            raise _TooLarge(length)
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw or b"null")
+        except json.JSONDecodeError as err:
+            raise ConfigurationError(f"request body is not valid JSON: {err}")
+
+    # ------------------------------------------------------------- routing
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        if self.path == "/healthz":
+            self._send_json(200, {"ok": True})
+        elif self.path == "/stats":
+            self._send_json(200, self.server.service.stats_json())
+        else:
+            self._send_json(404, {"ok": False, "error": f"no route {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        service = self.server.service
+        try:
+            payload = self._read_json()
+            if self.path == "/plan":
+                self._send_json(200, service.plan(payload))
+            elif self.path == "/plan_many":
+                self._send_json(200, service.plan_batch(payload))
+            else:
+                self._send_json(
+                    404, {"ok": False, "error": f"no route {self.path}"}
+                )
+        except _TooLarge as err:
+            self._send_json(
+                413,
+                {
+                    "ok": False,
+                    "error": f"body of {err.length} bytes exceeds "
+                    f"{MAX_BODY_BYTES}",
+                },
+            )
+        except ServiceOverloadError as err:
+            self._send_json(503, {"ok": False, "error": str(err)})
+        except ConfigurationError as err:
+            self._send_json(400, {"ok": False, "error": str(err)})
+        except Exception as err:  # pragma: no cover - defensive 500
+            self._send_json(
+                500, {"ok": False, "error": f"{type(err).__name__}: {err}"}
+            )
+
+
+class _TooLarge(Exception):
+    def __init__(self, length: int):
+        self.length = length
+
+
+class PlannerHTTPServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one :class:`PlannerService`.
+
+    ``daemon_threads`` is False on purpose: ``shutdown()`` stops the
+    accept loop and then joins in-flight handler threads, so a SIGTERM
+    never truncates a response mid-write.
+    """
+
+    daemon_threads = False
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: PlannerService | None = None,
+        *,
+        verbose: bool = False,
+    ):
+        super().__init__(address, _Handler)
+        self.service = service if service is not None else PlannerService()
+        self.verbose = verbose
+
+
+def serve_forever(
+    host: str = "127.0.0.1",
+    port: int = 8473,
+    *,
+    service: PlannerService | None = None,
+    verbose: bool = True,
+    install_signal_handlers: bool = True,
+) -> None:
+    """Run the planner service until SIGINT/SIGTERM, then drain and exit."""
+    server = PlannerHTTPServer((host, port), service, verbose=verbose)
+    done = threading.Event()
+
+    def _stop(signum: int, frame: object) -> None:
+        # shutdown() must not run on the serve_forever thread; hand it off.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+        done.set()
+
+    if install_signal_handlers:
+        signal.signal(signal.SIGINT, _stop)
+        signal.signal(signal.SIGTERM, _stop)
+    host_shown, port_shown = server.server_address[:2]
+    print(f"repro serve: listening on http://{host_shown}:{port_shown}")
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+        if verbose:
+            print("repro serve: drained, bye")

@@ -1,0 +1,329 @@
+"""Transport-free core of the planner service.
+
+Validates untrusted JSON payloads into
+:class:`~repro.perf.planner.PlanRequest` objects (every rejection is a
+distinguished :class:`~repro.common.errors.ConfigurationError` naming the
+offending field and the accepted values), admits at most a bounded number
+of in-flight plan computations (shedding load with
+:class:`~repro.common.errors.ServiceOverloadError` beyond that), and
+returns JSON-ready response dictionaries with per-request wall-clock
+timing. The HTTP layer (:mod:`repro.serve.http`) is a thin adapter over
+this class; tests drive it directly without sockets.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.bench.machines import MACHINES
+from repro.bench.workloads import WORKLOADS
+from repro.common.errors import ConfigurationError, ServiceOverloadError
+from repro.perf.planner import (
+    DEFAULT_PLAN_WORKERS,
+    PlanEntry,
+    PlanOutcome,
+    PlanRequest,
+    plan_many,
+)
+from repro.schedules.registry import available_schemes
+
+#: Default bound on concurrently admitted plan computations.
+DEFAULT_MAX_INFLIGHT = 8
+
+#: Upper bound on the number of requests in one ``plan_many`` payload —
+#: a single batch is one admission slot, so this caps per-call work.
+DEFAULT_MAX_BATCH = 4096
+
+_REQUEST_FIELDS = {
+    "machine",
+    "workload",
+    "num_workers",
+    "mini_batch",
+    "memory_budget_bytes",
+    "schemes",
+    "min_depth",
+    "max_micro_batch",
+    "lowered",
+    "fused",
+    "recompute",
+    "top_k",
+}
+
+
+def _require_int(payload: dict, key: str, *, default: object = None) -> object:
+    value = payload.get(key, default)
+    if value is default and default is not None:
+        return default
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ConfigurationError(
+            f"field '{key}' must be an integer, got {value!r}"
+        )
+    return value
+
+
+def parse_plan_request(payload: object) -> PlanRequest:
+    """Validate one JSON request object into a :class:`PlanRequest`.
+
+    Raises
+    ------
+    ConfigurationError
+        Naming the missing/unknown field, the bad type, or the unknown
+        machine/workload together with the accepted names — the message
+        is the HTTP 400 body, so it has to be actionable on its own.
+    """
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"request must be a JSON object, got {type(payload).__name__}"
+        )
+    unknown = sorted(set(payload) - _REQUEST_FIELDS)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown request field(s) {unknown}; accepted fields are "
+            f"{sorted(_REQUEST_FIELDS)}"
+        )
+    for required in ("machine", "workload", "num_workers", "mini_batch"):
+        if required not in payload:
+            raise ConfigurationError(f"missing required field '{required}'")
+
+    machine_name = payload["machine"]
+    machine = MACHINES.get(machine_name)
+    if machine is None:
+        raise ConfigurationError(
+            f"unknown machine {machine_name!r}; available machines: "
+            f"{sorted(MACHINES)}"
+        )
+    workload_name = payload["workload"]
+    workload = WORKLOADS.get(workload_name)
+    if workload is None:
+        raise ConfigurationError(
+            f"unknown workload {workload_name!r}; available workloads: "
+            f"{sorted(WORKLOADS)}"
+        )
+
+    num_workers = _require_int(payload, "num_workers")
+    mini_batch = _require_int(payload, "mini_batch")
+
+    budget = payload.get("memory_budget_bytes")
+    if budget is not None and (
+        not isinstance(budget, (int, float)) or isinstance(budget, bool)
+    ):
+        raise ConfigurationError(
+            f"field 'memory_budget_bytes' must be a number or null, "
+            f"got {budget!r}"
+        )
+
+    schemes = payload.get("schemes")
+    if schemes is not None:
+        if not isinstance(schemes, (list, tuple)) or not all(
+            isinstance(s, str) for s in schemes
+        ):
+            raise ConfigurationError(
+                f"field 'schemes' must be a list of scheme names, got "
+                f"{schemes!r}; registered schemes: {list(available_schemes())}"
+            )
+        schemes = tuple(schemes)
+
+    for flag in ("lowered", "fused"):
+        if flag in payload and not isinstance(payload[flag], bool):
+            raise ConfigurationError(
+                f"field '{flag}' must be a boolean, got {payload[flag]!r}"
+            )
+    recompute = payload.get("recompute")
+    if recompute is not None and not isinstance(recompute, bool):
+        raise ConfigurationError(
+            f"field 'recompute' must be a boolean or null, got {recompute!r}"
+        )
+    top_k = payload.get("top_k")
+    if top_k is not None:
+        top_k = _require_int(payload, "top_k")
+
+    return PlanRequest(
+        machine=machine,
+        workload=workload,
+        num_workers=num_workers,
+        mini_batch=mini_batch,
+        memory_budget_bytes=budget,
+        schemes=schemes,
+        min_depth=_require_int(payload, "min_depth", default=2),
+        max_micro_batch=_require_int(payload, "max_micro_batch", default=512),
+        lowered=payload.get("lowered", True),
+        fused=payload.get("fused", False),
+        recompute=recompute,
+        top_k=top_k,
+    )
+
+
+def entry_to_json(entry: PlanEntry) -> dict:
+    """One ranked configuration as a JSON-ready dictionary."""
+    return {
+        "label": entry.label(),
+        "scheme": entry.scheme,
+        "width": entry.width,
+        "depth": entry.depth,
+        "micro_batch": entry.micro_batch,
+        "num_micro_batches": entry.num_micro_batches,
+        "recompute": entry.recompute,
+        "iteration_time": entry.iteration_time,
+        "throughput": entry.throughput,
+        "bubble_ratio": entry.bubble_ratio,
+        "peak_memory_bytes": entry.peak_memory_bytes,
+    }
+
+
+def outcome_to_json(outcome: PlanOutcome) -> dict:
+    """One per-request outcome: a ranking or a structured error."""
+    if outcome.error is not None:
+        return {"ok": False, "error": str(outcome.error)}
+    return {
+        "ok": True,
+        "entries": [entry_to_json(e) for e in outcome.entries],
+    }
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Cumulative counters of one :class:`PlannerService`."""
+
+    requests: int
+    batches: int
+    rejected_overload: int
+    rejected_invalid: int
+    plan_errors: int
+    busy_seconds: float
+
+
+class PlannerService:
+    """Bounded-concurrency planning core shared by every transport.
+
+    ``max_inflight`` admission slots are taken per *call* (a batch counts
+    once — its internal parallelism is :func:`plan_many`'s worker pool).
+    When every slot is busy the service sheds load immediately instead of
+    queueing unboundedly: the caller gets
+    :class:`~repro.common.errors.ServiceOverloadError` (HTTP 503) and is
+    expected to retry with backoff.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        plan_workers: int = DEFAULT_PLAN_WORKERS,
+    ):
+        if max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if max_batch < 1:
+            raise ConfigurationError(f"max_batch must be >= 1, got {max_batch}")
+        self.max_inflight = max_inflight
+        self.max_batch = max_batch
+        self.plan_workers = plan_workers
+        self._slots = threading.Semaphore(max_inflight)
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._batches = 0
+        self._rejected_overload = 0
+        self._rejected_invalid = 0
+        self._plan_errors = 0
+        self._busy_seconds = 0.0
+
+    # ----------------------------------------------------------- endpoints
+    def plan(self, payload: object) -> dict:
+        """Plan one request; the response embeds per-request timing."""
+        response = self.plan_batch([payload])
+        (result,) = response["results"]
+        result["elapsed_s"] = response["elapsed_s"]
+        return result
+
+    def plan_batch(self, payloads: object) -> dict:
+        """Plan a batch of requests as one :func:`plan_many` call."""
+        if not isinstance(payloads, (list, tuple)):
+            with self._lock:
+                self._rejected_invalid += 1
+            raise ConfigurationError(
+                f"batch body must be a JSON array of request objects, got "
+                f"{type(payloads).__name__}"
+            )
+        if len(payloads) > self.max_batch:
+            with self._lock:
+                self._rejected_invalid += 1
+            raise ConfigurationError(
+                f"batch of {len(payloads)} exceeds max_batch="
+                f"{self.max_batch}; split the batch"
+            )
+        try:
+            requests = [parse_plan_request(p) for p in payloads]
+        except ConfigurationError:
+            with self._lock:
+                self._rejected_invalid += 1
+            raise
+        if not self._slots.acquire(blocking=False):
+            with self._lock:
+                self._rejected_overload += 1
+            raise ServiceOverloadError(
+                f"planner at capacity ({self.max_inflight} in-flight "
+                f"requests); retry with backoff"
+            )
+        start = time.perf_counter()
+        try:
+            outcomes = plan_many(requests, max_workers=self.plan_workers)
+        finally:
+            self._slots.release()
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self._requests += len(requests)
+                self._batches += 1
+                self._busy_seconds += elapsed
+        with self._lock:
+            self._plan_errors += sum(1 for o in outcomes if not o.ok)
+        return {
+            "results": [outcome_to_json(o) for o in outcomes],
+            "elapsed_s": elapsed,
+        }
+
+    # --------------------------------------------------------------- stats
+    def stats(self) -> ServiceStats:
+        with self._lock:
+            return ServiceStats(
+                requests=self._requests,
+                batches=self._batches,
+                rejected_overload=self._rejected_overload,
+                rejected_invalid=self._rejected_invalid,
+                plan_errors=self._plan_errors,
+                busy_seconds=self._busy_seconds,
+            )
+
+    def stats_json(self) -> dict:
+        stats = self.stats()
+        from repro.schedules.cache import disk_cache_stats, schedule_cache_stats
+
+        mem = schedule_cache_stats()
+        disk = disk_cache_stats()
+        payload = {
+            "requests": stats.requests,
+            "batches": stats.batches,
+            "rejected_overload": stats.rejected_overload,
+            "rejected_invalid": stats.rejected_invalid,
+            "plan_errors": stats.plan_errors,
+            "busy_seconds": stats.busy_seconds,
+            "schedule_cache": {
+                "hits": mem.hits,
+                "misses": mem.misses,
+                "entries": mem.entries,
+                "hit_rate": mem.hit_rate,
+            },
+        }
+        if disk is not None:
+            payload["disk_cache"] = {
+                "hits": disk.hits,
+                "misses": disk.misses,
+                "stores": disk.stores,
+                "evictions": disk.evictions,
+                "entries": disk.entries,
+                "total_bytes": disk.total_bytes,
+                "hit_rate": disk.hit_rate,
+            }
+        return payload

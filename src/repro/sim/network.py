@@ -113,11 +113,25 @@ def _channel_id_array(
 
 
 class FlatTopology:
-    """All worker pairs share one link class."""
+    """All worker pairs share one link class.
+
+    Compares (and hashes) by value: two topologies with the same link and
+    duplex mode are interchangeable, which is what lets cost models built
+    from the same machine spec deduplicate in batched planning.
+    """
 
     def __init__(self, link: LinkSpec, *, duplex: str = "full"):
         self.link = link
         self.duplex = _check_duplex(duplex)
+
+    def _key(self) -> tuple:
+        return (FlatTopology, self.link, self.duplex)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FlatTopology) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
 
     def p2p_time(self, src: int, dst: int, num_bytes: float) -> float:
         """Point-to-point message time between two workers."""
@@ -163,6 +177,7 @@ class HierarchicalTopology:
 
     Workers ``[k * gpus_per_node, (k+1) * gpus_per_node)`` share node ``k``
     (e.g. 8 V100s behind NVLink, nodes connected by InfiniBand).
+    Compares and hashes by value, like :class:`FlatTopology`.
     """
 
     def __init__(
@@ -179,6 +194,24 @@ class HierarchicalTopology:
         self.inter = inter
         self.gpus_per_node = gpus_per_node
         self.duplex = _check_duplex(duplex)
+
+    def _key(self) -> tuple:
+        return (
+            HierarchicalTopology,
+            self.intra,
+            self.inter,
+            self.gpus_per_node,
+            self.duplex,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, HierarchicalTopology)
+            and self._key() == other._key()
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._key())
 
     def node_of(self, worker: int) -> int:
         return worker // self.gpus_per_node

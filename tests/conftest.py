@@ -8,6 +8,26 @@ import pytest
 from repro.models.transformer import TransformerLMConfig
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_disk_cache(tmp_path_factory):
+    """Route the persistent schedule cache into a per-session tmp dir.
+
+    The process-wide cache's disk tier resolves ``REPRO_CACHE_DIR``
+    lazily, so pointing the variable at a throwaway directory isolates
+    the suite from (and never pollutes) the user's ``~/.cache/repro``.
+    """
+    import os
+
+    root = tmp_path_factory.mktemp("repro-cache")
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(root)
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
 @pytest.fixture
 def tiny_config() -> TransformerLMConfig:
     """A 4-block transformer small enough for exhaustive comparisons."""

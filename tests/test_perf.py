@@ -158,25 +158,18 @@ class TestCalibration:
             assert cost.grad_bytes(stage) == pytest.approx(4.0 * p.params)
 
 
-class TestSelectorShim:
-    def test_deprecated_module_reexports_planner_objects(self):
-        """repro.perf.selector is a thin DeprecationWarning shim over the
-        planner (the §3.4 procedure moved there in this refactor)."""
+class TestSelectorRemoval:
+    def test_deprecated_shim_is_gone(self):
+        """The repro.perf.selector deprecation shim was retired; the §3.4
+        objects live in (and only in) repro.perf.planner."""
         import importlib
         import sys
-        import warnings
 
         sys.modules.pop("repro.perf.selector", None)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            shim = importlib.import_module("repro.perf.selector")
-        assert any(
-            issubclass(w.category, DeprecationWarning)
-            and "repro.perf.planner" in str(w.message)
-            for w in caught
-        )
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.perf.selector")
         from repro.perf import planner
 
-        assert shim.select_configuration is planner.select_configuration
-        assert shim.greedy_micro_batch is planner.greedy_micro_batch
-        assert shim.ConfigCandidate is planner.ConfigCandidate
+        assert callable(planner.select_configuration)
+        assert callable(planner.greedy_micro_batch)
+        assert planner.ConfigCandidate is not None

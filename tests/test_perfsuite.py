@@ -9,6 +9,10 @@ scheme list.
 
 import copy
 import json
+import os
+import pathlib
+import subprocess
+import sys
 
 import pytest
 
@@ -169,8 +173,9 @@ def test_acceptance_batch_speedup_at_d16():
     *contended* cases, where the event engine pays per-event channel
     bookkeeping while the kernel's FIFO serialization stays in one
     vectorized sweep. Makespan parity is enforced inside ``run_case``
-    (it raises beyond 1e-9), fused-vs-lowered parity in ``run_suite``."""
-    payload = perfsuite.run_suite(depths=(16,), repeats=2)
+    (it raises beyond 1e-9), fused-vs-lowered parity in ``run_suite``.
+    The planner load harness has its own acceptance test below."""
+    payload = perfsuite.run_suite(depths=(16,), repeats=2, planner=False)
     assert len(payload["cases"]) == len(available_schemes()) * 5
     worst = payload["summary"]["d16_batch_speedup_min"]
     assert worst >= 3.0, f"batch path only {worst:.1f}x the event engine"
@@ -198,29 +203,36 @@ def test_contended_floor_trips_checker(small_payload):
 COMM_HEAVY = ("gpipe", "dapple", "gems", "chimera", "pipedream_2bw", "zb_h1", "zb_v")
 
 
-def _fused_event_ratio(scheme: str, *, repeats: int = 5) -> float:
-    """Best-of interleaved lowered/fused event wall ratio at D=16, N=64.
+#: Fresh-process measurement of the lowered/fused event wall ratio.
+#: The two variants are timed back-to-back per repetition (best-of-5)
+#: so CPU frequency drift between schemes cannot bias the ratio, and the
+#: whole measurement runs in its own interpreter: heap state left behind
+#: by earlier in-process tests (suite caches, planner thread pools,
+#: allocator fragmentation) demonstrably narrows the fused advantage
+#: from ~1.25x to ~1.15x and flips the acceptance floor.
+FUSED_RATIO_SCRIPT = """\
+import gc
+import json
+import time
 
-    The two variants are timed back-to-back per repetition so CPU
-    frequency drift between suite cases cannot bias the ratio.
-    """
-    import gc
-    import time
+from repro.bench import perfsuite
+from repro.schedules.cache import ScheduleArtifacts
+from repro.schedules.registry import available_schemes, build_schedule
+from repro.sim.engine import simulate
 
-    from repro.schedules.cache import schedule_artifacts
-    from repro.sim.engine import simulate
-
-    arts = schedule_artifacts(scheme, 16, 64)
+REPEATS = 5
+cost = perfsuite.suite_cost_model()
+ratios = {}
+for scheme in available_schemes():
+    arts = ScheduleArtifacts(build_schedule(scheme, 16, 64))
     lowered, lg = arts.schedule_for(True), arts.graph_for(True)
     fused, fg = arts.schedule_for(True, True), arts.graph_for(True, True)
-    cost = perfsuite.suite_cost_model()
     simulate(lowered, cost, graph=lg)  # warm-up: dense forms build here
     simulate(fused, cost, graph=fg)
     best_lowered = best_fused = float("inf")
-    was_enabled = gc.isenabled()
     gc.disable()
     try:
-        for _ in range(repeats):
+        for _ in range(REPEATS):
             t0 = time.perf_counter()
             simulate(lowered, cost, graph=lg)
             best_lowered = min(best_lowered, time.perf_counter() - t0)
@@ -228,17 +240,35 @@ def _fused_event_ratio(scheme: str, *, repeats: int = 5) -> float:
             simulate(fused, cost, graph=fg)
             best_fused = min(best_fused, time.perf_counter() - t0)
     finally:
-        if was_enabled:
-            gc.enable()
-    return best_lowered / best_fused
+        gc.enable()
+    ratios[scheme] = best_lowered / best_fused
+    del arts, lowered, fused, lg, fg
+    gc.collect()
+print(json.dumps(ratios))
+"""
 
 
 def test_acceptance_fused_event_speedup_at_d16():
     """fuse_comm acceptance: batching each SEND/RECV pair into one
     transfer makes the event engine >= 1.2x faster per schedule (same
     logical workload, ~1/3 fewer events) at D=16, N=64 on the comm-heavy
-    schemes, and never slower on any scheme."""
-    ratios = {s: _fused_event_ratio(s) for s in available_schemes()}
+    schemes, and never slower on any scheme. Measured in a fresh
+    subprocess (see :data:`FUSED_RATIO_SCRIPT`)."""
+    root = pathlib.Path(__file__).resolve().parents[1]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(root / "src")
+    env["REPRO_CACHE_DISABLE"] = "1"
+    proc = subprocess.run(
+        [sys.executable, "-c", FUSED_RATIO_SCRIPT],
+        cwd=root,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    ratios = json.loads(proc.stdout)
+    assert set(ratios) == set(available_schemes())
     comm_heavy = {s: ratios[s] for s in COMM_HEAVY}
     worst = min(comm_heavy, key=comm_heavy.get)
     assert comm_heavy[worst] >= 1.2, (
@@ -248,6 +278,101 @@ def test_acceptance_fused_event_speedup_at_d16():
     floor = min(ratios, key=ratios.get)
     assert ratios[floor] >= 1.05, (
         f"fusion near-regressed on {floor}: {ratios[floor]:.2f}x"
+    )
+
+
+class TestPlannerSection:
+    """The schema-4 ``planner_qps`` load-harness section and its gates."""
+
+    def test_payload_carries_planner_section(self, small_payload):
+        planner = small_payload["planner_qps"]
+        assert planner["requests"] == perfsuite.QPS_FAST_REQUESTS
+        assert planner["distinct_requests"] < planner["requests"]
+        assert planner["plan_many_wall_s"] > 0
+        assert planner["plan_many_speedup"] > 1.0
+        assert planner["clients"] == perfsuite.QPS_CLIENTS
+        assert planner["client_batch"] == perfsuite.QPS_FAST_BATCH
+        assert planner["qps"] > 0
+        assert 0 < planner["p50_ms"] <= planner["p99_ms"]
+        assert 0.0 <= planner["schedule_cache_hit_rate"] <= 1.0
+        summary = small_payload["summary"]
+        assert summary["planner_qps"] == planner["qps"]
+        assert (
+            summary["planner_plan_many_speedup"]
+            == planner["plan_many_speedup"]
+        )
+        # The cache metadata block rides along on every payload.
+        cache = small_payload["schedule_cache"]
+        assert cache["hits"] + cache["misses"] > 0
+        assert 0.0 <= cache["hit_rate"] <= 1.0
+
+    def test_planner_false_drops_the_section(self):
+        payload = perfsuite.run_suite(**SMALL, planner=False)
+        assert "planner_qps" not in payload
+        assert "planner_qps" not in payload["summary"]
+
+    def test_plan_many_floor_trips_checker(self, small_payload):
+        """Like the contended floor: absolute, so an equally slow baseline
+        does not excuse it."""
+        slow = copy.deepcopy(small_payload)
+        slow["planner_qps"]["plan_many_speedup"] = (
+            perfsuite.PLAN_MANY_SPEEDUP_FLOOR - 0.1
+        )
+        violations = perfsuite.check_against(slow, slow)
+        assert any(
+            "plan_many" in v and "floor" in v for v in violations
+        ), violations
+
+    def test_qps_regression_trips_checker(self, small_payload):
+        slowed = copy.deepcopy(small_payload)
+        slowed["planner_qps"]["qps"] *= 0.7
+        violations = perfsuite.check_against(slowed, small_payload)
+        assert any("planner_qps: QPS regressed" in v for v in violations)
+        # 30% is invisible at a 40% tolerance.
+        assert not any(
+            "QPS regressed" in v
+            for v in perfsuite.check_against(
+                slowed, small_payload, tolerance=0.40
+            )
+        )
+
+    def test_missing_section_against_planner_baseline_trips(self, small_payload):
+        current = copy.deepcopy(small_payload)
+        del current["planner_qps"]
+        violations = perfsuite.check_against(current, small_payload)
+        assert any(
+            "planner_qps section disappeared" in v for v in violations
+        )
+        # ... but a planner-less baseline doesn't demand one.
+        baseline = copy.deepcopy(small_payload)
+        del baseline["planner_qps"]
+        assert perfsuite.check_against(baseline, baseline) == []
+
+    def test_injected_slowdown_drops_qps(self, small_payload):
+        """The CI self-test path: injection scales the planner walls, so
+        the measured QPS sinks and the normalized gate trips."""
+        slowed = perfsuite.run_planner_qps(fast=True, slowdown=3.0)
+        clean = small_payload["planner_qps"]
+        assert slowed["plan_many_wall_s"] > 0
+        assert slowed["qps"] < clean["qps"]
+
+
+def test_acceptance_plan_many_speedup_at_d16():
+    """Planner-service acceptance: the full 1000-request heterogeneous
+    stream (D=16-capable grids on both machine models), planned as one
+    ``plan_many`` batch, at least 5x
+    (:data:`perfsuite.PLAN_MANY_SPEEDUP_FLOOR`) faster than per-request
+    ``plan_configurations`` — with every entry verified 1e-9-identical to
+    the sequential reference inside ``run_planner_qps`` (it raises on any
+    divergence). The concurrent-client phase is skipped: QPS needs a
+    baseline to gate against, while this floor is absolute."""
+    section = perfsuite.run_planner_qps(fast=False, concurrent=False)
+    assert section["requests"] == perfsuite.QPS_REQUESTS
+    speedup = section["plan_many_speedup"]
+    assert speedup >= perfsuite.PLAN_MANY_SPEEDUP_FLOOR, (
+        f"plan_many only {speedup:.1f}x sequential planning "
+        f"(sequential {section['sequential_wall_s']:.1f}s extrapolated, "
+        f"batch {section['plan_many_wall_s']:.1f}s)"
     )
 
 

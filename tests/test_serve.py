@@ -1,0 +1,255 @@
+"""The ``repro serve`` service layer: validation, backpressure, HTTP.
+
+The transport-free :class:`~repro.serve.service.PlannerService` carries
+most of the behaviour (and most of the tests); one class drives the real
+:class:`~repro.serve.http.PlannerHTTPServer` over a loopback socket to
+pin the status-code mapping, the JSON shapes on the wire, and graceful
+shutdown.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.common.errors import ConfigurationError, ServiceOverloadError
+from repro.perf.planner import plan_configurations
+from repro.bench.machines import PIZ_DAINT
+from repro.bench.workloads import BERT48
+from repro.serve import PlannerHTTPServer, PlannerService
+from repro.serve.service import parse_plan_request
+
+GOOD = {
+    "machine": "piz-daint",
+    "workload": "bert-48",
+    "num_workers": 4,
+    "mini_batch": 16,
+    "schemes": ["chimera", "dapple"],
+}
+
+
+class TestParseValidation:
+    def test_good_payload_round_trips(self):
+        req = parse_plan_request(GOOD)
+        assert req.machine is PIZ_DAINT
+        assert req.workload is BERT48
+        assert req.schemes == ("chimera", "dapple")
+        assert req.min_depth == 2 and req.max_micro_batch == 512
+
+    @pytest.mark.parametrize(
+        "payload, fragment",
+        [
+            ([1, 2], "must be a JSON object"),
+            ({**GOOD, "frobnicate": 1}, "unknown request field(s) ['frobnicate']"),
+            ({k: v for k, v in GOOD.items() if k != "machine"},
+             "missing required field 'machine'"),
+            ({**GOOD, "machine": "cray-1"}, "available machines"),
+            ({**GOOD, "workload": "llama"}, "available workloads"),
+            ({**GOOD, "num_workers": "four"}, "'num_workers' must be an integer"),
+            ({**GOOD, "num_workers": True}, "'num_workers' must be an integer"),
+            ({**GOOD, "memory_budget_bytes": "2GiB"}, "'memory_budget_bytes'"),
+            ({**GOOD, "schemes": "chimera"}, "'schemes' must be a list"),
+            ({**GOOD, "schemes": [1]}, "'schemes' must be a list"),
+            ({**GOOD, "lowered": 1}, "'lowered' must be a boolean"),
+            ({**GOOD, "recompute": "yes"}, "'recompute' must be a boolean"),
+            ({**GOOD, "top_k": 1.5}, "'top_k' must be an integer"),
+        ],
+    )
+    def test_rejections_name_the_problem(self, payload, fragment):
+        with pytest.raises(ConfigurationError, match=None) as exc:
+            parse_plan_request(payload)
+        assert fragment in str(exc.value)
+
+
+class TestPlannerService:
+    def test_plan_matches_library_call(self):
+        service = PlannerService()
+        response = service.plan(GOOD)
+        assert response["ok"] is True
+        assert response["elapsed_s"] > 0
+        reference = plan_configurations(
+            PIZ_DAINT, BERT48, num_workers=4, mini_batch=16,
+            schemes=("chimera", "dapple"),
+        )
+        assert len(response["entries"]) == len(reference)
+        top, want = response["entries"][0], reference[0]
+        assert top["label"] == want.label()
+        assert top["throughput"] == want.throughput
+        assert top["iteration_time"] == want.iteration_time
+
+    def test_plan_failure_is_a_200_level_result_not_an_exception(self):
+        service = PlannerService()
+        response = service.plan({**GOOD, "num_workers": 1})
+        assert response["ok"] is False
+        assert "at least two workers" in response["error"]
+
+    def test_batch_preserves_order_and_isolates_errors(self):
+        service = PlannerService()
+        response = service.plan_batch([GOOD, {**GOOD, "num_workers": 1}, GOOD])
+        oks = [r["ok"] for r in response["results"]]
+        assert oks == [True, False, True]
+        assert response["results"][0] == response["results"][2]
+
+    def test_non_array_batch_rejected(self):
+        service = PlannerService()
+        with pytest.raises(ConfigurationError, match="JSON array"):
+            service.plan_batch(GOOD)
+        assert service.stats().rejected_invalid == 1
+
+    def test_max_batch_rejected(self):
+        service = PlannerService(max_batch=2)
+        with pytest.raises(ConfigurationError, match="max_batch"):
+            service.plan_batch([GOOD] * 3)
+
+    def test_backpressure_sheds_load(self):
+        """With the single admission slot held, the next call is shed with
+        ServiceOverloadError instead of queueing."""
+        service = PlannerService(max_inflight=1)
+        assert service._slots.acquire(blocking=False)  # occupy the slot
+        try:
+            with pytest.raises(ServiceOverloadError, match="at capacity"):
+                service.plan(GOOD)
+        finally:
+            service._slots.release()
+        assert service.stats().rejected_overload == 1
+        # The slot was not leaked: the next request goes through.
+        assert service.plan(GOOD)["ok"] is True
+
+    def test_invalid_payload_does_not_consume_a_slot(self):
+        service = PlannerService(max_inflight=1)
+        with pytest.raises(ConfigurationError):
+            service.plan({**GOOD, "machine": "cray-1"})
+        assert service.plan(GOOD)["ok"] is True
+        stats = service.stats()
+        assert stats.rejected_invalid == 1 and stats.rejected_overload == 0
+
+    def test_stats_counters_and_cache_block(self):
+        service = PlannerService()
+        service.plan(GOOD)
+        service.plan_batch([GOOD, {**GOOD, "num_workers": 1}])
+        stats = service.stats_json()
+        assert stats["requests"] == 3
+        assert stats["batches"] == 2
+        assert stats["plan_errors"] == 1
+        assert stats["busy_seconds"] > 0
+        assert 0.0 <= stats["schedule_cache"]["hit_rate"] <= 1.0
+        assert stats["disk_cache"]["entries"] >= 0
+        json.dumps(stats)  # wire-ready
+
+    def test_ctor_validation(self):
+        with pytest.raises(ConfigurationError, match="max_inflight"):
+            PlannerService(max_inflight=0)
+        with pytest.raises(ConfigurationError, match="max_batch"):
+            PlannerService(max_batch=0)
+
+
+@pytest.fixture(scope="class")
+def http_server():
+    server = PlannerHTTPServer(("127.0.0.1", 0), PlannerService())
+    thread = threading.Thread(target=server.serve_forever)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield f"http://{host}:{port}"
+    finally:
+        server.shutdown()
+        thread.join(timeout=10)
+        server.server_close()
+        assert not thread.is_alive()
+
+
+def _post(url: str, body: bytes, headers: dict | None = None):
+    req = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json", **(headers or {})}
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def _get(url: str):
+    try:
+        with urllib.request.urlopen(url, timeout=60) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+class TestHTTP:
+    def test_healthz(self, http_server):
+        assert _get(f"{http_server}/healthz") == (200, {"ok": True})
+
+    def test_plan_endpoint(self, http_server):
+        status, body = _post(
+            f"{http_server}/plan", json.dumps(GOOD).encode()
+        )
+        assert status == 200 and body["ok"] is True
+        assert body["entries"][0]["throughput"] > 0
+
+    def test_plan_many_endpoint(self, http_server):
+        status, body = _post(
+            f"{http_server}/plan_many",
+            json.dumps([GOOD, {**GOOD, "num_workers": 1}]).encode(),
+        )
+        assert status == 200
+        assert [r["ok"] for r in body["results"]] == [True, False]
+
+    def test_validation_maps_to_400(self, http_server):
+        status, body = _post(
+            f"{http_server}/plan",
+            json.dumps({**GOOD, "machine": "cray-1"}).encode(),
+        )
+        assert status == 400
+        assert "available machines" in body["error"]
+
+    def test_bad_json_maps_to_400(self, http_server):
+        status, body = _post(f"{http_server}/plan", b"{not json")
+        assert status == 400
+        assert "not valid JSON" in body["error"]
+
+    def test_unknown_route_404(self, http_server):
+        assert _get(f"{http_server}/nope")[0] == 404
+        assert _post(f"{http_server}/nope", b"{}")[0] == 404
+
+    def test_oversized_body_maps_to_413(self, http_server):
+        from repro.serve.http import MAX_BODY_BYTES
+
+        status, body = _post(
+            f"{http_server}/plan",
+            b"{}",
+            headers={"Content-Length": str(MAX_BODY_BYTES + 1)},
+        )
+        assert status == 413
+
+    def test_stats_endpoint(self, http_server):
+        status, body = _get(f"{http_server}/stats")
+        assert status == 200
+        assert body["requests"] >= 1
+        assert "schedule_cache" in body
+
+    def test_overload_maps_to_503(self):
+        # A dedicated single-slot server whose slot we hold ourselves.
+        server = PlannerHTTPServer(
+            ("127.0.0.1", 0), PlannerService(max_inflight=1)
+        )
+        thread = threading.Thread(target=server.serve_forever)
+        thread.start()
+        try:
+            assert server.service._slots.acquire(blocking=False)
+            host, p = server.server_address[:2]
+            status, body = _post(
+                f"http://{host}:{p}/plan", json.dumps(GOOD).encode()
+            )
+            assert status == 503
+            assert "retry with backoff" in body["error"]
+        finally:
+            server.service._slots.release()
+            server.shutdown()
+            thread.join(timeout=10)
+            server.server_close()
