@@ -30,6 +30,8 @@ def main() -> None:
         f"(N={n} micro-batches per worker)\n"
     )
     for scheme in available_schemes():
+        if scheme_traits(scheme).cost_parameterized:
+            continue  # synthesized output depends on the cost model
         stages = scheme_traits(scheme).stage_count(DEPTH)
         if GPT2_32.num_layers % stages:
             print(f"{scheme}  (skipped: {GPT2_32.num_layers} layers do not "

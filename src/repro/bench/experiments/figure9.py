@@ -48,6 +48,8 @@ def run(fast: bool = True) -> str:
     for workload, width, depth, micro_batch, mini_batch in configs:
         body = []
         for scheme in available_schemes():
+            if scheme_traits(scheme).cost_parameterized:
+                continue  # memory profile depends on the cost model
             stages = scheme_traits(scheme).stage_count(depth)
             if workload.num_layers % stages:
                 body.append([scheme, "-", "-", "-", f"{stages} stages ∤ layers"])

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 from repro.bench.harness import format_table
 from repro.schedules.analysis import bubble_ratio_formula
-from repro.schedules.registry import available_schemes, build_schedule
+from repro.schedules.registry import available_schemes, build_schedule, scheme_traits
 from repro.sim.cost import CostModel
 from repro.sim.engine import simulate
 from repro.sim.memory import MemoryModel, analyze_memory
@@ -50,6 +50,8 @@ def rows(depth: int = 8, n: int = 8) -> list[Table2Row]:
     cost = CostModel.practical()
     memory = MemoryModel(activation_bytes=1.0, weight_bytes=1.0)
     for scheme in available_schemes():
+        if scheme_traits(scheme).cost_parameterized:
+            continue  # no single Table-2 row: output depends on the cost model
         schedule = build_schedule(scheme, depth, n)
         result = simulate(schedule, cost)
         report = analyze_memory(schedule, memory)

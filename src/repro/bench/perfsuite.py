@@ -76,7 +76,7 @@ from typing import Callable, Iterable, Sequence
 from repro.common.errors import ScheduleError
 from repro.bench.harness import format_table
 from repro.schedules.cache import schedule_artifacts
-from repro.schedules.registry import available_schemes
+from repro.schedules.registry import available_schemes, scheme_traits
 from repro.sim.cost import CostModel
 from repro.sim.engine import simulate
 from repro.sim.kernel import fast_path_supported, simulate_batch, simulate_fast
@@ -89,8 +89,12 @@ from repro.sim.network import FlatTopology, LinkSpec
 #: the contended-speedup summary keys with their absolute floor. 4: added
 #: the ``planner_qps`` load-harness section (QPS, p50/p99 latency,
 #: plan_many batch speedup with its absolute floor, cache hit rates) and
-#: the non-gating ``schedule_cache`` metadata block.
-SCHEMA_VERSION = 4
+#: the non-gating ``schedule_cache`` metadata block. 5: added the
+#: non-gating ``synthesize`` section (search-vs-built-ins comparison);
+#: the engine case grid is unchanged (cost-parameterized schemes are
+#: excluded from it by construction), so a v4 baseline stays valid after
+#: bumping its ``schema_version`` field alone.
+SCHEMA_VERSION = 5
 
 #: Full-suite grid: every registered scheme at these depths, N=64 — the
 #: acceptance grid of the array kernel (D=16, N=64 is the reference point).
@@ -139,6 +143,14 @@ QPS_FAST_SCHEMES = ("chimera", "dapple")
 #: table against the shared dense schedule.
 BATCH_VARIANTS = 8
 
+#: Grid points of the non-gating ``synthesize`` section: (depth, N).
+SYNTHESIZE_POINTS = ((4, 16), (8, 16))
+SYNTHESIZE_FAST_POINTS = ((4, 8),)
+#: Split-backward costs the section synthesizes under — deliberately
+#: asymmetric (b != w) so the search has something the hand-written
+#: recipes were not tuned for.
+SYNTHESIZE_COSTS = (1.0, 1.1, 0.9, 0.05)  # (f, b, w, comm)
+
 #: Makespan agreement required between the engines, and between a run and
 #: its baseline.
 MAKESPAN_ATOL = 1e-9
@@ -174,7 +186,12 @@ def suite_cases(
         depths = FAST_DEPTHS if fast else SUITE_DEPTHS
     n = FAST_MICRO_BATCHES if fast else SUITE_MICRO_BATCHES
     if schemes is None:
-        schemes = available_schemes()
+        # Cost-parameterized builders (synthesize) have no single schedule
+        # per (scheme, D, N), so they cannot be engine-suite cases; they
+        # get their own non-gating section (run_synthesize_block).
+        schemes = tuple(
+            s for s in available_schemes() if not scheme_traits(s).cost_parameterized
+        )
     return [
         BenchCase(scheme, depth, n, mode)
         for scheme in schemes
@@ -585,6 +602,72 @@ def run_planner_qps(
     return section
 
 
+def run_synthesize_block(*, fast: bool = False) -> dict:
+    """The non-gating ``synthesize`` section: search vs every built-in.
+
+    For each grid point, measures every non-parameterized scheme's
+    compute makespan and peak activation under the fixed
+    :data:`SYNTHESIZE_COSTS` model (one ``simulate_batch_many`` call),
+    then synthesizes a schedule with the *best* scheme's peak as its
+    memory budget and records how the search compares — speedup over the
+    best built-in, build wall time, the winning seed. Informational only:
+    ``check_against`` never gates on it (build time is search work, not
+    kernel work, and the match-or-beat property is pinned by the test
+    suite's acceptance battery instead).
+    """
+    from repro.schedules.cache import cached_build_schedule
+    from repro.schedules.registry import build_schedule
+    from repro.schedules.synthesize import peak_stash_units, synthesis_cost_model
+    from repro.sim.kernel import simulate_batch_many
+
+    f, b, w, comm = SYNTHESIZE_COSTS
+    model = synthesis_cost_model(f, b, w, comm)
+    schemes = [
+        s for s in available_schemes() if not scheme_traits(s).cost_parameterized
+    ]
+    points = []
+    for depth, n in (SYNTHESIZE_FAST_POINTS if fast else SYNTHESIZE_POINTS):
+        built, names = [], []
+        for scheme in schemes:
+            try:
+                built.append(cached_build_schedule(scheme, depth, n))
+                names.append(scheme)
+            except ScheduleError:
+                continue  # scheme structurally invalid at this (D, N)
+        batch = simulate_batch_many([(s, model) for s in built])
+        makespans = [float(m) for m in batch.compute_makespan]
+        best_k = min(range(len(names)), key=lambda k: makespans[k])
+        budget = peak_stash_units(built[best_k])
+        start = time.perf_counter()
+        synthesized = build_schedule(
+            "synthesize",
+            depth,
+            n,
+            f_time=f,
+            b_time=b,
+            w_time=w,
+            comm_time=comm,
+            memory_budget_units=budget,
+        )
+        build_s = time.perf_counter() - start
+        meta = synthesized.metadata
+        points.append(
+            {
+                "depth": depth,
+                "num_micro_batches": n,
+                "budget_units": budget,
+                "best_scheme": names[best_k],
+                "best_makespan": makespans[best_k],
+                "synthesize_makespan": float(meta["makespan"]),
+                "synthesize_peak_units": float(meta["peak_units"]),
+                "seed": meta["seed"],
+                "speedup_vs_best": makespans[best_k] / float(meta["makespan"]),
+                "build_wall_s": build_s,
+            }
+        )
+    return {"costs": list(SYNTHESIZE_COSTS), "points": points}
+
+
 def run_suite(
     *,
     fast: bool = False,
@@ -673,6 +756,7 @@ def run_suite(
         "cases": results,
         "schedule_cache": cache_meta,
         "summary": summary,
+        "synthesize": run_synthesize_block(fast=fast),
     }
     if planner_section is not None:
         payload["planner_qps"] = planner_section
@@ -882,5 +966,15 @@ def format_suite(payload: dict) -> str:
             f"plan_many {planner['plan_many_speedup']:.1f}x sequential "
             f"(floor {PLAN_MANY_SPEEDUP_FLOOR:.0f}x)"
         )
+    synthesize = payload.get("synthesize")
+    if synthesize:
+        for point in synthesize["points"]:
+            lines.append(
+                f"synthesize D={point['depth']} N={point['num_micro_batches']}: "
+                f"{point['speedup_vs_best']:.2f}x vs {point['best_scheme']} "
+                f"at {point['synthesize_peak_units']:g}/{point['budget_units']:g} "
+                f"Ma budget (seed {point['seed']}, "
+                f"built in {point['build_wall_s'] * 1e3:.0f} ms; non-gating)"
+            )
     lines.append(f"makespan checksum {summary['makespan_checksum'][:16]}…")
     return "\n".join(lines)

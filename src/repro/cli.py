@@ -10,13 +10,19 @@ Commands
               every registered scheme, prune by the memory model against
               an optional ``--budget-gib`` peak-memory budget, and rank
               the survivors with the contention-aware event-queue engine.
+``synthesize``  Search the (F, Bi, W) placement space directly for a
+              schedule under an explicit ``(f, b, w, comm)`` cost model
+              and peak-memory budget (``--budget-units``, in full-stage
+              activation stashes), validate it with the synthesized-
+              schedule rule set, and compare its makespan against every
+              hand-written scheme.
 ``bench``     Run the engine performance suite (event engine vs the array
               kernel's fast/batch paths over every registered scheme ×
               {implicit, lowered, fused, contended, contended_fused} —
               the contended modes use a nonzero-beta link model, so
               transfers queue per channel — plus the ``planner_qps``
-              load harness), write a schema-versioned (v4)
-              ``BENCH_<rev>.json``, and — with
+              load harness and the non-gating ``synthesize`` comparison),
+              write a schema-versioned (v5) ``BENCH_<rev>.json``, and — with
               ``--check-against benchmarks/baseline.json`` — fail on
               makespan mismatches, >20% throughput regressions, a D=16
               contended batch speedup below its 5x floor, a >20% planner
@@ -308,6 +314,66 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_synthesize(args: argparse.Namespace) -> int:
+    from repro.schedules.cache import cached_build_schedule
+    from repro.schedules.registry import scheme_traits
+    from repro.schedules.synthesize import peak_stash_units, synthesis_cost_model
+    from repro.schedules.validate import validate_synthesized_schedule
+    from repro.sim.kernel import simulate_batch_many
+
+    options: dict = {
+        "f_time": args.f_time,
+        "b_time": args.b_time,
+        "w_time": args.w_time,
+        "comm_time": args.comm_time,
+        "beam_width": args.beam_width,
+        "beam_rounds": args.beam_rounds,
+    }
+    if args.budget_units is not None:
+        options["memory_budget_units"] = args.budget_units
+    schedule = build_schedule(
+        "synthesize", args.depth, args.micro_batches, **options
+    )
+    validate_synthesized_schedule(schedule)
+    meta = schedule.metadata
+    print(
+        f"synthesized  : D={args.depth}, N={args.micro_batches}, "
+        f"costs (f={args.f_time:g}, b={args.b_time:g}, w={args.w_time:g}, "
+        f"comm={args.comm_time:g})"
+    )
+    budget = meta.get("memory_budget_units")
+    print(f"budget       : "
+          f"{'unconstrained' if budget is None else f'{budget:g} Ma/worker'}")
+    print(f"seed         : {meta['seed']} "
+          f"(+{meta['refinement_moves']} refinement moves)")
+    print(f"makespan     : {meta['makespan']:.4f} F_t")
+    print(f"peak memory  : {meta['peak_units']:g} Ma/worker")
+    print("validator    : clean (synthesized-schedule rules)")
+
+    model = synthesis_cost_model(
+        args.f_time, args.b_time, args.w_time, args.comm_time
+    )
+    rows = []
+    for scheme in available_schemes():
+        if scheme_traits(scheme).cost_parameterized:
+            continue
+        try:
+            other = cached_build_schedule(scheme, args.depth, args.micro_batches)
+        except Exception:
+            continue  # scheme structurally invalid at this (D, N)
+        rows.append((scheme, other, peak_stash_units(other)))
+    batch = simulate_batch_many([(s, model) for _, s, _ in rows])
+    print(f"\n{'scheme':<14} {'makespan':>10} {'peak Ma':>8}   vs synthesized")
+    for k, (scheme, _, peak) in enumerate(rows):
+        makespan = float(batch.compute_makespan[k])
+        ratio = makespan / meta["makespan"]
+        print(f"{scheme:<14} {makespan:>10.4f} {peak:>8g}   {ratio:.3f}x")
+    if args.show:
+        print()
+        print(render_gantt(schedule, cost_model=model))
+    return 0
+
+
 def cmd_figure(args: argparse.Namespace) -> int:
     print(FIGURES[args.name].run(fast=not args.full))
     return 0
@@ -456,9 +522,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_plan)
 
     p = sub.add_parser(
+        "synthesize",
+        help="search the (F, Bi, W) placement space for a schedule under "
+        "a cost model and memory budget",
+    )
+    p.add_argument("--depth", "-D", type=int, default=4)
+    p.add_argument("--micro-batches", "-N", type=int, default=8)
+    p.add_argument(
+        "--f-time", type=float, default=1.0, help="forward duration (F_t units)"
+    )
+    p.add_argument(
+        "--b-time", type=float, default=1.0, help="input-gradient duration"
+    )
+    p.add_argument(
+        "--w-time", type=float, default=1.0, help="weight-gradient duration"
+    )
+    p.add_argument(
+        "--comm-time",
+        type=float,
+        default=0.0,
+        help="per-hop activation/gradient message latency (0 = free links)",
+    )
+    p.add_argument(
+        "--budget-units",
+        type=float,
+        default=None,
+        help="peak live activation stashes per worker, in full-stage (Ma) "
+        "units (default: unconstrained)",
+    )
+    p.add_argument(
+        "--beam-width", type=int, default=4, help="beam-search width"
+    )
+    p.add_argument(
+        "--beam-rounds", type=int, default=3, help="beam refinement rounds"
+    )
+    p.add_argument(
+        "--show", action="store_true", help="render the result as ASCII Gantt"
+    )
+    p.set_defaults(func=cmd_synthesize)
+
+    p = sub.add_parser(
         "bench",
-        help="run the engine perf suite (incl. contended modes, schema v3) "
-        "/ check the CI gate",
+        help="run the engine perf suite (incl. contended modes and the "
+        "non-gating synthesize block, schema v5) / check the CI gate",
     )
     p.add_argument(
         "--output",

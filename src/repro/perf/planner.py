@@ -384,6 +384,56 @@ def plan_many(
     return [outcomes[request] for request in requests]
 
 
+def _parameterized_options(
+    request: PlanRequest, scheme: str, width: int, depth: int, micro_batch: int
+) -> dict[str, object]:
+    """Builder options for a cost-parameterized scheme at one grid point.
+
+    The hand-written schemes are built from ``(D, N)`` alone; a
+    cost-parameterized builder like ``synthesize`` additionally wants the
+    configuration's cost model and memory budget, so the planner derives
+    them from the same calibration the ranking uses: forward-relative
+    ``f/b/w`` ratios plus the boundary-message latency in forward units,
+    and — when the request carries a byte budget — the activation headroom
+    left after weights, converted to full-stage stash units. The options
+    flow into the schedule-cache key through the scheme's registered
+    ``builder_fingerprint``, so two grid points with different calibrated
+    costs never alias one cached schedule.
+    """
+    model = calibrate_cost_model(
+        request.machine,
+        request.workload,
+        depth=scheme_traits(scheme).stage_count(depth),
+        micro_batch=micro_batch,
+        data_parallel_width=width,
+    )
+    options: dict[str, object] = {
+        "f_time": 1.0,
+        "b_time": model.input_grad_ratio(),
+        "w_time": model.weight_grad_ratio(),
+        "comm_time": model.p2p_time(0, 1, 1.0) / model.forward_time,
+    }
+    budget = request.memory_budget_bytes
+    if budget is not None:
+        capacity = min(request.machine.usable_memory_bytes, budget)
+        memory = calibrate_memory_model(
+            request.machine, request.workload, depth=depth, micro_batch=micro_batch
+        )
+        act = memory.activation_bytes
+        weights = memory.weight_bytes
+        ma = sum(act) / depth if isinstance(act, tuple) else float(act)
+        per_worker_weights = (
+            sum(weights) / depth if isinstance(weights, tuple) else float(weights)
+        )
+        if ma > 0:
+            units = (capacity - per_worker_weights) / ma
+            # The builder rejects non-positive budgets; the planner's
+            # except-and-skip then drops the grid point, mirroring how an
+            # oversized hand-written candidate is pruned.
+            options["memory_budget_units"] = round(units, 6)
+    return options
+
+
 def _prune_request(request: PlanRequest, ctx: _PlanContext) -> _Pruned:
     """Validate one request and prune its grid by the memory model."""
     if request.num_workers < 2:
@@ -432,6 +482,11 @@ def _prune_request(request: PlanRequest, ctx: _PlanContext) -> _Pruned:
 
     pruned = _Pruned(request=request)
     for scheme, width, depth, micro_batch in grid:
+        options: dict[str, object] = {}
+        if scheme_traits(scheme).cost_parameterized:
+            options = _parameterized_options(
+                request, scheme, width, depth, micro_batch
+            )
         cfg = ExperimentConfig(
             scheme=scheme,
             machine=request.machine,
@@ -443,6 +498,7 @@ def _prune_request(request: PlanRequest, ctx: _PlanContext) -> _Pruned:
             lowered=request.lowered,
             fused=request.fused,
             memory_budget_bytes=request.memory_budget_bytes,
+            options=options,
         )
         # Prune before ranking: the memory verdict needs no simulation, so
         # OOM candidates never pay the simulation cost.

@@ -48,7 +48,15 @@ from repro.schedules.registry import (
     SchemeTraits,
     available_schemes,
     build_schedule,
+    builder_fingerprint,
+    register_scheme,
     scheme_traits,
+    unregister_scheme,
+)
+from repro.schedules.synthesize import (
+    build_synthesize_schedule,
+    peak_stash_units,
+    synthesis_cost_model,
 )
 from repro.schedules.lowering import is_lowered, lower_schedule
 from repro.schedules.passes import (
@@ -74,7 +82,7 @@ from repro.schedules.cache import (
     schedule_artifacts,
     schedule_cache_stats,
 )
-from repro.schedules.validate import validate_schedule
+from repro.schedules.validate import validate_schedule, validate_synthesized_schedule
 from repro.schedules.analysis import (
     bubble_ratio_formula,
     activation_interval_formula,
@@ -100,9 +108,15 @@ __all__ = [
     "build_zb_vmin_schedule",
     "stable_pattern",
     "build_schedule",
+    "build_synthesize_schedule",
+    "peak_stash_units",
+    "synthesis_cost_model",
     "available_schemes",
     "SchemeTraits",
     "scheme_traits",
+    "register_scheme",
+    "unregister_scheme",
+    "builder_fingerprint",
     "lower_schedule",
     "is_lowered",
     "DEFAULT_PASS_MANAGER",
@@ -125,6 +139,7 @@ __all__ = [
     "schedule_artifacts",
     "schedule_cache_stats",
     "validate_schedule",
+    "validate_synthesized_schedule",
     "bubble_ratio_formula",
     "activation_interval_formula",
     "weight_copies_formula",

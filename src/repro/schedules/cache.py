@@ -65,7 +65,7 @@ from repro.schedules.diskcache import DiskCacheStats, DiskScheduleCache
 from repro.schedules.ir import Schedule
 from repro.schedules.lowering import lower_schedule
 from repro.schedules.passes import FuseCommPass, pipeline_signature
-from repro.schedules.registry import build_schedule
+from repro.schedules.registry import build_schedule, builder_fingerprint
 
 #: Default bound on retained entries (LRU eviction beyond it). A cached
 #: entry holds the schedule plus up to three derived structures; bounding
@@ -299,23 +299,41 @@ class ScheduleCache:
         spelling of one pipeline maps to one entry. Unknown pass names
         make the spec unhashable-equivalent (no retention): the build
         itself will raise the real error.
+
+        Cost-parameterized schemes (``synthesize``) extend the key with
+        their registered ``builder_fingerprint``: the fingerprint
+        canonicalizes every builder option (defaults filled in), so it
+        *replaces* the raw builder options in the key — two different
+        cost models or budgets can never alias one entry, while an
+        explicit-default caller shares the no-options caller's entry.
+        The fingerprint is appended as a fifth element, so classic
+        schemes keep their existing 4-tuple keys (and therefore their
+        existing disk-tier content addresses). A fingerprint hook that
+        raises makes the invocation uncacheable; the build itself then
+        raises the authoritative error.
         """
         try:
+            fingerprint = builder_fingerprint(scheme, options)
             normalized = {}
             for k, v in options.items():
-                if k == "recompute" and v is False:
-                    continue
-                if k == "passes":
+                if k == "recompute":
+                    if v is False:
+                        continue
+                elif k == "passes":
                     sig = pipeline_signature(v)  # stable, hashable
                     if not sig:
                         continue
                     v = sig
+                elif fingerprint is not None:
+                    continue  # builder option: the fingerprint covers it
                 normalized[k] = v
             items = tuple(sorted(normalized.items()))
-            hash(items)
+            hash((items, fingerprint))
         except (TypeError, ReproError):
             return None
-        return (scheme, depth, num_micro_batches, items)
+        if fingerprint is None:
+            return (scheme, depth, num_micro_batches, items)
+        return (scheme, depth, num_micro_batches, items, fingerprint)
 
     def artifacts(
         self, scheme: str, depth: int, num_micro_batches: int, **options: object

@@ -94,12 +94,21 @@ class SchemeTraits:
         builder's output (before any requested ``recompute`` /
         ``passes``). Empty for schemes whose synchronization is
         scheme-managed inside the builder.
+    cost_parameterized:
+        True when the builder's output depends on more than
+        ``(depth, num_micro_batches)`` — e.g. the ``synthesize`` search,
+        whose schedule is a function of the cost model and memory budget.
+        Such schemes must register a ``builder_fingerprint`` hook so the
+        schedule cache can key on the extra parameters; sweeps that assume
+        one schedule per ``(scheme, D, N)`` (paper tables, the perf suite)
+        skip them.
     """
 
     stages_per_worker: int = 1
     requires_even_depth: bool = False
     synchronous: bool = True
     default_passes: tuple[str, ...] = ("insert_sync",)
+    cost_parameterized: bool = False
 
     def stage_count(self, depth: int) -> int:
         """Number of model stages a schedule at ``depth`` workers has."""
@@ -121,10 +130,95 @@ _TRAITS: dict[str, SchemeTraits] = {
 
 assert set(_TRAITS) == set(_BUILDERS), "traits and builders out of sync"
 
+#: Optional per-scheme ``builder_fingerprint`` hooks (see
+#: :func:`register_scheme`): ``options -> hashable`` canonicalizations the
+#: schedule cache folds into its key for cost-parameterized schemes.
+_FINGERPRINTS: dict[str, Callable[[dict], object]] = {}
+
 
 def available_schemes() -> tuple[str, ...]:
     """All registered scheme names, in canonical comparison order."""
     return tuple(_BUILDERS)
+
+
+def register_scheme(
+    name: str,
+    builder: Callable[..., Schedule],
+    traits: SchemeTraits,
+    *,
+    builder_fingerprint: Callable[[dict], object] | None = None,
+    replace: bool = False,
+) -> None:
+    """Register ``builder`` under ``name`` (appended to canonical order).
+
+    Registration is what makes a scheme a first-class citizen: it appears
+    in :func:`available_schemes`, in every unknown-scheme error message
+    (those enumerate the registry *at raise time*), in ``repro plan``'s
+    candidate grid, and in the CLI scheme lists.
+
+    Parameters
+    ----------
+    builder:
+        ``(depth, num_micro_batches, **options) -> Schedule`` with every
+        option declared keyword-only (so :func:`builder_options` can
+        enumerate them).
+    traits:
+        The scheme's :class:`SchemeTraits`. A trait with
+        ``cost_parameterized=True`` requires a ``builder_fingerprint``.
+    builder_fingerprint:
+        Canonicalizes a builder-option dict into a hashable value that
+        uniquely identifies the builder's output beyond ``(D, N)``; the
+        schedule cache folds it into its key (memory and disk tiers). It
+        must raise :class:`~repro.common.errors.ReproError` on options it
+        cannot cover — returning a partial fingerprint would alias
+        distinct schedules.
+    replace:
+        Allow overwriting an existing registration (tests); by default a
+        duplicate name raises :class:`ConfigurationError`.
+    """
+    if not name or not isinstance(name, str):
+        raise ConfigurationError(
+            f"scheme name must be a non-empty string, got {name!r}"
+        )
+    if name in _BUILDERS and not replace:
+        raise ConfigurationError(
+            f"scheme {name!r} is already registered; pass replace=True to override"
+        )
+    if traits.cost_parameterized and builder_fingerprint is None:
+        raise ConfigurationError(
+            f"cost-parameterized scheme {name!r} must provide a "
+            f"builder_fingerprint so cache keys cover its parameters"
+        )
+    _BUILDERS[name] = builder
+    _TRAITS[name] = traits
+    if builder_fingerprint is not None:
+        _FINGERPRINTS[name] = builder_fingerprint
+    else:
+        _FINGERPRINTS.pop(name, None)
+
+
+def unregister_scheme(name: str) -> None:
+    """Remove a registered scheme (primarily for tests)."""
+    if name not in _BUILDERS:
+        raise ConfigurationError(
+            f"unknown scheme {name!r}; available: {list(available_schemes())}"
+        )
+    del _BUILDERS[name]
+    del _TRAITS[name]
+    _FINGERPRINTS.pop(name, None)
+
+
+def builder_fingerprint(scheme: str, options: dict) -> object | None:
+    """The scheme's canonical builder-parameter fingerprint, or ``None``.
+
+    ``None`` means the scheme's output depends only on ``(D, N)`` and the
+    classic cache key suffices. Pipeline options (``recompute``/``passes``)
+    are the cache layer's concern and are stripped before the hook runs.
+    """
+    hook = _FINGERPRINTS.get(scheme)
+    if hook is None:
+        return None
+    return hook({k: v for k, v in options.items() if k not in PIPELINE_OPTIONS})
 
 
 def scheme_traits(scheme: str) -> SchemeTraits:
@@ -205,3 +299,21 @@ def build_schedule(
     if passes is not None:
         specs.extend(resolve_pipeline(passes).passes)
     return resolve_pipeline(specs).run(schedule)
+
+
+# The synthesized scheme registers itself through the public path: it is
+# the first cost-parameterized builder, and its fingerprint hook is what
+# exercises the cache's builder_fingerprint keying. Imported last because
+# synthesize derives seed candidates from the registered schemes (lazily,
+# via the cache) — the import-time dependency must stay one-way.
+from repro.schedules.synthesize import (  # noqa: E402
+    build_synthesize_schedule,
+    synthesize_fingerprint,
+)
+
+register_scheme(
+    "synthesize",
+    build_synthesize_schedule,
+    SchemeTraits(stages_per_worker=2, cost_parameterized=True),
+    builder_fingerprint=synthesize_fingerprint,
+)

@@ -346,6 +346,90 @@ def _check_acyclic(graph: DependencyGraph) -> None:
         )
 
 
+def validate_synthesized_schedule(
+    schedule: Schedule,
+    *,
+    memory_budget_units: float | None = None,
+) -> DependencyGraph:
+    """:func:`validate_schedule` plus the synthesized-schedule rule set.
+
+    A ``synthesize`` schedule is search output, not a hand-audited recipe,
+    so it carries extra obligations on top of general executability:
+
+    * scheme is ``"synthesize"`` (the rules below are meaningless for the
+      hand-written builders);
+    * **split-only discipline** — every backward is a ``Bi``/``W`` pair,
+      never a fused ``B`` (the search space is (F, Bi, W) placements; a
+      fused op would make the cost/memory trade the search optimizes
+      unobservable);
+    * each ``W`` runs after its ``Bi`` **on the same worker** (the weight
+      gradient consumes the stash its input-gradient half left behind);
+    * the search provenance is stamped in metadata (``seed``, ``cost``,
+      ``peak_units``, ``makespan``) so a cached schedule can always be
+      traced back to its parameters;
+    * the stamped ``peak_units`` matches a recount by
+      :func:`repro.schedules.synthesize.peak_stash_units`, and fits the
+      declared (or explicitly passed) memory budget.
+
+    Raises
+    ------
+    ValidationError
+        Naming the first violated rule.
+    """
+    graph = validate_schedule(schedule, require_sync_ops=schedule.synchronous)
+    if schedule.scheme != "synthesize":
+        raise ValidationError(
+            f"synthesized-schedule rules apply to scheme 'synthesize', "
+            f"got {schedule.scheme!r}"
+        )
+    for worker, ops in enumerate(schedule.worker_ops):
+        last_bi: dict[tuple, int] = {}
+        for pos, op in enumerate(ops):
+            if op.kind is OpKind.BACKWARD:
+                raise ValidationError(
+                    f"synthesized schedule carries a fused backward "
+                    f"{op.short()} on worker {worker}; the search emits "
+                    f"split Bi/W pairs only"
+                )
+            if op.is_backward_input:
+                for mb in op.micro_batches:
+                    last_bi[(op.replica, op.stage, mb, op.part)] = pos
+            elif op.is_backward_weight:
+                for mb in op.micro_batches:
+                    key = (op.replica, op.stage, mb, op.part)
+                    if key not in last_bi:
+                        raise ValidationError(
+                            f"weight gradient {op.short()} (micro-batch "
+                            f"{mb}) on worker {worker} has no earlier "
+                            f"input gradient on the same worker"
+                        )
+    for field in ("seed", "cost", "peak_units", "makespan"):
+        if field not in schedule.metadata:
+            raise ValidationError(
+                f"synthesized schedule is missing metadata[{field!r}] — "
+                f"search provenance must be stamped on the output"
+            )
+    from repro.schedules.synthesize import peak_stash_units
+
+    recounted = peak_stash_units(schedule)
+    stamped = float(schedule.metadata["peak_units"])  # type: ignore[arg-type]
+    if abs(recounted - stamped) > 1e-9:
+        raise ValidationError(
+            f"synthesized schedule stamps peak_units={stamped:g} but a "
+            f"recount gives {recounted:g}"
+        )
+    budget = memory_budget_units
+    if budget is None:
+        declared = schedule.metadata.get("memory_budget_units")
+        budget = None if declared is None else float(declared)  # type: ignore[arg-type]
+    if budget is not None and recounted > budget + 1e-9:
+        raise ValidationError(
+            f"synthesized schedule peaks at {recounted:g} full-stage "
+            f"stashes, over its memory budget of {budget:g}"
+        )
+    return graph
+
+
 def _check_sync_coverage(schedule: Schedule) -> None:
     synced: set[tuple[int, int]] = set()
     for _, op in schedule.all_ops():

@@ -184,7 +184,12 @@ def outcome_to_json(outcome: PlanOutcome) -> dict:
 
 @dataclass(frozen=True)
 class ServiceStats:
-    """Cumulative counters of one :class:`PlannerService`."""
+    """Cumulative counters (and one gauge) of one :class:`PlannerService`.
+
+    ``inflight`` is the number of admission slots held at the instant of
+    the snapshot; it must return to zero when no request is executing —
+    the regression signal for admission-slot leaks on error paths.
+    """
 
     requests: int
     batches: int
@@ -192,6 +197,7 @@ class ServiceStats:
     rejected_invalid: int
     plan_errors: int
     busy_seconds: float
+    inflight: int
 
 
 class PlannerService:
@@ -229,6 +235,7 @@ class PlannerService:
         self._rejected_invalid = 0
         self._plan_errors = 0
         self._busy_seconds = 0.0
+        self._inflight = 0
 
     # ----------------------------------------------------------- endpoints
     def plan(self, payload: object) -> dict:
@@ -267,16 +274,27 @@ class PlannerService:
                 f"planner at capacity ({self.max_inflight} in-flight "
                 f"requests); retry with backoff"
             )
-        start = time.perf_counter()
+        # Everything after a successful acquire sits inside one try/finally:
+        # the slot (and the in-flight gauge) must be returned no matter
+        # where planning — or even the timing bookkeeping — raises. The old
+        # shape started the timer *between* acquire and try, a window where
+        # an exception leaked the slot permanently.
         try:
-            outcomes = plan_many(requests, max_workers=self.plan_workers)
+            with self._lock:
+                self._inflight += 1
+            start = time.perf_counter()
+            try:
+                outcomes = plan_many(requests, max_workers=self.plan_workers)
+            finally:
+                elapsed = time.perf_counter() - start
+                with self._lock:
+                    self._requests += len(requests)
+                    self._batches += 1
+                    self._busy_seconds += elapsed
         finally:
             self._slots.release()
-            elapsed = time.perf_counter() - start
             with self._lock:
-                self._requests += len(requests)
-                self._batches += 1
-                self._busy_seconds += elapsed
+                self._inflight -= 1
         with self._lock:
             self._plan_errors += sum(1 for o in outcomes if not o.ok)
         return {
@@ -294,6 +312,7 @@ class PlannerService:
                 rejected_invalid=self._rejected_invalid,
                 plan_errors=self._plan_errors,
                 busy_seconds=self._busy_seconds,
+                inflight=self._inflight,
             )
 
     def stats_json(self) -> dict:
@@ -309,6 +328,7 @@ class PlannerService:
             "rejected_invalid": stats.rejected_invalid,
             "plan_errors": stats.plan_errors,
             "busy_seconds": stats.busy_seconds,
+            "inflight": stats.inflight,
             "schedule_cache": {
                 "hits": mem.hits,
                 "misses": mem.misses,

@@ -122,8 +122,16 @@ class MemoryReport:
         return self.peak_bytes / lo if lo > 0 else float("inf")
 
     def fits(self, capacity_bytes: float) -> bool:
-        """Would this configuration run without OOM on the given device?"""
-        return self.peak_bytes <= capacity_bytes
+        """Would this configuration run without OOM on the given device?
+
+        A configuration whose modeled peak **equals** the budget fits. The
+        comparison carries a relative epsilon because :func:`analyze_memory`
+        accumulates ``live_bytes`` with float additions — a peak assembled
+        as ``0.1 + 0.2`` must not be rejected against a ``0.3`` budget over
+        2^-54 of drift.
+        """
+        slack = 1e-9 * max(abs(capacity_bytes), abs(self.peak_bytes), 1.0)
+        return self.peak_bytes <= capacity_bytes + slack
 
 
 def weight_versions(schedule: Schedule, stage: int) -> int:

@@ -12,7 +12,7 @@ from repro.schedules.analysis import (
     scheme_properties,
     weight_copies_formula,
 )
-from repro.schedules.registry import available_schemes, build_schedule
+from repro.schedules.registry import available_schemes, build_schedule, scheme_traits
 from repro.sim.cost import CostModel
 from repro.sim.engine import simulate
 from repro.sim.memory import MemoryModel, analyze_memory
@@ -31,7 +31,10 @@ class TestAnalysisFormulas:
             bubble_ratio_formula(scheme, depth, n)
         )
 
-    @pytest.mark.parametrize("scheme", available_schemes())
+    @pytest.mark.parametrize(
+        "scheme",
+        [s for s in available_schemes() if not scheme_traits(s).cost_parameterized],
+    )
     def test_activation_interval_matches_memory_model(self, scheme):
         depth, n = 8, 8
         schedule = build_schedule(scheme, depth, n)

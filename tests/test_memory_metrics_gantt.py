@@ -58,6 +58,17 @@ class TestMemoryModel:
         assert report.fits(report.peak_bytes)
         assert not report.fits(report.peak_bytes - 0.5)
 
+    def test_fits_absorbs_float_accumulation_drift(self):
+        """A peak assembled by float additions must not be rejected against
+        an exactly-equal budget: 0.1 + 0.2 > 0.3 in binary floats, and the
+        planner's budget prune feeds exact peaks back in as capacities."""
+        from repro.sim.memory import MemoryReport, WorkerMemory
+
+        drifted = MemoryReport(workers=(WorkerMemory(0, 0.0, 0.1 + 0.2, 3.0),))
+        assert drifted.peak_bytes > 0.3  # the classic drift
+        assert drifted.fits(0.3)
+        assert not drifted.fits(0.3 - 1e-6)
+
     def test_backward_without_forward_raises(self):
         placement = StagePlacement.linear(1)
         rows = [[Operation(OpKind.BACKWARD, 0, 0, micro_batches=(0,))]]

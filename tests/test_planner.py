@@ -127,6 +127,21 @@ class TestRanking:
         loose_cells = {(e.scheme, e.width, e.depth, e.micro_batch) for e in loose}
         assert tight_cells <= loose_cells
 
+    def test_budget_exactly_at_peak_keeps_the_candidate(self):
+        """Boundary regression: a budget set to a candidate's *exact*
+        modeled peak must keep that candidate. The peak is assembled by
+        float accumulation, so a strict ``<=`` on the raw floats used to
+        drop configurations whose peak equaled the budget on paper."""
+        loose = small_plan(memory_budget_bytes=10 * GIB)
+        top = loose[0]
+        pinned = small_plan(memory_budget_bytes=top.peak_memory_bytes)
+        cells = {(e.scheme, e.width, e.depth, e.micro_batch) for e in pinned}
+        assert (top.scheme, top.width, top.depth, top.micro_batch) in cells
+        assert all(
+            e.peak_memory_bytes <= top.peak_memory_bytes * (1 + 1e-9)
+            for e in pinned
+        )
+
     def test_tight_budget_favors_memory_controllable_schemes(self):
         """Under a tight budget the memory-controllable family must fill
         the top ranks the fast-but-hungry schedules vacate."""

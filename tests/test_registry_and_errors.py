@@ -28,6 +28,7 @@ class TestRegistry:
             "zb_v",
             "zb_vhalf",
             "zb_vmin",
+            "synthesize",
         )
 
     def test_unknown_scheme_rejected(self):
@@ -59,6 +60,59 @@ class TestRegistry:
             build_schedule("dapple", 4, 4, max_in_flight=2)
         # ...while pipeline options are universal.
         build_schedule("gpipe", 2, 2, recompute=True, passes="lower_p2p")
+
+
+class TestDynamicRegistration:
+    """Unknown-scheme errors enumerate the registry *at raise time*."""
+
+    @staticmethod
+    def _builder(depth, num_micro_batches):  # pragma: no cover - never built
+        raise AssertionError("the dummy scheme must never be built")
+
+    def test_register_then_error_lists_new_scheme(self):
+        from repro.schedules.registry import (
+            SchemeTraits,
+            register_scheme,
+            scheme_traits,
+            unregister_scheme,
+        )
+
+        register_scheme("frankenpipe", self._builder, SchemeTraits())
+        try:
+            assert available_schemes()[-1] == "frankenpipe"
+            with pytest.raises(ConfigurationError, match="frankenpipe"):
+                build_schedule("megatron", 4, 4)
+            with pytest.raises(ConfigurationError, match="frankenpipe"):
+                scheme_traits("megatron")
+        finally:
+            unregister_scheme("frankenpipe")
+        # ...and stops listing it the moment it is gone: the list is
+        # interpolated fresh on every raise, never cached at import time.
+        with pytest.raises(ConfigurationError) as err:
+            build_schedule("megatron", 4, 4)
+        assert "frankenpipe" not in str(err.value)
+        assert "frankenpipe" not in available_schemes()
+
+    def test_duplicate_name_needs_replace(self):
+        from repro.schedules.registry import SchemeTraits, register_scheme
+
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_scheme("dapple", self._builder, SchemeTraits())
+
+    def test_cost_parameterized_requires_fingerprint(self):
+        from repro.schedules.registry import SchemeTraits, register_scheme
+
+        with pytest.raises(ConfigurationError, match="builder_fingerprint"):
+            register_scheme(
+                "costly", self._builder, SchemeTraits(cost_parameterized=True)
+            )
+        assert "costly" not in available_schemes()
+
+    def test_unregister_unknown_rejected(self):
+        from repro.schedules.registry import unregister_scheme
+
+        with pytest.raises(ConfigurationError, match="unknown scheme"):
+            unregister_scheme("megatron")
 
 
 class TestErrorHierarchy:

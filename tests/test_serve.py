@@ -127,6 +127,49 @@ class TestPlannerService:
         stats = service.stats()
         assert stats.rejected_invalid == 1 and stats.rejected_overload == 0
 
+    def test_malformed_hammer_leaves_no_inflight(self):
+        """Admission-slot leak regression: a burst of malformed bodies
+        (rejected at every stage of validation) must leave the in-flight
+        gauge at zero and every slot free for a real request."""
+        service = PlannerService(max_inflight=2)
+        malformed = [
+            GOOD,  # not wrapped in a list: "must be a JSON array"
+            [{**GOOD, "machine": "cray-1"}],
+            [{**GOOD, "frobnicate": 1}],
+            ["not an object"],
+            [{k: v for k, v in GOOD.items() if k != "workload"}],
+        ]
+        for _ in range(10):
+            for payload in malformed:
+                with pytest.raises(ConfigurationError):
+                    service.plan_batch(payload)
+        assert service.stats_json()["inflight"] == 0
+        # Both slots are free, not leaked one-per-failure.
+        assert service._slots.acquire(blocking=False)
+        assert service._slots.acquire(blocking=False)
+        assert not service._slots.acquire(blocking=False)
+        service._slots.release()
+        service._slots.release()
+        assert service.plan(GOOD)["ok"] is True
+
+    def test_planner_crash_releases_slot_and_gauge(self, monkeypatch):
+        """Even an unexpected exception *inside* planning (after the slot
+        is held) returns the slot and the gauge on the way out."""
+        service = PlannerService(max_inflight=1)
+
+        def boom(requests, max_workers):
+            assert service.stats_json()["inflight"] == 1  # gauge is live
+            raise RuntimeError("planner crashed mid-batch")
+
+        monkeypatch.setattr("repro.serve.service.plan_many", boom)
+        with pytest.raises(RuntimeError, match="mid-batch"):
+            service.plan_batch([GOOD])
+        assert service.stats_json()["inflight"] == 0
+        monkeypatch.undo()
+        # The single slot survived the crash: a real request still runs.
+        assert service.plan(GOOD)["ok"] is True
+        assert service.stats_json()["inflight"] == 0
+
     def test_stats_counters_and_cache_block(self):
         service = PlannerService()
         service.plan(GOOD)
@@ -231,7 +274,25 @@ class TestHTTP:
         status, body = _get(f"{http_server}/stats")
         assert status == 200
         assert body["requests"] >= 1
+        assert body["inflight"] == 0
         assert "schedule_cache" in body
+
+    def test_malformed_hammer_keeps_inflight_zero(self, http_server):
+        """Wire-level slot-leak regression: hammer /plan and /plan_many
+        with malformed bodies, then confirm the admission gauge reads
+        zero and the server still plans."""
+        for _ in range(5):
+            assert _post(f"{http_server}/plan", b"{not json")[0] == 400
+            assert _post(
+                f"{http_server}/plan",
+                json.dumps({**GOOD, "machine": "cray-1"}).encode(),
+            )[0] == 400
+            assert _post(
+                f"{http_server}/plan_many", json.dumps(GOOD).encode()
+            )[0] == 400
+        status, body = _get(f"{http_server}/stats")
+        assert status == 200 and body["inflight"] == 0
+        assert _post(f"{http_server}/plan", json.dumps(GOOD).encode())[0] == 200
 
     def test_overload_maps_to_503(self):
         # A dedicated single-slot server whose slot we hold ourselves.
