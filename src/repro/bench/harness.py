@@ -14,7 +14,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Mapping, Sequence
 
 from repro.common.errors import ConfigurationError, ScheduleError
@@ -22,6 +23,11 @@ from repro.bench.machines import MachineSpec
 from repro.bench.workloads import TransformerSpec
 from repro.perf.calibration import calibrate_cost_model, calibrate_memory_model
 from repro.schedules.cache import ScheduleArtifacts, schedule_artifacts
+from repro.schedules.passes.pipeline import (
+    PipelineParts,
+    normalize_pipeline,
+    split_pipeline,
+)
 from repro.sim.kernel import simulate_fast
 from repro.sim.memory import analyze_memory
 from repro.sim.metrics import bubble_ratio, throughput_samples_per_sec
@@ -38,16 +44,16 @@ class ExperimentConfig:
     depth: int  # D — pipeline stages
     micro_batch: int  # B
     mini_batch: int  # B̂
-    #: None = auto (use recomputation only if needed to fit memory).
+    #: The recompute planning *axis*: ``None`` = auto (use recomputation
+    #: only if needed to fit memory — the paper's retry-with-``R``
+    #: procedure), ``False`` = never, ``True`` = always.
     recompute: bool | None = None
-    #: Simulate with explicit SEND/RECV communication (lowering pass):
-    #: p2p transfers then contend for link bandwidth instead of being a
-    #: pure consumer-side delay.
+    #: DEPRECATED alias for ``pipeline=("lower_p2p",)`` — simulate with
+    #: explicit SEND/RECV communication (lowering pass), so p2p transfers
+    #: contend for link bandwidth.
     lowered: bool = False
-    #: Batch each SEND/RECV pair into one transfer op (fuse_comm pass);
-    #: requires ``lowered=True``. Identical timing at zero link occupancy
-    #: with roughly a third fewer ops to simulate — the fast mode for
-    #: planner-scale lowered sweeps.
+    #: DEPRECATED alias for ``pipeline=("lower_p2p", "fuse_comm")`` —
+    #: batch each SEND/RECV pair into one transfer op (fuse_comm pass).
     fused: bool = False
     #: Optional per-device peak-memory budget in bytes. The memory check
     #: uses ``min(machine.usable_memory_bytes, memory_budget_bytes)`` — a
@@ -55,6 +61,17 @@ class ExperimentConfig:
     #: for KV caches, fragmentation slack, a co-located service); a looser
     #: one is clamped to the hardware. ``None`` means the device capacity.
     memory_budget_bytes: float | None = None
+    #: THE way to configure schedule transforms: an ordered pipeline spec
+    #: (comma string or sequence of pass names, validated against the
+    #: pass registry; see :mod:`repro.schedules.passes.pipeline`), e.g.
+    #: ``"offload,lower_p2p"``. ``None`` falls back to the deprecated
+    #: ``lowered``/``fused`` booleans. The ``recompute`` axis composes
+    #: on top unless the pipeline itself names ``recompute``.
+    pipeline: str | tuple[str, ...] | None = None
+    #: Host-tier (CPU RAM) budget for offloaded stashes; the check uses
+    #: ``min(machine.host_memory_bytes, host_memory_budget_bytes)``.
+    #: ``None`` means the machine's host capacity.
+    host_memory_budget_bytes: float | None = None
     options: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -62,11 +79,61 @@ class ExperimentConfig:
             raise ConfigurationError(
                 f"memory budget must be positive, got {self.memory_budget_bytes}"
             )
-        if self.fused and not self.lowered:
+        if (
+            self.host_memory_budget_bytes is not None
+            and self.host_memory_budget_bytes <= 0
+        ):
             raise ConfigurationError(
-                "fused=True requires lowered=True (fuse_comm batches the "
-                "explicit SEND/RECV pairs the lowering pass creates)"
+                f"host memory budget must be positive, got "
+                f"{self.host_memory_budget_bytes}"
             )
+        if self.pipeline is not None:
+            if self.lowered or self.fused:
+                raise ConfigurationError(
+                    "pass transforms either as pipeline= or as the "
+                    "deprecated lowered/fused booleans, not both"
+                )
+            canonical = normalize_pipeline(self.pipeline)
+            if self.recompute is False and split_pipeline(canonical).recompute:
+                raise ConfigurationError(
+                    "pipeline includes 'recompute' but recompute=False "
+                    "disables the recompute axis"
+                )
+            object.__setattr__(self, "pipeline", canonical)
+        elif self.lowered or self.fused:
+            warnings.warn(
+                "ExperimentConfig(lowered=..., fused=...) is deprecated; "
+                "pass pipeline=('lower_p2p',) / "
+                "('lower_p2p', 'fuse_comm') instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            if self.fused and not self.lowered:
+                raise ConfigurationError(
+                    "fused=True requires lowered=True (fuse_comm batches "
+                    "the explicit SEND/RECV pairs the lowering pass creates)"
+                )
+
+    # ------------------------------------------------------------- pipeline
+    def base_parts(self) -> PipelineParts:
+        """The configured transform pipeline, sans the recompute axis."""
+        if self.pipeline is not None:
+            return split_pipeline(self.pipeline)
+        return PipelineParts(lowered=self.lowered, fused=self.fused)
+
+    def attempt_pipelines(self) -> tuple[tuple[str, ...], ...]:
+        """Pipelines to try in order until one fits memory.
+
+        An explicit ``recompute`` (the boolean axis, or the pass named in
+        ``pipeline``) pins a single attempt; the default ``None`` tries
+        the configured pipeline plain first, then with recomputation.
+        """
+        parts = self.base_parts()
+        if parts.recompute or self.recompute is True:
+            return (replace(parts, recompute=True).pipeline(),)
+        if self.recompute is False:
+            return (parts.pipeline(),)
+        return (parts.pipeline(), replace(parts, recompute=True).pipeline())
 
     @property
     def num_workers(self) -> int:
@@ -78,6 +145,14 @@ class ExperimentConfig:
         capacity = self.machine.usable_memory_bytes
         if self.memory_budget_bytes is not None:
             capacity = min(capacity, self.memory_budget_bytes)
+        return capacity
+
+    @property
+    def host_capacity_bytes(self) -> float:
+        """Effective host-tier byte budget for offloaded stashes."""
+        capacity = self.machine.host_memory_bytes
+        if self.host_memory_budget_bytes is not None:
+            capacity = min(capacity, self.host_memory_budget_bytes)
         return capacity
 
     def num_micro_batches(self) -> int:
@@ -114,35 +189,56 @@ class ExperimentResult:
     bubble_ratio: float
     peak_memory_bytes: float
     min_memory_bytes: float
+    #: The canonical pipeline the result was simulated under (the winning
+    #: memory-fit attempt, including the recompute axis outcome).
+    pipeline: tuple[str, ...] = ()
+    #: Host-tier peak of offloaded stashes (0 without the offload pass).
+    host_peak_memory_bytes: float = 0.0
 
     @property
     def fits(self) -> bool:
         return not self.oom
 
     def label(self) -> str:
-        r = ", R" if self.recompute else ""
-        return f"{self.config.scheme}(W={self.config.width}, D={self.config.depth}, B={self.config.micro_batch}{r})"
+        return config_label(self.config, self.recompute, self.pipeline)
 
 
-def config_artifacts(cfg: ExperimentConfig, recompute: bool) -> ScheduleArtifacts:
-    """The memoized schedule artifacts for one configuration attempt.
+def config_label(
+    cfg: ExperimentConfig, recompute: bool, pipeline: tuple[str, ...] = ()
+) -> str:
+    """``scheme(W=, D=, B=[, R][, O])`` — the shared result/plan label."""
+    r = ", R" if recompute else ""
+    o = ", O" if split_pipeline(pipeline).offload else ""
+    return (
+        f"{cfg.scheme}(W={cfg.width}, D={cfg.depth}, B={cfg.micro_batch}{r}{o})"
+    )
+
+
+def config_artifacts(
+    cfg: ExperimentConfig, pipeline: tuple[str, ...]
+) -> ScheduleArtifacts:
+    """The memoized schedule artifacts for one pipeline attempt.
 
     Every harness path funnels through the process-wide schedule cache
     (:mod:`repro.schedules.cache`): planner grids and experiment sweeps
-    that revisit the same ``(scheme, D, N, recompute)`` point — which is
+    that revisit the same ``(scheme, D, N, pipeline)`` point — which is
     most of them, since ``W`` and ``B`` only change the cost model —
     reuse the schedule, its dependency graph, and the lowered forms.
+    Only the pre-lowering part of ``pipeline`` keys the entry; lowering
+    and fusion are the cached derived forms of
+    :meth:`~repro.schedules.cache.ScheduleArtifacts.schedule_for`.
     """
+    parts = split_pipeline(pipeline)
     return schedule_artifacts(
         cfg.scheme,
         cfg.depth,
         cfg.num_micro_batches(),
-        recompute=recompute,
+        **parts.build_options(),
         **dict(cfg.options),
     )
 
 
-def memory_report(cfg: ExperimentConfig, recompute: bool):
+def memory_report(cfg: ExperimentConfig, pipeline: tuple[str, ...]):
     """Build ``cfg``'s schedule and analyze its memory — no simulation.
 
     Returns ``(schedule, MemoryReport)``. This is the pruning half of
@@ -150,7 +246,7 @@ def memory_report(cfg: ExperimentConfig, recompute: bool):
     fits/OOM verdict (the planner's enumerate-and-prune step) can skip
     the simulation entirely.
     """
-    schedule = config_artifacts(cfg, recompute).schedule
+    schedule = config_artifacts(cfg, pipeline).schedule
     # Calibrate per the schedule's own stage count: ZB-V splits the model
     # into 2D chunks over D workers, so each chunk is half a stage.
     memory_model = calibrate_memory_model(
@@ -166,24 +262,20 @@ def run_configuration(cfg: ExperimentConfig) -> ExperimentResult:
     """Simulate one configuration end to end (see module docstring)."""
     n = cfg.num_micro_batches()
 
-    attempts: Sequence[bool]
-    if cfg.recompute is None:
-        attempts = (False, True)
-    else:
-        attempts = (cfg.recompute,)
-
+    attempts: Sequence[tuple[str, ...]] = cfg.attempt_pipelines()
     schedule = None
     report = None
-    used_recompute = attempts[-1]
+    used = attempts[-1]
     oom = True
-    for recompute in attempts:
-        schedule, report = memory_report(cfg, recompute)
-        if report.fits(cfg.capacity_bytes):
-            used_recompute = recompute
+    for pipeline in attempts:
+        schedule, report = memory_report(cfg, pipeline)
+        if report.fits(cfg.capacity_bytes, cfg.host_capacity_bytes):
+            used = pipeline
             oom = False
             break
 
     assert schedule is not None and report is not None
+    parts = split_pipeline(used)
     cost_model = calibrate_cost_model(
         cfg.machine,
         cfg.workload,
@@ -196,11 +288,11 @@ def run_configuration(cfg: ExperimentConfig) -> ExperimentResult:
     # collectives block; all other schemes launch non-blocking (§3.2).
     # ``simulate_fast`` dispatches to the array kernel when the model is
     # contention-free and to the event engine otherwise.
-    arts = config_artifacts(cfg, used_recompute)
+    arts = config_artifacts(cfg, used)
     result = simulate_fast(
-        arts.schedule_for(cfg.lowered, cfg.fused),
+        arts.schedule_for(parts.lowered, parts.fused),
         cost_model,
-        graph=arts.graph_for(cfg.lowered, cfg.fused),
+        graph=arts.graph_for(parts.lowered, parts.fused),
         blocking_sync=(cfg.scheme == "pipedream"),
     )
     if schedule.synchronous:
@@ -211,17 +303,19 @@ def run_configuration(cfg: ExperimentConfig) -> ExperimentResult:
         # Flush-free schemes (PipeDream family) run a continuous steady
         # state; a single cold window would unfairly charge them the
         # pipeline fill. Measure the marginal rate between two window sizes.
-        throughput = _steady_state_throughput(cfg, used_recompute, cost_model)
+        throughput = _steady_state_throughput(cfg, used, cost_model)
     return ExperimentResult(
         config=cfg,
         num_micro_batches=n,
-        recompute=used_recompute,
+        recompute=parts.recompute,
         oom=oom,
         iteration_time=result.iteration_time,
         throughput=0.0 if oom else throughput,
         bubble_ratio=bubble_ratio(result),
         peak_memory_bytes=report.peak_bytes,
         min_memory_bytes=report.min_bytes,
+        pipeline=used,
+        host_peak_memory_bytes=report.host_peak_bytes,
     )
 
 
@@ -233,7 +327,7 @@ ASYNC_SYNC_OVERLAP = 0.5
 
 
 def _steady_state_throughput(
-    cfg: ExperimentConfig, recompute: bool, cost_model
+    cfg: ExperimentConfig, pipeline: tuple[str, ...], cost_model
 ) -> float:
     """Samples/second of an asynchronous scheme's steady state.
 
@@ -243,18 +337,19 @@ def _steady_state_throughput(
     that margin, while PipeDream-2BW additionally pays the non-overlapped
     residue of its once-per-window gradient synchronization.
     """
+    parts = split_pipeline(pipeline)
     n1 = 2 * cfg.depth
     n2 = 4 * cfg.depth
     sims = []
     for n in (n1, n2):
         arts = schedule_artifacts(
-            cfg.scheme, cfg.depth, n, recompute=recompute, **dict(cfg.options)
+            cfg.scheme, cfg.depth, n, **parts.build_options(), **dict(cfg.options)
         )
         sims.append(
             simulate_fast(
-                arts.schedule_for(cfg.lowered, cfg.fused),
+                arts.schedule_for(parts.lowered, parts.fused),
                 cost_model,
-                graph=arts.graph_for(cfg.lowered, cfg.fused),
+                graph=arts.graph_for(parts.lowered, parts.fused),
                 blocking_sync=(cfg.scheme == "pipedream"),
             )
         )

@@ -20,7 +20,12 @@ from dataclasses import dataclass
 
 from repro.common.errors import ConfigurationError
 from repro.common.units import GIB
-from repro.sim.network import FlatTopology, HierarchicalTopology, LinkSpec
+from repro.sim.network import (
+    FlatTopology,
+    HierarchicalTopology,
+    HostChannel,
+    LinkSpec,
+)
 
 
 @dataclass(frozen=True)
@@ -41,6 +46,16 @@ class MachineSpec:
         Alpha-beta parameters; for flat networks both are the same link.
     gpus_per_node:
         Accelerators sharing the fast intra link (1 = flat network).
+    host_memory_bytes:
+        Host (CPU) RAM available per worker for offloaded activation
+        stashes — the second tier of the memory model. Node RAM divided
+        by the accelerators sharing it.
+    host_link:
+        Host↔device copy link (PCIe-class) used by the offload pass's
+        OFFLOAD/RELOAD transfers; private per worker.
+    host_duplex:
+        ``"full"`` — separate D2H/H2D DMA engines (offload and reload
+        overlap); ``"half"`` — one shared copy queue.
     """
 
     name: str
@@ -50,12 +65,20 @@ class MachineSpec:
     intra_link: LinkSpec
     inter_link: LinkSpec
     gpus_per_node: int = 1
+    host_memory_bytes: float = 64 * GIB
+    #: PCIe 3.0 x16 sustained through a pinned-buffer copy path.
+    host_link: LinkSpec = LinkSpec.from_bandwidth(
+        alpha=5e-6, bandwidth_bytes_per_sec=12e9
+    )
+    host_duplex: str = "full"
 
     def __post_init__(self) -> None:
         if self.flops_per_sec <= 0 or self.memory_bytes <= 0:
             raise ConfigurationError("machine compute/memory must be positive")
         if self.gpus_per_node < 1:
             raise ConfigurationError("gpus_per_node must be >= 1")
+        if self.host_memory_bytes <= 0:
+            raise ConfigurationError("host memory must be positive")
 
     def topology(self) -> FlatTopology | HierarchicalTopology:
         """Build the network model for this machine."""
@@ -66,6 +89,10 @@ class MachineSpec:
             inter=self.inter_link,
             gpus_per_node=self.gpus_per_node,
         )
+
+    def host_channel(self) -> HostChannel:
+        """The per-worker host↔device copy channel for the simulators."""
+        return HostChannel(self.host_link, duplex=self.host_duplex)
 
     @property
     def usable_memory_bytes(self) -> float:

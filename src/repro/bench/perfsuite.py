@@ -34,6 +34,13 @@ headline claim: batched kernel throughput at least
 contended schedules at the D=16, N=64 reference point
 (``summary["d16_contended_batch_speedup_min"]``).
 
+The ``offload`` section (schema 6) times offloaded schedules — the
+activation-offload pass's OFFLOAD/RELOAD ops moving stash bytes over
+per-worker host channels — under :func:`offload_suite_model`, whose copy
+occupancy makes the host FIFOs genuinely queue. Engine/kernel parity is
+asserted per case and the section is **gated** like the engine cases:
+exact makespans, normalized throughput within tolerance.
+
 The ``planner_qps`` section (schema 4) is the planner-as-a-service load
 harness: a heterogeneous request stream is planned per-request
 (sequential reference), as one :func:`repro.perf.planner.plan_many`
@@ -80,7 +87,7 @@ from repro.schedules.registry import available_schemes, scheme_traits
 from repro.sim.cost import CostModel
 from repro.sim.engine import simulate
 from repro.sim.kernel import fast_path_supported, simulate_batch, simulate_fast
-from repro.sim.network import FlatTopology, LinkSpec
+from repro.sim.network import FlatTopology, HostChannel, LinkSpec
 
 #: Bumped whenever the JSON layout or the suite contents change; the
 #: checker refuses to compare across versions. 2: added the ``fused``
@@ -93,8 +100,11 @@ from repro.sim.network import FlatTopology, LinkSpec
 #: non-gating ``synthesize`` section (search-vs-built-ins comparison);
 #: the engine case grid is unchanged (cost-parameterized schemes are
 #: excluded from it by construction), so a v4 baseline stays valid after
-#: bumping its ``schema_version`` field alone.
-SCHEMA_VERSION = 5
+#: bumping its ``schema_version`` field alone. 6: added the **gated**
+#: ``offload`` section — offloaded (and offloaded+lowered) schedules
+#: timed under the host-channel model, engine/kernel parity asserted and
+#: normalized throughput regression-gated like the engine cases.
+SCHEMA_VERSION = 6
 
 #: Full-suite grid: every registered scheme at these depths, N=64 — the
 #: acceptance grid of the array kernel (D=16, N=64 is the reference point).
@@ -142,6 +152,16 @@ QPS_FAST_SCHEMES = ("chimera", "dapple")
 #: plus f/b/w variations, so each batch row exercises a distinct duration
 #: table against the shared dense schedule.
 BATCH_VARIANTS = 8
+
+#: Grid of the gated ``offload`` section (schema 6): offloaded schedules
+#: of these schemes, with and without explicit lowering, timed under
+#: :func:`offload_suite_model`. A deliberate spread — linear-stash
+#: (gpipe), 1F1B (dapple), bidirectional (chimera) — at the engine
+#: grid's reference depths.
+OFFLOAD_SCHEMES = ("gpipe", "dapple", "chimera")
+OFFLOAD_DEPTHS = (8, 16)
+OFFLOAD_FAST_DEPTHS = (8,)
+OFFLOAD_MODES = ("offload", "offload_lowered")
 
 #: Grid points of the non-gating ``synthesize`` section: (depth, N).
 SYNTHESIZE_POINTS = ((4, 16), (8, 16))
@@ -208,6 +228,22 @@ def suite_cost_model() -> CostModel:
         activation_message_bytes=1.0,
         stage_grad_bytes=10.0,
         data_parallel_width=2,
+    )
+
+
+def offload_suite_model() -> CostModel:
+    """The fixed host-channel suite model: heavy per-worker copy occupancy.
+
+    ``beta * offload_message_bytes = 2.0`` — each stash copy holds its
+    worker's host channel for twice a forward step, so consecutive
+    offloads (and the matching reloads) genuinely queue on the PCIe FIFO
+    and the kernel's host-channel serialization is load-bearing. The
+    network side stays the contention-free suite model: what this section
+    times is the host tier, not the wire.
+    """
+    return suite_cost_model().with_(
+        host_channel=HostChannel(LinkSpec(alpha=0.05, beta=0.25)),
+        offload_message_bytes=8.0,
     )
 
 
@@ -668,6 +704,88 @@ def run_synthesize_block(*, fast: bool = False) -> dict:
     return {"costs": list(SYNTHESIZE_COSTS), "points": points}
 
 
+def run_offload_block(
+    *, fast: bool = False, repeats: int = 3, slowdown: float = 1.0
+) -> dict:
+    """The gated ``offload`` section (schema 6): host-channel timing.
+
+    Runs each :data:`OFFLOAD_SCHEMES` × depth × {offload,
+    offload_lowered} schedule through the event engine and the array
+    kernel under :func:`offload_suite_model`, asserts the two agree to
+    :data:`MAKESPAN_ATOL` (host-channel FIFOs are kernel code paths, not
+    a fallback), and records wall times the checker gates exactly like
+    the engine cases — makespans at zero tolerance, normalized
+    throughput against the baseline.
+    """
+    depths = OFFLOAD_FAST_DEPTHS if fast else OFFLOAD_DEPTHS
+    n = FAST_MICRO_BATCHES if fast else SUITE_MICRO_BATCHES
+    model = offload_suite_model()
+    cases: list[dict] = []
+    for scheme in OFFLOAD_SCHEMES:
+        for depth in depths:
+            arts = schedule_artifacts(scheme, depth, n, passes=("offload",))
+            for mode in OFFLOAD_MODES:
+                lowered = mode == "offload_lowered"
+                schedule = arts.schedule_for(lowered, False)
+                graph = arts.graph_for(lowered, False)
+                case_id = f"{scheme}/D{depth}/N{n}/{mode}"
+                # Nonzero stash occupancy: the hint must report the
+                # contended routing, or host copies stopped queueing.
+                if fast_path_supported(schedule, model, graph=graph):
+                    raise ScheduleError(
+                        f"kernel path hint mismatch on {case_id}: expected "
+                        f"host-channel contended routing"
+                    )
+                event_wall, event = _best_wall(
+                    lambda: simulate(schedule, model, graph=graph), repeats
+                )
+                fast_wall, fast_result = _best_wall(
+                    lambda: simulate_fast(schedule, model, graph=graph),
+                    repeats,
+                )
+                worst = max(
+                    abs(event.compute_makespan - fast_result.compute_makespan),
+                    abs(event.iteration_time - fast_result.iteration_time),
+                )
+                if worst > MAKESPAN_ATOL:
+                    raise ScheduleError(
+                        f"engine/kernel makespan divergence on {case_id}: "
+                        f"{worst:.3e} exceeds {MAKESPAN_ATOL:.0e}"
+                    )
+                event_wall *= slowdown
+                fast_wall *= slowdown
+                ops = sum(len(row) for row in schedule.worker_ops)
+                stash = sum(
+                    1 for t in event.transfers if t.payload == "stash"
+                )
+                cases.append(
+                    {
+                        "id": case_id,
+                        "scheme": scheme,
+                        "depth": depth,
+                        "num_micro_batches": n,
+                        "mode": mode,
+                        "ops": ops,
+                        "host_copies": stash,
+                        "compute_makespan": event.compute_makespan,
+                        "iteration_time": event.iteration_time,
+                        "event": {
+                            "wall_s": event_wall,
+                            "ops_per_sec": ops / event_wall,
+                        },
+                        "fast": {
+                            "wall_s": fast_wall,
+                            "ops_per_sec": ops / fast_wall,
+                            "speedup": event_wall / fast_wall,
+                        },
+                    }
+                )
+    return {
+        "cases": cases,
+        "fast_speedup_min": min(c["fast"]["speedup"] for c in cases),
+    }
+
+
 def run_suite(
     *,
     fast: bool = False,
@@ -719,6 +837,10 @@ def run_suite(
             summary["d16_contended_batch_speedup_min"] = min(
                 c["batch"]["speedup"] for c in d16_contended
             )
+    offload_section = run_offload_block(
+        fast=fast, repeats=repeats, slowdown=slowdown
+    )
+    summary["offload_fast_speedup_min"] = offload_section["fast_speedup_min"]
     planner_section = run_planner_qps(fast=fast, slowdown=slowdown) if planner else None
     if planner_section is not None:
         summary["planner_qps"] = planner_section["qps"]
@@ -756,6 +878,7 @@ def run_suite(
         "cases": results,
         "schedule_cache": cache_meta,
         "summary": summary,
+        "offload": offload_section,
         "synthesize": run_synthesize_block(fast=fast),
     }
     if planner_section is not None:
@@ -895,6 +1018,45 @@ def check_against(
                     f"normalized {cur_norm:.3f} vs baseline {base_norm:.3f})"
                 )
 
+    # The offload section gates identically to the engine cases: exact
+    # makespans, normalized event/fast throughput within tolerance.
+    cur_off = {
+        c["id"]: c for c in (current.get("offload") or {}).get("cases", ())
+    }
+    base_off = {
+        c["id"]: c for c in (baseline.get("offload") or {}).get("cases", ())
+    }
+    if base_off and not cur_off:
+        violations.append(
+            "offload section disappeared from the run — refresh or "
+            "investigate"
+        )
+    for missing in sorted(set(base_off) - set(cur_off)):
+        violations.append(f"offload case disappeared from the suite: {missing}")
+    for extra in sorted(set(cur_off) - set(base_off)):
+        violations.append(
+            f"offload case not in baseline: {extra} — refresh the baseline"
+        )
+    for case_id in sorted(set(cur_off) & set(base_off)):
+        cur, base = cur_off[case_id], base_off[case_id]
+        for field in ("compute_makespan", "iteration_time"):
+            drift = abs(cur[field] - base[field])
+            if drift > MAKESPAN_ATOL:
+                violations.append(
+                    f"offload {case_id}: {field} mismatch "
+                    f"({cur[field]!r} vs baseline {base[field]!r})"
+                )
+        for engine in ("event", "fast"):
+            cur_norm = cur[engine]["ops_per_sec"] / cur_cal
+            base_norm = base[engine]["ops_per_sec"] / base_cal
+            if cur_norm < base_norm * (1.0 - tolerance):
+                drop = 1.0 - cur_norm / base_norm
+                violations.append(
+                    f"offload {case_id}: {engine} throughput regressed "
+                    f"{drop * 100:.1f}% (> {tolerance * 100:.0f}% allowed; "
+                    f"normalized {cur_norm:.3f} vs baseline {base_norm:.3f})"
+                )
+
     base_planner = baseline.get("planner_qps") or {}
     if base_planner and not planner:
         violations.append(
@@ -965,6 +1127,14 @@ def format_suite(payload: dict) -> str:
             f"(p50 {planner['p50_ms']:.0f} ms, p99 {planner['p99_ms']:.0f} ms), "
             f"plan_many {planner['plan_many_speedup']:.1f}x sequential "
             f"(floor {PLAN_MANY_SPEEDUP_FLOOR:.0f}x)"
+        )
+    offload = payload.get("offload")
+    if offload and offload.get("cases"):
+        copies = sum(c["host_copies"] for c in offload["cases"])
+        lines.append(
+            f"offload: {len(offload['cases'])} cases, {copies} host copies, "
+            f"min fast speedup {offload['fast_speedup_min']:.1f}x "
+            f"(host-channel model, gated)"
         )
     synthesize = payload.get("synthesize")
     if synthesize:

@@ -22,7 +22,7 @@ Commands
               the contended modes use a nonzero-beta link model, so
               transfers queue per channel — plus the ``planner_qps``
               load harness and the non-gating ``synthesize`` comparison),
-              write a schema-versioned (v5) ``BENCH_<rev>.json``, and — with
+              write a schema-versioned (v6) ``BENCH_<rev>.json``, and — with
               ``--check-against benchmarks/baseline.json`` — fail on
               makespan mismatches, >20% throughput regressions, a D=16
               contended batch speedup below its 5x floor, a >20% planner
@@ -75,14 +75,16 @@ from repro.bench.perfsuite import (
     write_bench_json,
 )
 from repro.bench.workloads import WORKLOADS
-from repro.common.units import GIB
+from repro.common.errors import ConfigurationError
+from repro.common.units import parse_gib
 from repro.perf.planner import format_plan, plan_configurations
 from repro.perf.planner import select_configuration
+from repro.schedules.passes.pipeline import normalize_pipeline
 from repro.schedules.registry import available_schemes, build_schedule
 from repro.sim.cost import CostModel
 from repro.sim.engine import simulate
 from repro.sim.gantt import render_gantt
-from repro.sim.network import FlatTopology, LinkSpec
+from repro.sim.network import FlatTopology, HostChannel, LinkSpec
 from repro.sim.trace import write_chrome_trace
 FIGURES = {
     name: getattr(experiments, name)
@@ -117,6 +119,31 @@ def _schedule_args(parser: argparse.ArgumentParser) -> None:
     _link_args(parser)
 
 
+def _pipeline_spec(value: str) -> tuple[str, ...]:
+    """argparse type for ``--pipeline``: validate against the registry.
+
+    A typo fails at parse time with the registered pass names in the
+    message (the same enumeration the serve schema returns on a bad
+    ``pipeline`` field).
+    """
+    try:
+        return normalize_pipeline(value)
+    except ConfigurationError as err:
+        raise argparse.ArgumentTypeError(str(err)) from None
+
+
+def _pipeline_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--pipeline",
+        type=_pipeline_spec,
+        default=None,
+        metavar="SPEC",
+        help="canonical transform pipeline, comma-separated pass names "
+        "(e.g. 'offload,lower_p2p'); replaces --lower/--fuse-comm/"
+        "--passes and pins the transforms exactly",
+    )
+
+
 def _lower_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--lower",
@@ -149,6 +176,20 @@ def _link_args(parser: argparse.ArgumentParser) -> None:
         help="p2p transfer time per micro-batch message in F_t units "
         "(the portion that occupies the link)",
     )
+    parser.add_argument(
+        "--host-alpha",
+        type=float,
+        default=0.0,
+        help="host↔device copy latency in F_t units (offload pass; "
+        "show/trace render host-channel lanes when set)",
+    )
+    parser.add_argument(
+        "--host-beta",
+        type=float,
+        default=0.0,
+        help="host↔device copy time per stash message in F_t units "
+        "(the portion that occupies the worker's PCIe channel)",
+    )
 
 
 def _cost_model(args: argparse.Namespace) -> CostModel:
@@ -159,6 +200,13 @@ def _cost_model(args: argparse.Namespace) -> CostModel:
                 LinkSpec(alpha=args.link_alpha, beta=args.link_beta)
             ),
             activation_message_bytes=1.0,
+        )
+    if args.host_alpha > 0 or args.host_beta > 0:
+        cost_model = cost_model.with_(
+            host_channel=HostChannel(
+                LinkSpec(alpha=args.host_alpha, beta=args.host_beta)
+            ),
+            offload_message_bytes=1.0,
         )
     return cost_model
 
@@ -196,18 +244,27 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    # The harness derives lowered/fused schedules itself (cached
-    # artifacts), so those two passes are flags here: fold them out of an
-    # explicit --passes spec instead of lowering twice.
-    lowered, fused = args.lower, args.fuse_comm
-    options = {}
-    if args.passes:
-        specs = [s.strip() for s in args.passes.split(",") if s.strip()]
-        lowered = lowered or "lower_p2p" in specs
-        fused = fused or "fuse_comm" in specs
-        rest = [s for s in specs if s not in ("lower_p2p", "fuse_comm")]
-        if rest:
-            options["passes"] = ",".join(rest)
+    if args.pipeline is not None:
+        if args.lower or args.fuse_comm or args.passes:
+            print(
+                "error: --pipeline replaces --lower/--fuse-comm/--passes; "
+                "pass one or the other"
+            )
+            return 2
+        pipeline: tuple[str, ...] = args.pipeline
+    else:
+        # Assemble the legacy flags into the same canonical pipeline spec
+        # the config takes directly (--lower/--fuse-comm/--passes stay as
+        # conveniences; normalize_pipeline orders and dedup-checks them).
+        specs: list[str] = []
+        if args.passes:
+            specs.extend(s.strip() for s in args.passes.split(",") if s.strip())
+        names = {s.partition(":")[0] for s in specs}
+        if (args.lower or args.fuse_comm) and "lower_p2p" not in names:
+            specs.append("lower_p2p")
+        if args.fuse_comm and "fuse_comm" not in names:
+            specs.append("fuse_comm")
+        pipeline = normalize_pipeline(specs)
     cfg = ExperimentConfig(
         scheme=args.scheme,
         machine=MACHINES[args.machine],
@@ -217,12 +274,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         micro_batch=args.micro_batch,
         mini_batch=args.mini_batch,
         recompute=True if args.recompute else None,
-        lowered=lowered or fused,
-        fused=fused,
-        options=options,
+        pipeline=pipeline,
+        host_memory_budget_bytes=parse_gib(
+            args.host_budget_gib, field="host budget"
+        ),
     )
     r = run_configuration(cfg)
     print(f"configuration : {r.label()}")
+    print(f"pipeline      : {','.join(r.pipeline) or '(none)'}")
     print(f"micro-batches : N={r.num_micro_batches}")
     print(f"status        : {'OOM' if r.oom else 'fits'}"
           f"{' (activation recomputation)' if r.recompute else ''}")
@@ -231,6 +290,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(f"bubble ratio  : {r.bubble_ratio * 100:.1f} %")
     print(f"memory        : {r.min_memory_bytes / 2**30:.2f}"
           f"–{r.peak_memory_bytes / 2**30:.2f} GiB per worker")
+    if r.host_peak_memory_bytes > 0:
+        print(f"host stash    : {r.host_peak_memory_bytes / 2**30:.2f} GiB peak")
     return 0
 
 
@@ -248,18 +309,22 @@ def cmd_select(args: argparse.Namespace) -> int:
 
 
 def cmd_plan(args: argparse.Namespace) -> int:
-    budget = args.budget_gib * GIB if args.budget_gib is not None else None
     entries = plan_configurations(
         MACHINES[args.machine],
         WORKLOADS[args.workload],
         num_workers=args.workers,
         mini_batch=args.mini_batch,
-        memory_budget_bytes=budget,
+        memory_budget_bytes=parse_gib(args.budget_gib),
         schemes=args.schemes,
         lowered=args.lower or args.fuse_comm,
         fused=args.fuse_comm,
         recompute=args.recompute,
         top_k=args.top,
+        pipeline=args.pipeline,
+        offload=args.offload,
+        host_memory_budget_bytes=parse_gib(
+            args.host_budget_gib, field="host budget"
+        ),
     )
     budget_str = f"{args.budget_gib:g} GiB budget" if args.budget_gib else "device capacity"
     print(
@@ -466,6 +531,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SPEC",
         help="extra schedule passes, comma-separated",
     )
+    p.add_argument(
+        "--host-budget-gib",
+        type=float,
+        default=None,
+        help="host-tier (CPU RAM) budget in GiB for offloaded stashes "
+        "(default: the machine's host capacity)",
+    )
+    _pipeline_arg(p)
     _lower_arg(p)
     p.set_defaults(func=cmd_simulate)
 
@@ -519,6 +592,22 @@ def build_parser() -> argparse.ArgumentParser:
         "recomputed per candidate; --recompute forces it on, "
         "--no-recompute disables the axis entirely",
     )
+    p.add_argument(
+        "--offload",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="activation-offload planning axis (host-memory tier): "
+        "default tries plain → offload → recompute → both per "
+        "candidate; --offload forces it on, --no-offload disables it",
+    )
+    p.add_argument(
+        "--host-budget-gib",
+        type=float,
+        default=None,
+        help="host-tier (CPU RAM) budget in GiB for offloaded stashes "
+        "(default: the machine's host capacity)",
+    )
+    _pipeline_arg(p)
     p.set_defaults(func=cmd_plan)
 
     p = sub.add_parser(
@@ -563,8 +652,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench",
-        help="run the engine perf suite (incl. contended modes and the "
-        "non-gating synthesize block, schema v5) / check the CI gate",
+        help="run the engine perf suite (incl. contended modes, the gated "
+        "offload block, and the non-gating synthesize block, schema v6) / "
+        "check the CI gate",
     )
     p.add_argument(
         "--output",

@@ -59,6 +59,9 @@ def calibrate_cost_model(
         # GLOO progresses collectives on host threads that contend with the
         # training process: overlapped communication is not free (§3.2).
         sync_overlap_slowdown=sync_overlap_slowdown,
+        # Host↔device copy engine for OFFLOAD/RELOAD; the stash payload
+        # defaults to the boundary activation (offload_message_bytes=None).
+        host_channel=machine.host_channel(),
     )
 
 

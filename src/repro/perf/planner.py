@@ -25,13 +25,18 @@ becomes a genuine search problem over ``(scheme, W, D, B)``:
    and sort by simulated end-to-end throughput.
 
 Schedule-transform passes (:mod:`repro.schedules.passes`) are planning
-*axes*: the pruning step enumerates recomputation on/off through the
-recompute pass (``recompute=None`` tries plain first, then recomputed —
-so tight budgets select configurations the pass-less planner must reject
-as OOM; ``recompute=False`` reproduces that pass-less planner), and
-``fused=True`` ranks with batched communication (the fuse_comm pass) —
-identical timing at zero link occupancy with roughly a third fewer ops
-per event simulation, which is the fast mode for big lowered grids.
+*axes*: the pruning step enumerates activation offload and
+recomputation through the offload/recompute passes, trying each
+candidate plain, then offloaded (stashes parked in host RAM — backward
+stays at its un-recomputed cost, at the price of PCIe traffic), then
+recomputed, then both — so tight budgets rank all three memory-relief
+strategies against each other at equal device budget. ``recompute`` /
+``offload`` pin an axis (``False`` reproduces the pass-less planner),
+and an explicit ``pipeline`` spec disables the axes entirely and ranks
+exactly that pass composition. ``fused=True`` ranks with batched
+communication (the fuse_comm pass) — identical timing at zero link
+occupancy with roughly a third fewer ops per event simulation, which is
+the fast mode for big lowered grids.
 
 Every pruning decision and the final ranking go through the same code
 paths as the benchmark harness (:mod:`repro.bench.harness`), so a plan
@@ -69,6 +74,11 @@ from repro.bench.harness import (
     format_table,
     run_configuration,
 )
+from repro.schedules.passes.pipeline import (
+    normalize_pipeline,
+    pipeline_from_flags,
+    split_pipeline,
+)
 from repro.bench.machines import MachineSpec
 from repro.bench.workloads import TransformerSpec
 from repro.perf.calibration import calibrate_cost_model, calibrate_memory_model
@@ -99,12 +109,22 @@ class PlanEntry:
     throughput: float  # sequences / second
     bubble_ratio: float
     peak_memory_bytes: float
+    #: Canonical pipeline the entry was ranked under (the winning
+    #: memory-fit attempt, axes included).
+    pipeline: tuple[str, ...] = ()
+    #: Host-tier peak of offloaded stashes (0 without the offload pass).
+    host_peak_memory_bytes: float = 0.0
+
+    @property
+    def offload(self) -> bool:
+        return split_pipeline(self.pipeline).offload
 
     def label(self) -> str:
         r = ", R" if self.recompute else ""
+        o = ", O" if self.offload else ""
         return (
             f"{self.scheme}(W={self.width}, D={self.depth}, "
-            f"B={self.micro_batch}{r})"
+            f"B={self.micro_batch}{r}{o})"
         )
 
 
@@ -162,10 +182,67 @@ class PlanRequest:
     fused: bool = False
     recompute: bool | None = None
     top_k: int | None = None
+    #: THE way to pin the transform pipeline: an ordered pass spec
+    #: (comma string or sequence, validated against the registry). When
+    #: set, the recompute/offload axes are disabled and every candidate
+    #: ranks under exactly this composition; ``None`` plans over the
+    #: deprecated ``lowered``/``fused`` base plus the axes.
+    pipeline: tuple[str, ...] | None = None
+    #: The offload planning axis: ``None`` (default) tries each candidate
+    #: without offload, then with it; ``False`` never; ``True`` always.
+    offload: bool | None = None
+    #: Host-tier (CPU RAM) byte budget for offloaded stashes; candidates
+    #: prune against ``min(machine.host_memory_bytes, budget)``.
+    host_memory_budget_bytes: float | None = None
 
     def __post_init__(self) -> None:
         if self.schemes is not None and not isinstance(self.schemes, tuple):
             object.__setattr__(self, "schemes", tuple(self.schemes))
+        if self.fused and not self.lowered:
+            raise ConfigurationError(
+                "fused=True requires lowered=True (fuse_comm batches the "
+                "explicit SEND/RECV pairs the lowering pass creates)"
+            )
+        if self.pipeline is not None:
+            if self.fused or not self.lowered:
+                raise ConfigurationError(
+                    "pass transforms either as pipeline= or as the "
+                    "deprecated lowered/fused booleans, not both"
+                )
+            object.__setattr__(
+                self, "pipeline", normalize_pipeline(self.pipeline)
+            )
+
+    def base_pipeline(self) -> tuple[str, ...]:
+        """The canonical base pipeline (sans the recompute/offload axes)."""
+        if self.pipeline is not None:
+            return self.pipeline
+        return pipeline_from_flags(lowered=self.lowered, fused=self.fused)
+
+    def attempt_pipelines(self) -> tuple[tuple[str, ...], ...]:
+        """Pipelines to try per candidate, in order, until one fits.
+
+        An explicit ``pipeline`` pins a single attempt. Otherwise the
+        recompute and offload axes span plain → offload → recompute →
+        offload+recompute (cheapest relief first: offload keeps backward
+        at its un-recomputed cost), each axis restricted to its pinned
+        value when not ``None``.
+        """
+        if self.pipeline is not None:
+            return (self.pipeline,)
+        parts = split_pipeline(self.base_pipeline())
+        r_axis = (False, True) if self.recompute is None else (self.recompute,)
+        o_axis = (False, True) if self.offload is None else (self.offload,)
+        attempts = []
+        for r in (False, True):
+            if r not in r_axis:
+                continue
+            for o in (False, True):
+                if o not in o_axis:
+                    continue
+                base = parts.base + (("offload",) if o else ())
+                attempts.append(replace(parts, base=base, recompute=r).pipeline())
+        return tuple(attempts)
 
 
 @dataclass(frozen=True)
@@ -201,33 +278,33 @@ class _PlanContext:
         self.reports: dict[tuple, MemoryReport] = {}
 
     @staticmethod
-    def _akey(cfg: ExperimentConfig, recompute: bool) -> tuple | None:
+    def _akey(cfg: ExperimentConfig, pipeline: tuple[str, ...]) -> tuple | None:
         return ScheduleCache.key(
             cfg.scheme,
             cfg.depth,
             cfg.num_micro_batches(),
-            {"recompute": recompute, **dict(cfg.options)},
+            {**split_pipeline(pipeline).build_options(), **dict(cfg.options)},
         )
 
     def artifacts_for(
-        self, cfg: ExperimentConfig, recompute: bool
+        self, cfg: ExperimentConfig, pipeline: tuple[str, ...]
     ) -> ScheduleArtifacts:
-        key = self._akey(cfg, recompute)
+        key = self._akey(cfg, pipeline)
         if key is not None:
             hit = self.artifacts.get(key)
             if hit is not None:
                 return hit
-        arts = config_artifacts(cfg, recompute)
+        arts = config_artifacts(cfg, pipeline)
         if key is not None:
             self.artifacts[key] = arts
         return arts
 
     def memory_report(
-        self, cfg: ExperimentConfig, recompute: bool
+        self, cfg: ExperimentConfig, pipeline: tuple[str, ...]
     ) -> tuple[ScheduleArtifacts, MemoryReport]:
         """Memoized :func:`repro.bench.harness.memory_report` (same math)."""
-        arts = self.artifacts_for(cfg, recompute)
-        akey = self._akey(cfg, recompute)
+        arts = self.artifacts_for(cfg, pipeline)
+        akey = self._akey(cfg, pipeline)
         rkey = (
             (akey, cfg.machine, cfg.workload, cfg.micro_batch)
             if akey is not None
@@ -282,6 +359,9 @@ def plan_configurations(
     fused: bool = False,
     recompute: bool | None = None,
     top_k: int | None = None,
+    pipeline: Sequence[str] | str | None = None,
+    offload: bool | None = None,
+    host_memory_budget_bytes: float | None = None,
 ) -> list[PlanEntry]:
     """Rank every feasible ``(scheme, W, D, B)`` under a memory budget.
 
@@ -308,6 +388,17 @@ def plan_configurations(
         selecting an ``R`` configuration). ``True``: always recompute.
     top_k:
         Truncate the ranked table; ``None`` returns every survivor.
+    pipeline:
+        Explicit transform pipeline (ordered pass names, validated
+        against the registry). Pins every candidate to exactly this
+        composition and disables the recompute/offload axes.
+    offload:
+        The offload-pass planning axis, same shape as ``recompute``:
+        ``None`` tries plain → offload → recompute → offload+recompute
+        per candidate; ``False``/``True`` pin it.
+    host_memory_budget_bytes:
+        Host-tier cap for offloaded stashes; candidates prune against
+        ``min(machine.host_memory_bytes, budget)``.
 
     Raises
     ------
@@ -329,6 +420,9 @@ def plan_configurations(
         fused=fused,
         recompute=recompute,
         top_k=top_k,
+        pipeline=normalize_pipeline(pipeline) if pipeline is not None else None,
+        offload=offload,
+        host_memory_budget_bytes=host_memory_budget_bytes,
     )
     return plan_many([request], max_workers=1)[0].raise_or_entries()
 
@@ -475,10 +569,7 @@ def _prune_request(request: PlanRequest, ctx: _PlanContext) -> _Pruned:
             f"count or min_depth"
         )
 
-    if request.recompute is None:
-        attempts: tuple[bool, ...] = (False, True)
-    else:
-        attempts = (request.recompute,)
+    attempts = request.attempt_pipelines()
 
     pruned = _Pruned(request=request)
     for scheme, width, depth, micro_batch in grid:
@@ -487,6 +578,9 @@ def _prune_request(request: PlanRequest, ctx: _PlanContext) -> _Pruned:
             options = _parameterized_options(
                 request, scheme, width, depth, micro_batch
             )
+        # Transform booleans stay at their defaults here: the per-attempt
+        # pipeline is passed explicitly, and the winning one is pinned on
+        # the survivor's config below.
         cfg = ExperimentConfig(
             scheme=scheme,
             machine=request.machine,
@@ -495,34 +589,40 @@ def _prune_request(request: PlanRequest, ctx: _PlanContext) -> _Pruned:
             depth=depth,
             micro_batch=micro_batch,
             mini_batch=request.mini_batch,
-            lowered=request.lowered,
-            fused=request.fused,
             memory_budget_bytes=request.memory_budget_bytes,
+            host_memory_budget_bytes=request.host_memory_budget_bytes,
             options=options,
         )
         # Prune before ranking: the memory verdict needs no simulation, so
         # OOM candidates never pay the simulation cost.
         try:
-            fits: tuple[bool, ScheduleArtifacts] | None = None
+            fits: tuple[tuple[str, ...], ScheduleArtifacts] | None = None
             for attempt in attempts:
                 arts, report = ctx.memory_report(cfg, attempt)
-                if report.fits(cfg.capacity_bytes):
+                if report.fits(cfg.capacity_bytes, cfg.host_capacity_bytes):
                     fits = (attempt, arts)
                     break
             if fits is None:
-                r = ", R" if attempt else ""
-                overshoot = report.peak_bytes - cfg.capacity_bytes
+                parts = split_pipeline(attempt)
+                r = ", R" if parts.recompute else ""
+                o = ", O" if parts.offload else ""
+                overshoot = max(
+                    report.peak_bytes - cfg.capacity_bytes,
+                    report.host_peak_bytes - cfg.host_capacity_bytes,
+                )
                 if pruned.closest is None or overshoot < pruned.closest[0]:
                     pruned.closest = (
                         overshoot,
-                        f"{scheme}(W={width}, D={depth}, B={micro_batch}{r})",
+                        f"{scheme}(W={width}, D={depth}, B={micro_batch}{r}{o})",
                     )
                 continue
         except (ConfigurationError, ScheduleError):
             continue  # structurally invalid corner (e.g. N < 1)
         pruned.survivors.append(
             _Survivor(
-                cfg=replace(cfg, recompute=fits[0]), report=report, arts=fits[1]
+                cfg=replace(cfg, pipeline=fits[0]),
+                report=report,
+                arts=fits[1],
             )
         )
     return pruned
@@ -573,7 +673,9 @@ def _steady_cfg_key(cfg: ExperimentConfig) -> tuple:
         cfg.recompute,
         cfg.lowered,
         cfg.fused,
+        cfg.pipeline,
         cfg.memory_budget_bytes,
+        cfg.host_memory_budget_bytes,
         options,
     )
 
@@ -610,8 +712,9 @@ def _rank_all(
                 row_of_survivor[id(survivor)] = _steady_cfg_key(cfg)
                 async_cfgs.setdefault(row_of_survivor[id(survivor)], cfg)
                 continue
-            schedule = arts.schedule_for(cfg.lowered, cfg.fused)
-            graph = arts.graph_for(cfg.lowered, cfg.fused)
+            parts = split_pipeline(cfg.pipeline)
+            schedule = arts.schedule_for(parts.lowered, parts.fused)
+            graph = arts.graph_for(parts.lowered, parts.fused)
             model = calibrate_cost_model(
                 cfg.machine,
                 cfg.workload,
@@ -678,11 +781,14 @@ def _rank_all(
                         throughput=result.throughput,
                         bubble_ratio=result.bubble_ratio,
                         peak_memory_bytes=result.peak_memory_bytes,
+                        pipeline=result.pipeline,
+                        host_peak_memory_bytes=result.host_peak_memory_bytes,
                     )
                 )
                 continue
             iteration, bubble, sched_n = sync_results[key]
             samples = sched_n * cfg.micro_batch * cfg.width
+            pipeline = cfg.pipeline or ()
             entries.append(
                 PlanEntry(
                     scheme=cfg.scheme,
@@ -690,13 +796,15 @@ def _rank_all(
                     depth=cfg.depth,
                     micro_batch=cfg.micro_batch,
                     num_micro_batches=cfg.num_micro_batches(),
-                    recompute=bool(cfg.recompute),
+                    recompute=split_pipeline(pipeline).recompute,
                     iteration_time=iteration,
                     throughput=samples / iteration
                     if iteration > 0
                     else float("inf"),
                     bubble_ratio=bubble,
                     peak_memory_bytes=report.peak_bytes,
+                    pipeline=pipeline,
+                    host_peak_memory_bytes=report.host_peak_bytes,
                 )
             )
         out[id(pruned)] = entries

@@ -24,8 +24,10 @@ the lowering pass leaves implicit. *Fused* schedules
 ``SEND`` puts the tensor on the wire and the consumer takes it straight
 off the backend. Explicit ``RECOMPUTE`` ops (the recompute pass)
 rematerialize a stage's discarded activations from the stashed stage
-input right before the first backward. All paths produce bit-identical
-training results; the parity tests assert it.
+input right before the first backward. ``OFFLOAD``/``RELOAD`` ops (the
+offload pass) park a stage's stash in the module's host tier between the
+forward and its first consumer. All paths produce bit-identical training
+results; the parity tests assert it.
 """
 
 from __future__ import annotations
@@ -242,11 +244,18 @@ class PipelineExecutor:
             self.backend.send(key, value)
 
     def _executable(self, group: int, op: Operation) -> bool:
-        if op.kind is OpKind.ALLREDUCE or op.is_backward_weight or op.is_recompute:
+        if (
+            op.kind is OpKind.ALLREDUCE
+            or op.is_backward_weight
+            or op.is_recompute
+            or op.is_host_comm
+        ):
             # Weight-gradient ops consume only local deferred state;
-            # RECOMPUTE replays from the locally stashed stage input; in
-            # both cases program order (validated: W after its Bi, R after
-            # its forward) makes them always runnable.
+            # RECOMPUTE replays from the locally stashed stage input;
+            # OFFLOAD/RELOAD shuffle the stash between memory tiers of
+            # their own worker; in all cases program order (validated: W
+            # after its Bi, R after its forward, host ops bracketing the
+            # stash's idle span) makes them always runnable.
             return True
         if op.kind is OpKind.SEND:
             # Program order puts the SEND after its producer, which filled
@@ -294,6 +303,8 @@ class PipelineExecutor:
             self._execute_send(group, op)
         elif op.kind is OpKind.RECV:
             self._execute_recv(group, op)
+        elif op.is_host_comm:
+            self._execute_host_comm(group, op)
         elif op.is_recompute:
             self._execute_recompute(group, op)
         elif op.is_forward:
@@ -314,6 +325,22 @@ class PipelineExecutor:
         for mb in op.micro_batches:
             key = self._message_key(group, op, mb, op.payload, op.stage)
             self._inbox[key] = self.backend.recv(key)
+
+    def _execute_host_comm(self, group: int, op: Operation) -> None:
+        """Move a stash between the device and host tiers (offload pass).
+
+        ``OFFLOAD`` parks the stage's activation stash in the stage
+        module's host-side dict, ``RELOAD`` brings it back before the
+        first consumer. Both touch only local state, and in this
+        in-process runtime the "copy" is a dict move — training stays
+        bit-identical; the simulator prices the transfer.
+        """
+        stage_module = self.stages[(group, op.replica, op.stage)]
+        for mb in op.micro_batches:
+            if op.is_offload:
+                stage_module.offload_stash(mb)
+            else:
+                stage_module.reload_stash(mb)
 
     def _execute_recompute(self, group: int, op: Operation) -> None:
         """Rebuild the stage's discarded activation caches for the backward.

@@ -37,6 +37,9 @@ class StageModule:
         self._inputs: dict[int, np.ndarray] = {}
         #: mb id -> backward fraction still outstanding (parts support).
         self._pending: dict[int, float] = {}
+        #: mb id -> (stage input, caches) parked in the host tier by an
+        #: OFFLOAD op; device-side dicts drop the entries while parked.
+        self._host: dict[int, tuple[np.ndarray, list | None]] = {}
         #: (mb, part) -> deferred parameter-gradient contribution of a
         #: split backward_input, awaiting its backward_weight.
         self._deferred_grads: dict[tuple[int, tuple[int, int]], list[np.ndarray]] = {}
@@ -66,6 +69,10 @@ class StageModule:
 
     def is_in_flight(self, mb: int) -> bool:
         return mb in self._pending
+
+    def host_resident(self) -> int:
+        """Number of micro-batch stashes currently parked in the host tier."""
+        return len(self._host)
 
     # ------------------------------------------------------------- snapshots
     def snapshot_params(self) -> list[np.ndarray]:
@@ -166,6 +173,36 @@ class StageModule:
         """Number of (mb, part) buffers awaiting their backward_weight."""
         return len(self._deferred_grads)
 
+    # --------------------------------------------------------------- offload
+    def offload_stash(self, mb: int) -> None:
+        """Park micro-batch ``mb``'s stash in the host tier (``OFFLOAD``).
+
+        The stage input (and the activation caches, when the forward kept
+        them) move out of the device-side dicts into a host-side one. In
+        this in-process NumPy runtime host memory is where the arrays
+        already live, so the move is pure bookkeeping — which is exactly
+        why training stays bit-identical with offload enabled; the
+        simulator's cost model, not this module, accounts for the copy
+        time and the two-tier peaks.
+        """
+        if mb not in self._pending:
+            raise ReproError(f"offload for micro-batch {mb} without a forward")
+        if mb in self._host:
+            raise ReproError(f"micro-batch {mb} stash is already offloaded")
+        self._host[mb] = (self._inputs.pop(mb), self._caches.pop(mb, None))
+
+    def reload_stash(self, mb: int) -> None:
+        """Bring micro-batch ``mb``'s stash back on device (``RELOAD``)."""
+        entry = self._host.pop(mb, None)
+        if entry is None:
+            raise ReproError(
+                f"reload for micro-batch {mb} without an offloaded stash"
+            )
+        x, caches = entry
+        self._inputs[mb] = x
+        if caches is not None:
+            self._caches[mb] = caches
+
     def rematerialize(self, mb: int) -> None:
         """Replay the forward for ``mb`` from the stashed stage input.
 
@@ -179,6 +216,10 @@ class StageModule:
         if mb not in self._pending:
             raise ReproError(
                 f"rematerialization for micro-batch {mb} without a forward"
+            )
+        if mb in self._host:
+            raise ReproError(
+                f"micro-batch {mb} stash is offloaded; RELOAD must run first"
             )
         if mb in self._caches:
             return
@@ -195,6 +236,10 @@ class StageModule:
         """Reverse layer walk for ``mb`` (rematerializing if needed)."""
         if mb not in self._pending:
             raise ReproError(f"backward for micro-batch {mb} without a forward")
+        if mb in self._host:
+            raise ReproError(
+                f"micro-batch {mb} stash is offloaded; RELOAD must run first"
+            )
         if self.recompute and mb not in self._caches:
             # Rematerialize the full forward from the stashed stage input
             # (flag-based recomputation; explicit RECOMPUTE ops call

@@ -33,6 +33,11 @@ from repro.runtime.optimizers import SGD, Optimizer
 from repro.runtime.stage_module import StageModule
 from repro.schedules.lowering import lower_schedule
 from repro.schedules.passes import FuseCommPass
+from repro.schedules.passes.pipeline import (
+    normalize_pipeline,
+    pipeline_from_flags,
+    split_pipeline,
+)
 from repro.schedules.registry import build_schedule
 from repro.schedules.validate import validate_schedule
 
@@ -40,14 +45,16 @@ from repro.schedules.validate import validate_schedule
 class PipelineTrainer:
     """Train a :class:`TransformerLMConfig` model under any scheme.
 
-    ``lowered=True`` runs the schedule through the communication lowering
-    pass first, so the executor performs every cross-worker transfer as an
-    explicit SEND/RECV step — numerically identical to the implicit path
-    (the parity tests assert it), and the configuration to use when
-    comparing against a lowered simulation. ``fused=True`` additionally
-    batches each SEND/RECV pair (the fuse_comm pass); ``recompute=True``
-    routes through the recompute pass, so the executor rematerializes
-    activations at explicit RECOMPUTE ops — still bit-identical.
+    ``pipeline=`` is the canonical way to configure schedule transforms:
+    an ordered pass spec (e.g. ``("offload", "lower_p2p")``) resolved
+    against the pass registry, exactly as the simulator and planner take
+    it. Every composition is numerically identical to the plain path
+    (the parity tests assert it): lowering makes each cross-worker
+    transfer an explicit SEND/RECV step, fuse_comm batches the pairs,
+    recompute rematerializes activations at explicit RECOMPUTE ops, and
+    offload parks the stash in the host tier between OFFLOAD/RELOAD ops
+    — all bit-identical. The ``recompute``/``lowered``/``fused``
+    booleans remain as aliases composed into the same spec.
     """
 
     def __init__(
@@ -62,25 +69,44 @@ class PipelineTrainer:
         recompute: bool = False,
         lowered: bool = False,
         fused: bool = False,
+        pipeline: "str | tuple[str, ...] | None" = None,
         schedule_options: dict | None = None,
     ) -> None:
         if width < 1:
             raise ConfigurationError("width must be >= 1")
+        if pipeline is not None and (recompute or lowered or fused):
+            raise ConfigurationError(
+                "pass transforms either as pipeline= or as the "
+                "recompute/lowered/fused booleans, not both"
+            )
         if fused and not lowered:
             raise ConfigurationError(
                 "fused communication requires lowered=True"
             )
+        parts = split_pipeline(
+            normalize_pipeline(pipeline)
+            if pipeline is not None
+            else pipeline_from_flags(
+                recompute=recompute, lowered=lowered, fused=fused
+            )
+        )
+        recompute = parts.recompute
         self.model_config = model_config
         self.scheme = scheme
         self.depth = depth
         self.width = width
+        self.pipeline = parts.pipeline()
         options = dict(schedule_options or {})
         self.schedule = build_schedule(
-            scheme, depth, num_micro_batches, recompute=recompute, **options
+            scheme,
+            depth,
+            num_micro_batches,
+            **parts.build_options(),
+            **options,
         )
-        if lowered:
+        if parts.lowered:
             self.schedule = lower_schedule(self.schedule)
-        if fused:
+        if parts.fused:
             self.schedule = FuseCommPass().run(self.schedule)
         validate_schedule(self.schedule, require_sync_ops=False)
         if scheme == "pipedream" and width != 1:

@@ -187,6 +187,13 @@ def build_dependency_graph(schedule: Schedule) -> DependencyGraph:
     send_by_dst_mb: dict[tuple[int, int, int, tuple[int, int], str], Operation] = {}
     recv_by_mb: dict[tuple[int, int, int, tuple[int, int], str], Operation] = {}
     remat_by_mb: dict[tuple[int, int, int], Operation] = {}
+    # Host-tier transfer indexes (offloaded schedules only). Offloads and
+    # reloads pair 1:1 on (replica, stage, micro_batches): the OFFLOAD's
+    # device→host copy feeds exactly one RELOAD's host→device copy, which
+    # in turn delivers to exactly one consuming backward/RECOMPUTE — the
+    # single-valued wiring the simulator's transfer tables rely on.
+    offload_by_mb: dict[tuple[int, int, int], Operation] = {}
+    reload_by_mb: dict[tuple[int, int, int], Operation] = {}
 
     for worker, ops in enumerate(schedule.worker_ops):
         for pos, op in enumerate(ops):
@@ -251,6 +258,64 @@ def build_dependency_graph(schedule: Schedule) -> DependencyGraph:
                             f"at stage {op.stage} of replica {op.replica}"
                         )
                     recv_by_mb[rkey] = op
+            if op.kind is OpKind.OFFLOAD:
+                for mb in op.micro_batches:
+                    okey = (op.replica, op.stage, mb)
+                    if okey in offload_by_mb:
+                        raise ValidationError(
+                            f"micro-batch {mb} has two OFFLOAD ops at stage "
+                            f"{op.stage} of replica {op.replica}"
+                        )
+                    offload_by_mb[okey] = op
+            if op.kind is OpKind.RELOAD:
+                for mb in op.micro_batches:
+                    okey = (op.replica, op.stage, mb)
+                    if okey in reload_by_mb:
+                        raise ValidationError(
+                            f"micro-batch {mb} has two RELOAD ops at stage "
+                            f"{op.stage} of replica {op.replica}"
+                        )
+                    reload_by_mb[okey] = op
+
+    for okey, off in offload_by_mb.items():
+        reload = reload_by_mb.get(okey)
+        if reload is None:
+            raise ValidationError(
+                f"OFFLOAD of micro-batch {okey[2]} at stage {okey[1]} "
+                f"(replica {okey[0]}) has no matching RELOAD"
+            )
+        if reload.micro_batches != off.micro_batches:
+            raise ValidationError(
+                f"OFFLOAD {off.short()} and RELOAD {reload.short()} cover "
+                f"different micro-batches (replica {okey[0]}, stage {okey[1]})"
+            )
+    # Each RELOAD delivers to the *first* stash consumer (backward part or
+    # RECOMPUTE) that follows it on its worker; later consumers are held
+    # behind that one by program order. The consumer holds the host-wire
+    # TRANSFER edge directly, like a fused transfer.
+    consumer_reloads: dict[OpKey, list[Operation]] = {}
+    for worker, ops in enumerate(schedule.worker_ops):
+        for pos, op in enumerate(ops):
+            if op.kind is not OpKind.RELOAD:
+                continue
+            needed = set(op.micro_batches)
+            consumer = None
+            for later in ops[pos + 1 :]:
+                if (
+                    (later.is_backward or later.is_recompute)
+                    and later.replica == op.replica
+                    and later.stage == op.stage
+                    and needed & set(later.micro_batches)
+                ):
+                    consumer = later
+                    break
+            if consumer is None:
+                raise ValidationError(
+                    f"RELOAD {op.short()} (replica {op.replica}) has no "
+                    f"consuming backward or RECOMPUTE after it on worker "
+                    f"{worker}"
+                )
+            consumer_reloads.setdefault(consumer.key(), []).append(op)
 
     depth = schedule.num_stages
     deps: dict[OpKey, tuple[Edge, ...]] = {}
@@ -397,6 +462,31 @@ def build_dependency_graph(schedule: Schedule) -> DependencyGraph:
                         len(op.micro_batches) / op.part[1],
                     )
                 )
+            elif op.kind is OpKind.OFFLOAD:
+                for mb in op.micro_batches:
+                    fwd = fwd_by_mb.get((op.replica, op.stage, mb))
+                    if fwd is None:
+                        raise ValidationError(
+                            f"OFFLOAD of micro-batch {mb} at stage {op.stage} "
+                            f"(replica {op.replica}) has no matching forward"
+                        )
+                    incoming.append(Edge(fwd.key(), op.key(), EdgeKind.ENQUEUE))
+            elif op.kind is OpKind.RELOAD:
+                for mb in op.micro_batches:
+                    off = offload_by_mb.get((op.replica, op.stage, mb))
+                    if off is None:
+                        raise ValidationError(
+                            f"RELOAD of micro-batch {mb} at stage {op.stage} "
+                            f"(replica {op.replica}) has no matching OFFLOAD"
+                        )
+                    incoming.append(
+                        Edge(
+                            off.key(),
+                            op.key(),
+                            EdgeKind.TRANSFER,
+                            _payload_between(off, op),
+                        )
+                    )
             elif op.kind is OpKind.ALLREDUCE:
                 targets = op.micro_batches or schedule.micro_batches_of_replica(
                     op.replica
@@ -410,6 +500,17 @@ def build_dependency_graph(schedule: Schedule) -> DependencyGraph:
                     if location[producer.key()][0] != worker:
                         continue
                     incoming.append(Edge(producer.key(), op.key(), EdgeKind.SYNC))
+            # The first stash consumer after each RELOAD waits for the
+            # host→device copy to arrive (host-wire TRANSFER edge).
+            for reload in consumer_reloads.get(op.key(), ()):
+                incoming.append(
+                    Edge(
+                        reload.key(),
+                        op.key(),
+                        EdgeKind.TRANSFER,
+                        len(reload.micro_batches) / reload.part[1],
+                    )
+                )
             # Deduplicate (forward doubling can produce the same edge twice
             # when both micro-batches of a chunk share one producer chunk).
             unique: dict[tuple, Edge] = {(e.src, e.kind): e for e in incoming}

@@ -51,7 +51,9 @@ from types import MappingProxyType
 #: Bumped whenever the serialized layout or the pickled classes change
 #: incompatibly. Part of the content address, so old-format entries are
 #: simply never found (and are swept by ``clear``), not misread.
-FORMAT_VERSION = 1
+#: v2: host-memory tier — kernels carry per-op host-channel direction
+#: tables (``send_host_dir``) and schedules may contain OFFLOAD/RELOAD.
+FORMAT_VERSION = 2
 
 #: First bytes of every entry file; a cheap pre-pickle sanity check that
 #: rejects foreign files dropped into the cache directory.

@@ -77,6 +77,17 @@ class OpKind(enum.Enum):
     #: Explicit point-to-point receive, produced by the lowering pass. Runs
     #: on the consumer's worker; completes when the transfer arrives.
     RECV = "Rx"
+    #: Host-memory offload of one micro-batch's activation stash, produced
+    #: by the offload pass (:mod:`repro.schedules.passes.offload`). Runs on
+    #: the worker hosting the stash; launches a device→host copy that
+    #: occupies the worker's host channel. The stash leaves device memory
+    #: once the copy completes and must be brought back by a ``RELOAD``
+    #: before any backward (or recompute) of the micro-batch.
+    OFFLOAD = "Ho"
+    #: Host-memory reload of a previously offloaded stash. Launches the
+    #: host→device copy (it may start only after the offload's copy has
+    #: landed on the host); the consuming backward waits for its arrival.
+    RELOAD = "Hr"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -139,6 +150,12 @@ class Operation:
                     f"comm op needs payload 'act' or 'grad', got "
                     f"{self.payload!r} in {self!r}"
                 )
+        elif self.is_host_comm:
+            if self.payload != "stash":
+                raise ScheduleError(
+                    f"host-transfer op needs payload 'stash', got "
+                    f"{self.payload!r} in {self!r}"
+                )
         elif self.payload:
             raise ScheduleError(f"payload on non-comm op {self!r}")
 
@@ -192,6 +209,24 @@ class Operation:
         return self.kind in (OpKind.SEND, OpKind.RECV)
 
     @property
+    def is_offload(self) -> bool:
+        return self.kind is OpKind.OFFLOAD
+
+    @property
+    def is_reload(self) -> bool:
+        return self.kind is OpKind.RELOAD
+
+    @property
+    def is_host_comm(self) -> bool:
+        """True for the host-tier transfer ops (``OFFLOAD`` / ``RELOAD``).
+
+        Both run on the worker that hosts the stash — there is no remote
+        endpoint; the transfer occupies the worker's own host↔device
+        channel instead of a network link.
+        """
+        return self.kind in (OpKind.OFFLOAD, OpKind.RELOAD)
+
+    @property
     def peer_stage(self) -> int:
         """The other endpoint's stage of a comm op.
 
@@ -210,7 +245,13 @@ class Operation:
 
     @property
     def is_compute(self) -> bool:
-        return self.kind not in (OpKind.ALLREDUCE, OpKind.SEND, OpKind.RECV)
+        return self.kind not in (
+            OpKind.ALLREDUCE,
+            OpKind.SEND,
+            OpKind.RECV,
+            OpKind.OFFLOAD,
+            OpKind.RELOAD,
+        )
 
     @property
     def work_units(self) -> float:
@@ -247,6 +288,8 @@ class Operation:
             return f"S{self.stage}r{self.replica}"
         if self.is_comm:
             return f"{self.kind.value}[{self.payload}]{mbs}s{self.stage}{suffix}"
+        if self.is_host_comm:
+            return f"{self.kind.value}{mbs}s{self.stage}{suffix}"
         if self.is_recompute:
             return f"R{mbs}s{self.stage}{suffix}"
         return f"{self.kind.value}{mbs}{suffix}"

@@ -49,6 +49,8 @@ LOWERED = "lowered"
 FUSED_COMM = "fused_comm"
 #: Activation recomputation is in effect (flags or explicit RECOMPUTE ops).
 RECOMPUTE = "recompute"
+#: Activation stashes are offloaded to the host tier (OFFLOAD/RELOAD ops).
+OFFLOAD = "offload"
 
 
 def schedule_facts(schedule: Schedule) -> set[str]:
@@ -64,11 +66,15 @@ def schedule_facts(schedule: Schedule) -> set[str]:
         facts.add(FUSED_COMM)
     if schedule.metadata.get("recompute"):
         facts.add(RECOMPUTE)
+    if schedule.metadata.get("offload"):
+        facts.add(OFFLOAD)
     for _, op in schedule.all_ops():
         if op.kind is OpKind.ALLREDUCE:
             facts.add(SYNC)
         elif op.is_recompute or (op.is_backward and op.recompute):
             facts.add(RECOMPUTE)
+        elif op.is_host_comm:
+            facts.add(OFFLOAD)
     return facts
 
 

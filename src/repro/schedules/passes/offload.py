@@ -1,0 +1,165 @@
+"""Host-memory activation offload as a pass.
+
+The memory/throughput frontier the planner explores had two axes:
+recompute (trade FLOPs for stash bytes) and the memory-controllable
+zero-bubble variants (trade ramp time for stash lifetime). This pass adds
+the third axis real runtimes exploit: park each forward's activation
+stash in *host* memory while it is not needed, and prefetch it back just
+in time for the backward — the stash costs host↔device bandwidth instead
+of device bytes or recompute FLOPs.
+
+``offload`` rewrites any schedule:
+
+* one :class:`~repro.schedules.ir.OpKind.OFFLOAD` op per
+  ``(replica, stage, micro-batch)`` is inserted immediately after the
+  forward that produced the stash — the stash's last pre-backward use —
+  launching the device→host copy;
+* one matching :class:`~repro.schedules.ir.OpKind.RELOAD` op is inserted
+  immediately before the micro-batch's *first* stash consumer (backward
+  part, or the RECOMPUTE op when the recompute pass ran first) on that
+  worker, launching the host→device copy the consumer waits for.
+
+Both ops block their worker only for the communication launch overhead;
+the copies themselves occupy the worker's host↔device channel
+(:class:`repro.sim.network.HostChannel`) and run concurrently with
+compute. Because the RELOAD's only data dependency is the OFFLOAD's
+completed device→host copy, the simulator starts it as soon as the worker
+idles — any bubble in front of the consuming backward hides the reload
+latency, which is exactly how real prefetched offload behaves
+(cf. zero-bubble's host-side activation offload).
+
+Insertion skips backwards over any contiguous run of ``RECV`` ops
+directly in front of the consumer (the same idiom as the recompute pass),
+so the reload sits before the consumer's just-in-time receives. Stashes
+whose forward and first consumer are adjacent (gap below ``min_gap``
+intervening ops) are left on the device: a back-to-back offload/reload
+pair would save no peak memory and only add launch overhead.
+
+The pass composes with recompute in either order: recompute-then-offload
+reloads the stashed stage *input* before the RECOMPUTE op; offload-then-
+recompute inserts the RECOMPUTE between the RELOAD and the backward
+(recompute's insertion skips only RECVs). Run it before ``lower_p2p`` /
+``fuse_comm`` — the canonical pipeline position (see ``docs/passes.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.common.errors import ScheduleError
+from repro.schedules.ir import Operation, OpKind, Schedule, freeze_worker_ops
+from repro.schedules.passes.base import OFFLOAD, SchedulePass
+
+
+def _is_stash_consumer(op: Operation) -> bool:
+    """Ops that need the stash resident on the device."""
+    return op.is_backward or op.is_backward_weight or op.is_recompute
+
+
+class OffloadPass(SchedulePass):
+    """Insert OFFLOAD/RELOAD pairs around each stash's idle interval."""
+
+    name = "offload"
+    provides = frozenset({OFFLOAD})
+
+    def __init__(self, min_gap: str | int = 1):
+        self.min_gap = int(min_gap)
+        if self.min_gap < 1:
+            raise ScheduleError(
+                f"offload min_gap must be >= 1, got {self.min_gap}"
+            )
+
+    def params(self) -> tuple[tuple[str, object], ...]:
+        if self.min_gap == 1:
+            return ()
+        return (("min_gap", self.min_gap),)
+
+    def _plan(
+        self, schedule: Schedule
+    ) -> tuple[dict[tuple, list[int]], dict[tuple, list[int]]]:
+        """Insertion plan: micro-batches to offload after each forward and
+        to reload before each first consumer (keyed by ``op.key()``)."""
+        # Stashes already offloaded: idempotence.
+        covered: set[tuple[int, int, int]] = set()
+        for _, op in schedule.all_ops():
+            if op.is_offload:
+                for mb in op.micro_batches:
+                    covered.add((op.replica, op.stage, mb))
+
+        offload_after: dict[tuple, list[int]] = {}
+        reload_before: dict[tuple, list[int]] = {}
+        for ops in schedule.worker_ops:
+            fwd_at: dict[tuple[int, int, int], tuple[int, Operation]] = {}
+            first_use: dict[tuple[int, int, int], tuple[int, Operation]] = {}
+            for pos, op in enumerate(ops):
+                if op.is_forward:
+                    for mb in op.micro_batches:
+                        fwd_at[(op.replica, op.stage, mb)] = (pos, op)
+                elif _is_stash_consumer(op):
+                    for mb in op.micro_batches:
+                        key = (op.replica, op.stage, mb)
+                        if key not in first_use:
+                            first_use[key] = (pos, op)
+            for key, (fpos, fwd) in fwd_at.items():
+                if key in covered or key not in first_use:
+                    continue
+                cpos, consumer = first_use[key]
+                if cpos - fpos - 1 < self.min_gap:
+                    continue  # back-to-back: offloading saves nothing
+                offload_after.setdefault(fwd.key(), []).append(key[2])
+                reload_before.setdefault(consumer.key(), []).append(key[2])
+        return offload_after, reload_before
+
+    def run(self, schedule: Schedule) -> Schedule:
+        offload_after, reload_before = self._plan(schedule)
+        rows: list[list[Operation]] = []
+        for ops in schedule.worker_ops:
+            row: list[Operation] = []
+            for op in ops:
+                for mb in sorted(reload_before.get(op.key(), ())):
+                    reload = Operation(
+                        OpKind.RELOAD,
+                        op.replica,
+                        op.stage,
+                        micro_batches=(mb,),
+                        payload="stash",
+                    )
+                    # Slot the reload before the consumer's just-in-time
+                    # RECVs (if lowering already ran), mirroring the
+                    # recompute pass's insertion idiom.
+                    at = len(row)
+                    while at > 0 and row[at - 1].kind is OpKind.RECV:
+                        at -= 1
+                    row.insert(at, reload)
+                row.append(op)
+                for mb in sorted(offload_after.get(op.key(), ())):
+                    row.append(
+                        Operation(
+                            OpKind.OFFLOAD,
+                            op.replica,
+                            op.stage,
+                            micro_batches=(mb,),
+                            payload="stash",
+                        )
+                    )
+            rows.append(row)
+        return replace(
+            schedule,
+            worker_ops=freeze_worker_ops(rows),
+            metadata={**dict(schedule.metadata), "offload": True},
+        )
+
+    def check(self, before: Schedule, after: Schedule) -> None:
+        offload_after, reload_before = self._plan(before)
+        wanted = sum(len(mbs) for mbs in offload_after.values())
+        offloads = after.count(OpKind.OFFLOAD) - before.count(OpKind.OFFLOAD)
+        reloads = after.count(OpKind.RELOAD) - before.count(OpKind.RELOAD)
+        if offloads != wanted or reloads != wanted:
+            raise ScheduleError(
+                f"offload pass planned {wanted} stash offload(s) but "
+                f"inserted {offloads} OFFLOAD / {reloads} RELOAD op(s)"
+            )
+        if wanted and sum(len(m) for m in reload_before.values()) != wanted:
+            raise ScheduleError(
+                "offload pass planned mismatched offload/reload sets"
+            )

@@ -1,0 +1,182 @@
+"""Canonical pipeline specs: one ordered list of pass names.
+
+Historically the transform configuration was smeared across three
+booleans — ``recompute``/``lowered``/``fused`` — on
+:class:`~repro.bench.harness.ExperimentConfig`,
+:class:`~repro.perf.planner.PlanRequest`, the CLI, and the serve JSON
+schema. Adding the offload pass would have meant a fourth. Instead, a
+**pipeline spec** is the single way to say which passes run on top of a
+scheme's defaults: a comma-separated string (``"recompute,offload,
+lower_p2p"``) or a sequence of pass specs, each resolved and validated
+against the :data:`~repro.schedules.passes.base.DEFAULT_PASS_MANAGER`
+registry (unknown names raise with the registered names enumerated,
+mirroring unknown-scheme errors).
+
+:func:`normalize_pipeline` produces the canonical tuple form:
+
+* ``recompute`` is hoisted to the head — it composes with the other
+  pre-lowering passes in either order, and the canonical position keys
+  the schedule cache once instead of per-permutation;
+* ``lower_p2p`` and ``fuse_comm`` sink to the tail in that order (they
+  are structural rewrites every other pass runs before), and
+  ``fuse_comm`` without ``lower_p2p`` is rejected;
+* duplicate pass names are rejected.
+
+:func:`split_pipeline` decomposes a canonical spec into the
+:class:`PipelineParts` the artifact cache consumes — the ``recompute``
+boolean and ``passes`` option of
+:func:`~repro.schedules.cache.schedule_artifacts` plus the
+``lowered``/``fused`` flags of
+:meth:`~repro.schedules.cache.ScheduleArtifacts.schedule_for` — so a
+pipeline-configured run shares cache entries bit-for-bit with the
+equivalent legacy-boolean run. :func:`pipeline_from_flags` is the
+reverse map, used by the deprecated boolean aliases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.schedules.passes.base import DEFAULT_PASS_MANAGER, PassManager
+
+#: Registered names of the passes the canonical ordering special-cases.
+RECOMPUTE_PASS = "recompute"
+OFFLOAD_PASS = "offload"
+LOWER_PASS = "lower_p2p"
+FUSE_PASS = "fuse_comm"
+
+#: Accepted spec forms for a pipeline: ``None``, a comma-separated
+#: string, or a sequence of pass specs.
+PipelineSpec = "str | Sequence[str] | None"
+
+
+def _spec_name(spec: str) -> str:
+    return spec.strip().partition(":")[0]
+
+
+def normalize_pipeline(
+    spec: str | Sequence[str] | None, *, manager: PassManager | None = None
+) -> tuple[str, ...]:
+    """Validate a pipeline spec into its canonical tuple form.
+
+    Accepts ``None`` (empty pipeline), a comma-separated string, or a
+    sequence of pass specs (each a registered name with optional
+    colon-separated arguments, e.g. ``"insert_sync:eager"``). Raises
+    :class:`~repro.common.errors.ConfigurationError` for unknown pass
+    names (enumerating the registered ones), bad pass arguments,
+    duplicates, or ``fuse_comm`` without ``lower_p2p``.
+    """
+    manager = manager or DEFAULT_PASS_MANAGER
+    if spec is None:
+        return ()
+    if isinstance(spec, str):
+        specs = [s.strip() for s in spec.split(",") if s.strip()]
+    else:
+        specs = [str(s).strip() for s in spec if str(s).strip()]
+    seen: set[str] = set()
+    head: list[str] = []
+    middle: list[str] = []
+    tail: list[str] = []
+    for item in specs:
+        manager.create(item)  # validates the name and its arguments
+        name = _spec_name(item)
+        if name in seen:
+            raise ConfigurationError(
+                f"pass {name!r} appears twice in pipeline {specs!r}"
+            )
+        seen.add(name)
+        if name == RECOMPUTE_PASS:
+            head.append(item)
+        elif name in (LOWER_PASS, FUSE_PASS):
+            tail.append(item)
+        else:
+            middle.append(item)
+    if FUSE_PASS in seen and LOWER_PASS not in seen:
+        raise ConfigurationError(
+            f"pipeline {specs!r} has {FUSE_PASS!r} without {LOWER_PASS!r} "
+            f"(fuse_comm batches the SEND/RECV pairs the lowering pass "
+            f"creates)"
+        )
+    tail.sort(key=lambda item: _spec_name(item) == FUSE_PASS)
+    return tuple(head + middle + tail)
+
+
+@dataclass(frozen=True)
+class PipelineParts:
+    """A canonical pipeline, decomposed for the artifact cache.
+
+    ``base`` holds the pre-lowering passes other than ``recompute``
+    (e.g. ``("offload",)``) — the ``passes=`` option of
+    :func:`~repro.schedules.cache.schedule_artifacts`; ``recompute``,
+    ``lowered`` and ``fused`` are the legacy booleans the cache keys and
+    derived-form accessors already understand, so pipeline-configured
+    and boolean-configured runs share cache entries.
+    """
+
+    base: tuple[str, ...] = ()
+    recompute: bool = False
+    lowered: bool = False
+    fused: bool = False
+
+    @property
+    def offload(self) -> bool:
+        """Does the pipeline include the offload pass?"""
+        return any(_spec_name(s) == OFFLOAD_PASS for s in self.base)
+
+    def pipeline(self) -> tuple[str, ...]:
+        """Reassemble the canonical pipeline tuple."""
+        out = ([RECOMPUTE_PASS] if self.recompute else []) + list(self.base)
+        if self.lowered:
+            out.append(LOWER_PASS)
+        if self.fused:
+            out.append(FUSE_PASS)
+        return tuple(out)
+
+    def build_options(self) -> dict[str, object]:
+        """Builder/cache options for the pre-lowering part of the spec.
+
+        Empty ``passes`` are omitted (not passed as ``passes=()``) so
+        the cache key of a pass-less pipeline is identical to the
+        legacy ``recompute=bool`` key.
+        """
+        options: dict[str, object] = {"recompute": self.recompute}
+        if self.base:
+            options["passes"] = self.base
+        return options
+
+
+def split_pipeline(spec: str | Sequence[str] | None) -> PipelineParts:
+    """Decompose a pipeline spec (normalizing it first)."""
+    pipeline = normalize_pipeline(spec)
+    recompute = False
+    lowered = False
+    fused = False
+    base: list[str] = []
+    for item in pipeline:
+        name = _spec_name(item)
+        if name == RECOMPUTE_PASS:
+            recompute = True
+        elif name == LOWER_PASS:
+            lowered = True
+        elif name == FUSE_PASS:
+            fused = True
+        else:
+            base.append(item)
+    return PipelineParts(
+        base=tuple(base), recompute=recompute, lowered=lowered, fused=fused
+    )
+
+
+def pipeline_from_flags(
+    *,
+    recompute: bool = False,
+    lowered: bool = False,
+    fused: bool = False,
+    passes: Sequence[str] = (),
+) -> tuple[str, ...]:
+    """The canonical pipeline equivalent of the legacy boolean flags."""
+    return PipelineParts(
+        base=tuple(passes), recompute=recompute, lowered=lowered, fused=fused
+    ).pipeline()

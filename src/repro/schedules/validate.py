@@ -61,6 +61,7 @@ def validate_schedule(
     _check_completeness(schedule)
     _check_lowering(schedule)
     _check_recompute(schedule)
+    _check_offload(schedule)
     _check_acyclic(graph)
     if require_sync_ops:
         _check_sync_coverage(schedule)
@@ -107,7 +108,12 @@ def _check_completeness(schedule: Schedule) -> None:
     input_parts: dict[tuple[int, int], set[tuple[int, int]]] = defaultdict(set)
     weight_parts: dict[tuple[int, int], set[tuple[int, int]]] = defaultdict(set)
     for _, op in schedule.all_ops():
-        if op.kind is OpKind.ALLREDUCE or op.is_comm or op.is_recompute:
+        if (
+            op.kind is OpKind.ALLREDUCE
+            or op.is_comm
+            or op.is_host_comm
+            or op.is_recompute
+        ):
             continue
         for mb in op.micro_batches:
             if op.replica != owner.get(mb):
@@ -310,6 +316,59 @@ def _check_recompute(schedule: Schedule) -> None:
                 f"{worker} does not precede its first backward "
                 f"(worker {bwd[0]}, position {bwd[1]})"
             )
+
+
+def _check_offload(schedule: Schedule) -> None:
+    """Residency discipline for OFFLOAD/RELOAD pairs.
+
+    (That offloads and reloads pair 1:1 per (replica, stage, micro-batch),
+    match micro-batch coverage, and have a matching forward and a consuming
+    backward is enforced while building the dependency graph; here we pin
+    the *positions*: the stash must be offloaded only after its forward,
+    and while it resides on the host — between the OFFLOAD and its RELOAD —
+    no operation may consume it. Every stash consumer (backward part,
+    weight-gradient half, RECOMPUTE) must follow the RELOAD.)
+    """
+    offload_pos: dict[tuple[int, int, int], int] = {}
+    reload_pos: dict[tuple[int, int, int], int] = {}
+    fwd_pos: dict[tuple[int, int, int], int] = {}
+    consumer_pos: dict[tuple[int, int, int], list[tuple[int, str]]] = (
+        defaultdict(list)
+    )
+    for worker, ops in enumerate(schedule.worker_ops):
+        for pos, op in enumerate(ops):
+            keys = [(op.replica, op.stage, mb) for mb in op.micro_batches]
+            if op.is_offload:
+                for key in keys:
+                    offload_pos[key] = pos
+            elif op.is_reload:
+                for key in keys:
+                    reload_pos[key] = pos
+            elif op.is_forward:
+                for key in keys:
+                    fwd_pos[key] = pos
+            elif op.is_backward or op.is_backward_weight or op.is_recompute:
+                for key in keys:
+                    consumer_pos[key].append((pos, op.short()))
+    for key, opos in offload_pos.items():
+        if key not in fwd_pos or fwd_pos[key] > opos:
+            raise ValidationError(
+                f"OFFLOAD for (replica, stage, mb) = {key} does not follow "
+                f"its forward"
+            )
+        rpos = reload_pos[key]  # pairing guaranteed by the graph builder
+        if rpos < opos:
+            raise ValidationError(
+                f"RELOAD for (replica, stage, mb) = {key} precedes its "
+                f"OFFLOAD"
+            )
+        for cpos, short in consumer_pos.get(key, ()):
+            if opos < cpos < rpos:
+                raise ValidationError(
+                    f"{short} consumes the stash of (replica, stage, mb) = "
+                    f"{key} while it resides on the host (between its "
+                    f"OFFLOAD and RELOAD)"
+                )
 
 
 def _check_acyclic(graph: DependencyGraph) -> None:

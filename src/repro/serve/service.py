@@ -27,6 +27,7 @@ from repro.perf.planner import (
     PlanRequest,
     plan_many,
 )
+from repro.schedules.passes.pipeline import normalize_pipeline
 from repro.schedules.registry import available_schemes
 
 #: Default bound on concurrently admitted plan computations.
@@ -49,6 +50,9 @@ _REQUEST_FIELDS = {
     "fused",
     "recompute",
     "top_k",
+    "pipeline",
+    "offload",
+    "host_memory_budget_bytes",
 }
 
 
@@ -105,14 +109,16 @@ def parse_plan_request(payload: object) -> PlanRequest:
     num_workers = _require_int(payload, "num_workers")
     mini_batch = _require_int(payload, "mini_batch")
 
-    budget = payload.get("memory_budget_bytes")
-    if budget is not None and (
-        not isinstance(budget, (int, float)) or isinstance(budget, bool)
-    ):
-        raise ConfigurationError(
-            f"field 'memory_budget_bytes' must be a number or null, "
-            f"got {budget!r}"
-        )
+    budgets = {}
+    for key in ("memory_budget_bytes", "host_memory_budget_bytes"):
+        budgets[key] = payload.get(key)
+        if budgets[key] is not None and (
+            not isinstance(budgets[key], (int, float))
+            or isinstance(budgets[key], bool)
+        ):
+            raise ConfigurationError(
+                f"field '{key}' must be a number or null, got {budgets[key]!r}"
+            )
 
     schemes = payload.get("schemes")
     if schemes is not None:
@@ -130,28 +136,51 @@ def parse_plan_request(payload: object) -> PlanRequest:
             raise ConfigurationError(
                 f"field '{flag}' must be a boolean, got {payload[flag]!r}"
             )
-    recompute = payload.get("recompute")
-    if recompute is not None and not isinstance(recompute, bool):
-        raise ConfigurationError(
-            f"field 'recompute' must be a boolean or null, got {recompute!r}"
-        )
+    for axis in ("recompute", "offload"):
+        if payload.get(axis) is not None and not isinstance(
+            payload[axis], bool
+        ):
+            raise ConfigurationError(
+                f"field '{axis}' must be a boolean or null, "
+                f"got {payload[axis]!r}"
+            )
     top_k = payload.get("top_k")
     if top_k is not None:
         top_k = _require_int(payload, "top_k")
+
+    pipeline = payload.get("pipeline")
+    if pipeline is not None:
+        if not isinstance(pipeline, str) and not (
+            isinstance(pipeline, (list, tuple))
+            and all(isinstance(s, str) for s in pipeline)
+        ):
+            raise ConfigurationError(
+                f"field 'pipeline' must be a comma-separated string or a "
+                f"list of pass names, got {pipeline!r}"
+            )
+        try:
+            pipeline = normalize_pipeline(pipeline)
+        except ConfigurationError as err:
+            # The pass-registry error already enumerates the registered
+            # pass names; prefix the offending field for the 400 body.
+            raise ConfigurationError(f"field 'pipeline': {err}") from None
 
     return PlanRequest(
         machine=machine,
         workload=workload,
         num_workers=num_workers,
         mini_batch=mini_batch,
-        memory_budget_bytes=budget,
+        memory_budget_bytes=budgets["memory_budget_bytes"],
         schemes=schemes,
         min_depth=_require_int(payload, "min_depth", default=2),
         max_micro_batch=_require_int(payload, "max_micro_batch", default=512),
         lowered=payload.get("lowered", True),
         fused=payload.get("fused", False),
-        recompute=recompute,
+        recompute=payload.get("recompute"),
         top_k=top_k,
+        pipeline=pipeline,
+        offload=payload.get("offload"),
+        host_memory_budget_bytes=budgets["host_memory_budget_bytes"],
     )
 
 
@@ -165,10 +194,12 @@ def entry_to_json(entry: PlanEntry) -> dict:
         "micro_batch": entry.micro_batch,
         "num_micro_batches": entry.num_micro_batches,
         "recompute": entry.recompute,
+        "pipeline": list(entry.pipeline),
         "iteration_time": entry.iteration_time,
         "throughput": entry.throughput,
         "bubble_ratio": entry.bubble_ratio,
         "peak_memory_bytes": entry.peak_memory_bytes,
+        "host_peak_memory_bytes": entry.host_peak_memory_bytes,
     }
 
 

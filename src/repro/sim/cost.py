@@ -18,7 +18,12 @@ from typing import Sequence
 from repro.common.errors import ConfigurationError
 from repro.schedules.ir import Operation, OpKind
 from repro.sim.collectives import allreduce_cost
-from repro.sim.network import FlatTopology, HierarchicalTopology, LinkSpec
+from repro.sim.network import (
+    FlatTopology,
+    HierarchicalTopology,
+    HostChannel,
+    LinkSpec,
+)
 
 Topology = FlatTopology | HierarchicalTopology
 
@@ -84,6 +89,15 @@ class CostModel:
     allreduce_algorithm: str = "rabenseifner"
     sync_launch_overhead: float = 0.0
     comm_launch_overhead: float = 0.0
+    #: Per-worker host↔device link used by OFFLOAD/RELOAD ops of the
+    #: offload pass. ``None`` (default) makes host transfers free — the
+    #: contention-free limit the offload parity tests exercise.
+    host_channel: HostChannel | None = None
+    #: Per-micro-batch stash payload moved by one OFFLOAD (and back by its
+    #: RELOAD). ``None`` reuses ``activation_message_bytes`` — the stash of
+    #: a stage is its input activation, same payload the p2p message
+    #: carries.
+    offload_message_bytes: float | None = None
     #: Fraction of compute slowdown while a non-blocking collective is in
     #: flight on a worker (asynchronous progression contends with compute —
     #: the §3.2 effect that makes eager middle-stage synchronization a net
@@ -174,7 +188,7 @@ class CostModel:
         """
         if op.kind is OpKind.ALLREDUCE:
             return 0.0
-        if op.is_comm:
+        if op.is_comm or op.is_host_comm:
             return self.comm_launch_overhead
         base = self.forward_time * self._scale(op.stage) * op.work_units
         if op.is_forward:
@@ -221,6 +235,40 @@ class CostModel:
         if self.topology is None or src_worker == dst_worker:
             return None
         return self.topology.channel(src_worker, dst_worker)
+
+    # ----------------------------------------------------------- host channel
+    def host_bytes(self, payload_units: float) -> float:
+        """Stash bytes moved by a host transfer of ``payload_units``."""
+        per_mb = (
+            self.activation_message_bytes
+            if self.offload_message_bytes is None
+            else self.offload_message_bytes
+        )
+        return per_mb * payload_units
+
+    def host_time(self, payload_units: float) -> float:
+        """Host↔device copy time; 0 when no host channel is configured."""
+        if self.host_channel is None:
+            return 0.0
+        return self.host_channel.link.time(self.host_bytes(payload_units))
+
+    def host_occupancy(self, payload_units: float) -> float:
+        """Seconds a host transfer holds its channel (bandwidth term only)."""
+        if self.host_channel is None:
+            return 0.0
+        return self.host_channel.link.occupancy(self.host_bytes(payload_units))
+
+    def host_channel_key(self, worker: int, direction: str) -> tuple | None:
+        """Contention channel of a host transfer, or None when free.
+
+        ``direction`` is ``"d2h"`` for an OFFLOAD's copy, ``"h2d"`` for a
+        RELOAD's. The tuple matches what the array kernel decodes from its
+        integer host-channel ids, so engine and kernel report identical
+        :class:`TransferRecord` channels.
+        """
+        if self.host_channel is None:
+            return None
+        return self.host_channel.channel_key(worker, direction)
 
     def grad_bytes(self, stage: int) -> float:
         if isinstance(self.stage_grad_bytes, (int, float)):

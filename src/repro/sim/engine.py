@@ -228,6 +228,12 @@ class _DenseSchedule:
         self.total = total
 
         self.kind_code = [_PLAIN] * total
+        #: Host-transfer direction: -1 for network sends, 0 for an
+        #: OFFLOAD's device→host copy, 1 for a RELOAD's host→device copy.
+        #: Host ops reuse the _SEND machinery (both launch a transfer that
+        #: occupies a channel); this array tells the wire-parameter setup
+        #: to price them on the worker's host channel instead of a link.
+        self.host_dir = [-1] * total
         #: Duration-memoization key: everything compute_time() reads.
         self.shape: list[tuple] = [()] * total
         for oid, op in enumerate(self.ops_flat):
@@ -237,6 +243,12 @@ class _DenseSchedule:
                 self.kind_code[oid] = _SEND
             elif op.kind is OpKind.RECV:
                 self.kind_code[oid] = _RECV
+            elif op.kind is OpKind.OFFLOAD:
+                self.kind_code[oid] = _SEND
+                self.host_dir[oid] = 0
+            elif op.kind is OpKind.RELOAD:
+                self.kind_code[oid] = _SEND
+                self.host_dir[oid] = 1
             self.shape[oid] = (op.kind, op.stage, op.work_units, op.recompute)
 
         self.in_count = [0] * total
@@ -357,15 +369,28 @@ def simulate(
             p2p_cache[mkey] = d
         return d
 
+    host_dir = dense.host_dir
     send_wire: dict[int, tuple[int, float, float, tuple | None]] = {}
     for oid, (dst_w, units) in dense.send_info.items():
         src_w = op_worker[oid]
-        send_wire[oid] = (
-            dst_w,
-            p2p_delay(src_w, dst_w, units),
-            cost_model.p2p_occupancy(src_w, dst_w, units),
-            cost_model.p2p_channel(src_w, dst_w),
-        )
+        hd = host_dir[oid]
+        if hd >= 0:
+            # OFFLOAD/RELOAD: the copy runs on the worker's own host
+            # channel — host-link alpha-beta time, contending only with
+            # this worker's other host transfers (never with p2p links).
+            send_wire[oid] = (
+                dst_w,
+                cost_model.host_time(units),
+                cost_model.host_occupancy(units),
+                cost_model.host_channel_key(src_w, "h2d" if hd else "d2h"),
+            )
+        else:
+            send_wire[oid] = (
+                dst_w,
+                p2p_delay(src_w, dst_w, units),
+                cost_model.p2p_occupancy(src_w, dst_w, units),
+                cost_model.p2p_channel(src_w, dst_w),
+            )
 
     sync_group_members = dense.sync_group_members
     group_of = dense.group_of
@@ -471,7 +496,9 @@ def simulate(
                     wire_start = channel_free[channel]
                 channel_free[channel] = wire_start + occupancy
             arrival = wire_start + wire_time
-            if occupancy > 0:
+            if occupancy > 0 and host_dir[oid] < 0:
+                # Host copies ride PCIe, not the NIC: they never block a
+                # collective's interface (mirrored in _finalize/kernel).
                 interval = (wire_start, wire_start + occupancy)
                 nic_busy_loop[worker].append(interval)
                 nic_busy_loop[dst_w].append(interval)
@@ -590,7 +617,7 @@ def _finalize(
     # Blocking collectives saw the same rule inside the event loop.
     nic_busy: dict[int, list[tuple[float, float]]] = defaultdict(list)
     for t in transfers:
-        if t.occupancy > 0:
+        if t.occupancy > 0 and t.payload != "stash":
             interval = (t.start, t.start + t.occupancy)
             nic_busy[t.src_worker].append(interval)
             nic_busy[t.dst_worker].append(interval)
@@ -685,6 +712,13 @@ def simulate_polling(
     if schedule.lowered:
         raise ScheduleError(
             "simulate_polling does not support lowered schedules; use simulate()"
+        )
+    if schedule.metadata.get("offload") or any(
+        op.is_host_comm for _, op in schedule.all_ops()
+    ):
+        raise ScheduleError(
+            "simulate_polling does not support offloaded schedules; "
+            "host-channel contention needs the event queue — use simulate()"
         )
     if graph is None:
         graph = build_dependency_graph(schedule)

@@ -17,6 +17,14 @@ behind an earlier transfer (link contention) is directly visible as a
 right-shifted cell; transfers whose wire intervals overlap (the latency
 term pipelines) stack onto additional ``P0>`` rows rather than
 overwriting each other.
+
+Schedules with the offload pass additionally get **host-channel lanes**
+(the ``P0~`` rows): that worker's activation-stash copies on its private
+host↔device channel — ``0v`` is micro-batch 0's stash heading down to
+host RAM (OFFLOAD, d2h), ``0^`` is the same stash coming back up
+(RELOAD, h2d). Host copies never share rows with p2p transfers: they
+ride PCIe, not the NIC, and contend only with this worker's other host
+copies (queueing shows as the same right-shift as on the wire lanes).
 """
 
 from __future__ import annotations
@@ -83,35 +91,52 @@ def render_gantt(
         if comm_lanes:
             # Overlapping transfers (only the beta term serializes; alpha
             # pipelines) stack onto extra lanes instead of overwriting.
-            lanes: list[list[str]] = []
-            lane_free: list[float] = []
+            # Host-channel stash copies get their own lane set (``P0~``):
+            # they occupy the worker's PCIe channel, never the NIC.
+            wire: list[tuple[str, object]] = []
+            host: list[tuple[str, object]] = []
             for t in result.transfers_from(worker):
                 if t.duration <= 0:
                     continue
-                for index, free in enumerate(lane_free):
-                    if t.start >= free - 1e-12:
-                        lane = index
-                        break
+                if t.payload == "stash":
+                    direction = (
+                        t.channel[2]
+                        if isinstance(t.channel, tuple) and len(t.channel) > 2
+                        else None
+                    )
+                    mark = {"d2h": "v", "h2d": "^"}.get(direction, "~")
+                    mbs = ",".join(str(m) for m in t.micro_batches)
+                    host.append((f"{mbs}{mark}", t))
                 else:
-                    lanes.append([" " * cell_width] * num_cells)
-                    lane_free.append(0.0)
-                    lane = len(lanes) - 1
-                lane_free[lane] = t.end
-                label = (
-                    f"{'a' if t.payload == 'act' else 'g'}"
-                    f"{','.join(str(m) for m in t.micro_batches)}"
-                    f">{t.dst_worker}"
-                )
-                first = min(num_cells - 1, round(t.start / time_step))
-                last = max(
-                    first, min(num_cells - 1, round(t.end / time_step) - 1)
-                )
-                for c in range(first, last + 1):
-                    lanes[lane][c] = label[:cell_width].center(cell_width)
-            for row in lanes:
-                lines.append(
-                    f"P{worker}>".ljust(tag_width) + "|" + "|".join(row) + "|"
-                )
+                    label = (
+                        f"{'a' if t.payload == 'act' else 'g'}"
+                        f"{','.join(str(m) for m in t.micro_batches)}"
+                        f">{t.dst_worker}"
+                    )
+                    wire.append((label, t))
+            for tag, group in ((f"P{worker}>", wire), (f"P{worker}~", host)):
+                lanes: list[list[str]] = []
+                lane_free: list[float] = []
+                for label, t in group:
+                    for index, free in enumerate(lane_free):
+                        if t.start >= free - 1e-12:
+                            lane = index
+                            break
+                    else:
+                        lanes.append([" " * cell_width] * num_cells)
+                        lane_free.append(0.0)
+                        lane = len(lanes) - 1
+                    lane_free[lane] = t.end
+                    first = min(num_cells - 1, round(t.start / time_step))
+                    last = max(
+                        first, min(num_cells - 1, round(t.end / time_step) - 1)
+                    )
+                    for c in range(first, last + 1):
+                        lanes[lane][c] = label[:cell_width].center(cell_width)
+                for row in lanes:
+                    lines.append(
+                        tag.ljust(tag_width) + "|" + "|".join(row) + "|"
+                    )
     # Synchronization summary line.
     if result.collectives:
         syncs = ", ".join(
@@ -119,11 +144,19 @@ def render_gantt(
         )
         more = "" if len(result.collectives) <= 8 else ", ..."
         lines.append(f"allreduce: {syncs}{more}")
-    if result.transfers:
+    p2p = [t for t in result.transfers if t.payload != "stash"]
+    stash = [t for t in result.transfers if t.payload == "stash"]
+    if p2p:
         lines.append(
-            f"p2p transfers: {len(result.transfers)} "
-            f"(wire time {sum(t.duration for t in result.transfers):g}s, "
-            f"occupancy {sum(t.occupancy for t in result.transfers):g}s)"
+            f"p2p transfers: {len(p2p)} "
+            f"(wire time {sum(t.duration for t in p2p):g}s, "
+            f"occupancy {sum(t.occupancy for t in p2p):g}s)"
+        )
+    if stash:
+        lines.append(
+            f"host copies: {len(stash)} "
+            f"(wire time {sum(t.duration for t in stash):g}s, "
+            f"occupancy {sum(t.occupancy for t in stash):g}s)"
         )
     lines.append(
         f"compute makespan={result.compute_makespan:g}s  "

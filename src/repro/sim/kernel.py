@@ -154,14 +154,17 @@ class ScheduleKernel:
             op_shape[oid] = sid
 
         # ---- combined edge list -----------------------------------------
-        # Delay classes: distinct (src_worker, dst_worker, payload_units)
-        # triples actually present on delay-carrying edges. Class 0 is the
-        # zero-delay class shared by program-order and local edges.
-        cls_id: dict[tuple[int, int, float], int] = {}
-        self.delay_classes: list[tuple[int, int, float]] = []
+        # Delay classes: distinct (src_worker, dst_worker, payload_units,
+        # host_dir) tuples actually present on delay-carrying edges.
+        # host_dir is -1 for network edges and the transfer direction for
+        # host-channel (OFFLOAD/RELOAD) wire edges, which are priced on
+        # the cost model's host link instead of the topology. Class 0 is
+        # the zero-delay class shared by program-order and local edges.
+        cls_id: dict[tuple[int, int, float, int], int] = {}
+        self.delay_classes: list[tuple[int, int, float, int]] = []
 
-        def _cls(src_w: int, dst_w: int, units: float) -> int:
-            key = (src_w, dst_w, units)
+        def _cls(src_w: int, dst_w: int, units: float, host_dir: int = -1) -> int:
+            key = (src_w, dst_w, units, host_dir)
             cid = cls_id.get(key)
             if cid is None:
                 cid = len(self.delay_classes) + 1
@@ -202,7 +205,7 @@ class ScheduleKernel:
             recv = dense.transfer_out[src]
             if recv >= 0:
                 dst_w, units = dense.send_info[src]
-                cid = _cls(op_worker[src], dst_w, units)
+                cid = _cls(op_worker[src], dst_w, units, dense.host_dir[src])
                 self.send_cls[src] = cid
                 esrc.append(src)
                 edst.append(recv)
@@ -226,6 +229,11 @@ class ScheduleKernel:
         self.send_row_pos = np.array(
             [dense.row_pos[o] for o in send_oid], dtype=np.int64
         )
+        #: Host-transfer direction per send (-1 network, 0 d2h, 1 h2d).
+        self.send_host_dir = np.array(
+            [dense.host_dir[o] for o in send_oid], dtype=np.int64
+        )
+        self.has_host_sends = bool((self.send_host_dir >= 0).any())
         self.send_ids = send_oid
         #: Op id -> send-table index (-1 for non-SEND ops).
         send_of_op = [-1] * total
@@ -236,10 +244,23 @@ class ScheduleKernel:
         # carries worker a's sends, whose end times are monotone in row
         # order), so the FIFO order per channel is static and contended
         # full-duplex schedules serialize inline in ONE sweep. Compact the
-        # channel ids for dense per-channel cursor arrays.
-        chan_full = (
-            self.send_worker * graph.schedule.num_workers + self.send_dst_w
-        )
+        # channel ids for dense per-channel cursor arrays. Host transfers
+        # get their own compact channels above the worker-pair namespace —
+        # one per (worker, direction), the full-host-duplex granularity
+        # (half-duplex host channels route to the fixed point instead; see
+        # :func:`_inline_fifo_ok`) — which keeps a worker's OFFLOADs off
+        # the worker-pair diagonal id a network send would use.
+        num_workers = graph.schedule.num_workers
+        chan_full = self.send_worker * num_workers + self.send_dst_w
+        if self.has_host_sends:
+            host = self.send_host_dir >= 0
+            chan_full = np.where(
+                host,
+                num_workers * num_workers
+                + self.send_worker * 2
+                + np.maximum(self.send_host_dir, 0),
+                chan_full,
+            )
         uniq, inverse = (
             np.unique(chan_full, return_inverse=True)
             if len(send_oid)
@@ -396,8 +417,11 @@ class ScheduleKernel:
     def class_delays(self, cost_model: CostModel) -> np.ndarray:
         """Edge-delay table under ``cost_model`` (class 0 stays zero)."""
         delays = np.zeros(len(self.delay_classes) + 1)
-        for cid, (src_w, dst_w, units) in enumerate(self.delay_classes, 1):
-            delays[cid] = cost_model.p2p_time(src_w, dst_w, units)
+        for cid, (src_w, dst_w, units, hd) in enumerate(self.delay_classes, 1):
+            if hd >= 0:
+                delays[cid] = cost_model.host_time(units)
+            else:
+                delays[cid] = cost_model.p2p_time(src_w, dst_w, units)
         return delays
 
     def send_tables(
@@ -407,27 +431,50 @@ class ScheduleKernel:
 
         Built from the topology's array API (:meth:`link_table` /
         :meth:`channel_id_array`) over the kernel's static SEND table —
-        O(sends) of vectorized work, no per-send Python loop. Channel id
-        ``-1`` means no contention channel (free links or same-worker
-        endpoints); decode others as ``(id // W, id % W)``.
+        O(sends) of vectorized work, no per-send Python loop. Host
+        transfers (OFFLOAD/RELOAD) are priced on the cost model's host
+        channel; their channel ids live at ``W**2 + worker*2 + dir``,
+        above the worker-pair namespace. Channel id ``-1`` means no
+        contention channel (free links, free host channel, or same-worker
+        network endpoints); decode network ids as ``(id // W, id % W)``.
         """
         n = len(self.send_oid)
+        wire = np.zeros(n)
+        occupancy = np.zeros(n)
+        chan = np.full(n, -1, dtype=np.int64)
+        if n == 0:
+            return wire, occupancy, chan
+        host = self.send_host_dir >= 0
+        net = ~host
         topo = cost_model.topology
-        if topo is None or n == 0:
-            zeros = np.zeros(n)
-            return zeros, zeros.copy(), np.full(n, -1, dtype=np.int64)
-        alpha, beta = topo.link_table(self.send_worker, self.send_dst_w)
-        size = cost_model.activation_message_bytes * self.send_units
-        wire = alpha + beta * size
-        occupancy = beta * size
-        chan = topo.channel_id_array(
-            self.send_worker, self.send_dst_w, self.num_workers
-        )
-        same = self.send_worker == self.send_dst_w
-        if same.any():  # pragma: no cover - lowering never emits these
-            wire = np.where(same, 0.0, wire)
-            occupancy = np.where(same, 0.0, occupancy)
-            chan = np.where(same, -1, chan)
+        if topo is not None and net.any():
+            src_w = self.send_worker[net]
+            dst_w = self.send_dst_w[net]
+            alpha, beta = topo.link_table(src_w, dst_w)
+            size = cost_model.activation_message_bytes * self.send_units[net]
+            net_wire = alpha + beta * size
+            net_occ = beta * size
+            net_chan = topo.channel_id_array(src_w, dst_w, self.num_workers)
+            same = src_w == dst_w
+            if same.any():  # pragma: no cover - lowering never emits these
+                net_wire = np.where(same, 0.0, net_wire)
+                net_occ = np.where(same, 0.0, net_occ)
+                net_chan = np.where(same, -1, net_chan)
+            wire[net] = net_wire
+            occupancy[net] = net_occ
+            chan[net] = net_chan
+        hc = cost_model.host_channel
+        if hc is not None and self.has_host_sends:
+            size = cost_model.host_bytes(self.send_units[host])
+            wire[host] = hc.link.alpha + hc.link.beta * size
+            occupancy[host] = hc.link.beta * size
+            dirs = self.send_host_dir[host]
+            code = np.zeros_like(dirs) if hc.duplex == "half" else dirs
+            chan[host] = (
+                self.num_workers * self.num_workers
+                + self.send_worker[host] * 2
+                + code
+            )
         return wire, occupancy, chan
 
     def max_send_occupancy(self, cost_model: CostModel) -> float:
@@ -804,7 +851,7 @@ def fast_path_supported(
     """
     if blocking_sync:
         return False
-    if not schedule.lowered:
+    if not schedule.lowered and not schedule.metadata.get("offload"):
         return True
     if graph is None:
         graph = build_dependency_graph(schedule)
@@ -841,7 +888,7 @@ def simulate_fast(
             else np.zeros(0)
         )
         resolved = None
-    elif not blocking_sync and _full_duplex(cost_model):
+    elif not blocking_sync and _inline_fifo_ok(kernel, cost_model):
         start, end, wire_start = kernel.relax_scalar_fifo(
             kernel.durations(cost_model),
             kernel.class_delays(cost_model),
@@ -877,6 +924,29 @@ def _full_duplex(cost_model: CostModel) -> bool:
     time, which is timing-dependent: those rows take the fixed point.
     """
     return getattr(cost_model.topology, "duplex", "full") == "full"
+
+
+def _inline_fifo_ok(kernel: ScheduleKernel, cost_model: CostModel) -> bool:
+    """Whether the one-sweep inline-FIFO paths apply to this row.
+
+    Requires a full-duplex topology, and — when the schedule carries host
+    transfers — a full-duplex host channel: the kernel's static channel
+    compaction splits each worker's host traffic by direction, which is
+    only the true contention granularity under full host duplex. A
+    half-duplex host channel interleaves the worker's offloads and
+    reloads on one engine, so those rows take the fixed point (which
+    serializes against the cost model's own channel ids and handles any
+    duplex exactly).
+    """
+    if getattr(cost_model.topology, "duplex", "full") != "full":
+        return False
+    if (
+        kernel.has_host_sends
+        and cost_model.host_channel is not None
+        and cost_model.host_channel.duplex == "half"
+    ):
+        return False
+    return True
 
 
 def _serialize_channels(
@@ -944,7 +1014,9 @@ def _blocking_floors(
     for g, mids in enumerate(aux.member_ids):
         cutoff = max((end[m], op_worker[m], row_pos[m]) for m in mids)
         ce, cw, cp = cutoff
-        visible = (occupancy > 0.0) & (
+        # Host transfers never block a collective's interface (PCIe, not
+        # the NIC) — same exclusion as the engine's nic_busy bookkeeping.
+        visible = (occupancy > 0.0) & (kernel.send_host_dir < 0) & (
             (s_end < ce)
             | ((s_end == ce) & (s_w < cw))
             | ((s_end == ce) & (s_w == cw) & (s_pos < cp))
@@ -1134,6 +1206,16 @@ def _assemble_result(
         op = ops_flat[oid]
         ws = float(wire_start[idx])
         cid = int(chan[idx])
+        if cid < 0:
+            channel = None
+        elif cid >= num_workers * num_workers:
+            # Host-channel id: decode through the cost model's channel so
+            # the tuple matches the engine's host_channel_key verbatim.
+            channel = cost_model.host_channel.decode_channel_id(
+                cid, num_workers
+            )
+        else:
+            channel = (cid // num_workers, cid % num_workers)
         transfers.append(
             TransferRecord(
                 src_worker=int(kernel.send_worker[idx]),
@@ -1144,7 +1226,7 @@ def _assemble_result(
                 start=ws,
                 end=ws + float(wire_time[idx]),
                 occupancy=float(occupancy[idx]),
-                channel=None if cid < 0 else (cid // num_workers, cid % num_workers),
+                channel=channel,
             )
         )
 
@@ -1410,7 +1492,9 @@ def _batch_rows(
         _fill(fast_rows, start, end, durations)
 
     fifo_rows = [
-        k for k in range(k_total) if contended[k] and _full_duplex(models[k])
+        k
+        for k in range(k_total)
+        if contended[k] and _inline_fifo_ok(kernel, models[k])
     ]
     if fifo_rows:
         durations = np.stack([kernel.durations(models[k]) for k in fifo_rows])
@@ -1445,7 +1529,7 @@ def _batch_rows(
     iter_rows = [
         k
         for k in range(k_total)
-        if contended[k] and not _full_duplex(models[k])
+        if contended[k] and not _inline_fifo_ok(kernel, models[k])
     ]
     if iter_rows:
         if len(iter_rows) == 1 or not kernel.wave_sweep_profitable:
@@ -1527,9 +1611,10 @@ def _nic_intervals(
     Sorted and coalesced so :func:`_clear_sorted` can binary-search them —
     the engine's linear rescans are O(groups x transfers), which dominates
     for per-micro-batch synchronization (pipedream-family schedules carry
-    hundreds of groups).
+    hundreds of groups). Host transfers ride PCIe, not the NIC, so they
+    never appear here (the engine's ``nic_busy`` applies the same rule).
     """
-    busy = np.flatnonzero(occupancy > 0.0)
+    busy = np.flatnonzero((occupancy > 0.0) & (kernel.send_host_dir < 0))
     merged: dict[int, tuple[list[float], list[float]]] = {}
     if not busy.size:
         return merged

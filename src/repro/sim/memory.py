@@ -21,6 +21,13 @@ Two components:
   optimizer state); PipeDream additionally stashes up to ``D - s`` weight
   versions at stage ``s`` for version consistency, PipeDream-2BW exactly 2.
 
+The accounting is **two-tier**: an ``OFFLOAD`` op (offload pass) moves its
+stash's bytes out of the device's live set and into the worker's host
+tier until the matching ``RELOAD`` brings them back, so the device peak
+excludes host-resident stashes and each worker additionally reports its
+host-tier peak (:attr:`WorkerMemory.host_peak_bytes`), budgeted
+separately by :meth:`MemoryReport.fits`.
+
 The schemes' qualitative signatures (GPipe ~ N x Ma; DAPPLE/2BW first-worker
 peak; Chimera balanced in [(D/2+1) Ma, D Ma]; GEMS minimal) all emerge from
 this accounting — Figure 9 is regenerated from it.
@@ -95,9 +102,15 @@ class WorkerMemory:
     #: Peak number of live micro-batch stashes (in micro-batch units),
     #: comparable to Table 2's activation intervals.
     activation_peak_units: float
+    #: Peak bytes of this worker's stashes parked in *host* memory
+    #: (offload pass). Host-resident stashes are excluded from the device
+    #: peak above — that exclusion is the entire point of offloading —
+    #: and budgeted separately against the host tier.
+    host_peak_bytes: float = 0.0
 
     @property
     def total_bytes(self) -> float:
+        """Device-tier peak (host-resident stashes excluded)."""
         return self.weight_bytes + self.activation_peak_bytes
 
 
@@ -121,17 +134,35 @@ class MemoryReport:
         lo = self.min_bytes
         return self.peak_bytes / lo if lo > 0 else float("inf")
 
-    def fits(self, capacity_bytes: float) -> bool:
+    @property
+    def host_peak_bytes(self) -> float:
+        """Largest host-tier peak across workers (0 without offload)."""
+        return max(w.host_peak_bytes for w in self.workers)
+
+    def fits(
+        self, capacity_bytes: float, host_capacity_bytes: float | None = None
+    ) -> bool:
         """Would this configuration run without OOM on the given device?
 
         A configuration whose modeled peak **equals** the budget fits. The
         comparison carries a relative epsilon because :func:`analyze_memory`
         accumulates ``live_bytes`` with float additions — a peak assembled
         as ``0.1 + 0.2`` must not be rejected against a ``0.3`` budget over
-        2^-54 of drift.
+        2^-54 of drift. ``host_capacity_bytes`` budgets the host tier the
+        same way (``None`` = unlimited host memory, the common case —
+        hosts hold orders of magnitude more than devices).
         """
         slack = 1e-9 * max(abs(capacity_bytes), abs(self.peak_bytes), 1.0)
-        return self.peak_bytes <= capacity_bytes + slack
+        if self.peak_bytes > capacity_bytes + slack:
+            return False
+        if host_capacity_bytes is not None:
+            host_peak = self.host_peak_bytes
+            host_slack = 1e-9 * max(
+                abs(host_capacity_bytes), abs(host_peak), 1.0
+            )
+            if host_peak > host_capacity_bytes + host_slack:
+                return False
+        return True
 
 
 def weight_versions(schedule: Schedule, stage: int) -> int:
@@ -178,9 +209,53 @@ def analyze_memory(schedule: Schedule, model: MemoryModel) -> MemoryReport:
         live_units = 0.0
         peak_bytes = 0.0
         peak_units = 0.0
+        host_live = 0.0
+        host_peak = 0.0
         remaining_parts: dict[tuple[int, int, int], float] = {}
         stash_of: dict[tuple[int, int, int], float] = {}
+        on_host: set[tuple[int, int, int]] = set()
         for op in schedule.worker_ops[worker]:
+            if op.is_host_comm:
+                # Two-tier accounting: an OFFLOAD moves the stash's bytes
+                # out of the device's live set and into the host tier; the
+                # matching RELOAD moves them back. The stash keeps its
+                # identity (remaining_parts/stash_of untouched) so the
+                # releasing backward frees it exactly as without offload.
+                for mb in op.micro_batches:
+                    key = (op.replica, op.stage, mb)
+                    if op.is_offload:
+                        if key not in remaining_parts:
+                            raise MemoryModelError(
+                                f"OFFLOAD of micro-batch {mb} at stage "
+                                f"{op.stage} without a live forward stash "
+                                f"on worker {worker}"
+                            )
+                        if key in on_host:
+                            raise MemoryModelError(
+                                f"micro-batch {mb} at stage {op.stage} "
+                                f"offloaded twice on worker {worker}"
+                            )
+                        moved = stash_of[key] * remaining_parts[key]
+                        live_bytes -= moved
+                        live_units -= remaining_parts[key]
+                        host_live += moved
+                        on_host.add(key)
+                        host_peak = max(host_peak, host_live)
+                    else:
+                        if key not in on_host:
+                            raise MemoryModelError(
+                                f"RELOAD of micro-batch {mb} at stage "
+                                f"{op.stage} without an offloaded stash "
+                                f"on worker {worker}"
+                            )
+                        moved = stash_of[key] * remaining_parts[key]
+                        host_live -= moved
+                        live_bytes += moved
+                        live_units += remaining_parts[key]
+                        on_host.discard(key)
+                        peak_bytes = max(peak_bytes, live_bytes)
+                        peak_units = max(peak_units, live_units)
+                continue
             # Collectives and explicit SEND/RECV (lowered schedules) neither
             # create nor release activation stashes.
             if not op.is_compute:
@@ -267,6 +342,7 @@ def analyze_memory(schedule: Schedule, model: MemoryModel) -> MemoryReport:
                 weight_bytes=weights,
                 activation_peak_bytes=peak_bytes,
                 activation_peak_units=peak_units,
+                host_peak_bytes=host_peak,
             )
         )
     return MemoryReport(workers=tuple(workers))

@@ -112,6 +112,73 @@ def _channel_id_array(
     return src * num_workers + dst
 
 
+@dataclass(frozen=True)
+class HostChannel:
+    """One worker's host↔device copy engine (PCIe-class link).
+
+    Activation offload (:mod:`repro.schedules.passes.offload`) moves stash
+    bytes over this channel instead of the network: every worker owns a
+    private host link — transfers of different workers never contend with
+    each other or with p2p traffic, but two copies on the *same* worker
+    serialize exactly like messages on a network link. ``duplex`` selects
+    the channel granularity, mirroring topologies:
+
+    * ``"full"`` (default) — device→host and host→device are separate DMA
+      engines; an offload and a reload on one worker overlap.
+    * ``"half"`` — both directions share one engine (a single copy queue).
+
+    Channel identities live in their own namespace: the tuple form is
+    ``("host", worker[, direction])`` and the integer encoding used by the
+    array kernel starts at ``num_workers ** 2``, above every worker-pair
+    channel id, so host and network channels never collide.
+    """
+
+    link: LinkSpec
+    duplex: str = "full"
+
+    def __post_init__(self) -> None:
+        _check_duplex(self.duplex)
+
+    @staticmethod
+    def from_bandwidth(
+        alpha: float, bandwidth_bytes_per_sec: float, *, duplex: str = "full"
+    ) -> "HostChannel":
+        """Build a host channel from a latency and a bandwidth (bytes/s)."""
+        return HostChannel(
+            LinkSpec.from_bandwidth(alpha, bandwidth_bytes_per_sec),
+            duplex=duplex,
+        )
+
+    def channel_key(self, worker: int, direction: str) -> tuple:
+        """Tuple channel identity: ``("host", w, dir)`` / ``("host", w)``.
+
+        ``direction`` is ``"d2h"`` (offload) or ``"h2d"`` (reload). Under
+        half duplex both directions collapse onto one channel, so the
+        direction component is dropped.
+        """
+        if self.duplex == "half":
+            return ("host", worker)
+        return ("host", worker, direction)
+
+    def channel_id(self, worker: int, direction_code: int, num_workers: int) -> int:
+        """Integer channel id for the array kernel.
+
+        ``direction_code`` is 0 for device→host, 1 for host→device. Ids
+        are ``num_workers**2 + worker*2 + code`` (code forced to 0 under
+        half duplex), disjoint from the ``src*W + dst`` network ids.
+        """
+        code = 0 if self.duplex == "half" else direction_code
+        return num_workers * num_workers + worker * 2 + code
+
+    def decode_channel_id(self, cid: int, num_workers: int) -> tuple:
+        """Recover the tuple channel identity from an integer id."""
+        rem = cid - num_workers * num_workers
+        worker, code = divmod(rem, 2)
+        if self.duplex == "half":
+            return ("host", worker)
+        return ("host", worker, "h2d" if code else "d2h")
+
+
 class FlatTopology:
     """All worker pairs share one link class.
 

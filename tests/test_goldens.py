@@ -30,7 +30,7 @@ import pytest
 from repro.schedules.registry import available_schemes, build_schedule
 from repro.sim.cost import CostModel
 from repro.sim.gantt import render_gantt
-from repro.sim.network import FlatTopology, LinkSpec
+from repro.sim.network import FlatTopology, HostChannel, LinkSpec
 
 GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
 DEPTH, MICRO_BATCHES = 4, 4
@@ -66,11 +66,27 @@ def _rendered_contended() -> str:
     return render_gantt(schedule, cost_model=cost) + "\n"
 
 
+def _rendered_offload() -> str:
+    """Offloaded + lowered: host-channel lanes (``P0~``) next to the wire
+    lanes, stash copies queueing on the per-worker PCIe channel."""
+    schedule = build_schedule(
+        "dapple", DEPTH, MICRO_BATCHES, passes="offload,lower_p2p"
+    )
+    cost = CostModel.practical().with_(
+        topology=FlatTopology(LinkSpec(alpha=0.25, beta=0.25)),
+        activation_message_bytes=1.0,
+        host_channel=HostChannel(LinkSpec(alpha=0.25, beta=0.5)),
+        offload_message_bytes=1.0,
+    )
+    return render_gantt(schedule, cost_model=cost) + "\n"
+
+
 #: Pass-pipeline golden variants: name -> renderer.
 VARIANTS = {
     "dapple_recompute": _rendered_recompute,
     "dapple_fused": _rendered_fused,
     "dapple_contended": _rendered_contended,
+    "dapple_offload": _rendered_offload,
 }
 
 

@@ -67,6 +67,16 @@ def test_payload_schema(small_payload):
             assert case[engine]["ops_per_sec"] > 0
     summary = payload["summary"]
     assert summary["makespan_checksum"] == perfsuite.makespan_checksum(payload["cases"])
+    offload = payload["offload"]
+    assert summary["offload_fast_speedup_min"] == offload["fast_speedup_min"]
+    assert len(offload["cases"]) == len(perfsuite.OFFLOAD_SCHEMES) * len(
+        perfsuite.OFFLOAD_FAST_DEPTHS
+    ) * len(perfsuite.OFFLOAD_MODES)
+    for case in offload["cases"]:
+        assert case["host_copies"] > 0  # the pass really offloaded stashes
+        assert case["compute_makespan"] > 0
+        for engine in ("event", "fast"):
+            assert case[engine]["ops_per_sec"] > 0
     # JSON-serializable end to end.
     json.loads(json.dumps(payload))
 
@@ -94,6 +104,26 @@ def test_injected_25pct_slowdown_fails_gate(small_payload):
     assert any("throughput regressed" in v for v in violations)
     # 25% is invisible at a 30% tolerance: the knob works both ways.
     assert perfsuite.check_against(slowed, small_payload, tolerance=0.30) == []
+
+
+def test_injected_slowdown_in_offload_block_fails_gate(small_payload):
+    """The gate covers the offload section too: a regression confined to
+    the host-channel cases (engine cases untouched) still trips it."""
+    slowed = copy.deepcopy(small_payload)
+    for case in slowed["offload"]["cases"]:
+        for engine in ("event", "fast"):
+            case[engine]["ops_per_sec"] *= 0.75
+    violations = perfsuite.check_against(slowed, small_payload)
+    assert violations, "25% offload slowdown must trip the 20% gate"
+    assert all(v.startswith("offload ") for v in violations)
+    assert any("throughput regressed" in v for v in violations)
+
+    dropped = copy.deepcopy(small_payload)
+    gone = dropped["offload"]["cases"].pop(0)
+    violations = perfsuite.check_against(dropped, small_payload)
+    assert any(
+        gone["id"] in v and "disappeared" in v for v in violations
+    )
 
 
 def test_makespan_mismatch_fails_gate(small_payload):

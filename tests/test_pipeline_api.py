@@ -1,0 +1,338 @@
+"""The pipeline-spec API: one canonical way to name pass transforms.
+
+``pipeline=("recompute", "offload", "lower_p2p")`` replaces the
+``lowered``/``fused`` booleans everywhere a transform is configured —
+:class:`~repro.bench.harness.ExperimentConfig`,
+:class:`~repro.perf.planner.PlanRequest`, the trainer, the CLI and the
+serve schema. The booleans survive as deprecated aliases that must stay
+bit-identical to their pipeline spelling, and every entry point must
+reject malformed specs with the registered pass names enumerated.
+"""
+
+import warnings
+
+import pytest
+
+from repro.bench.harness import ExperimentConfig, run_configuration
+from repro.bench.machines import PIZ_DAINT
+from repro.bench.workloads import BERT48
+from repro.cli import main as cli_main
+from repro.common.errors import ConfigurationError
+from repro.common.units import GIB, parse_gib
+from repro.perf.planner import plan_configurations
+from repro.schedules.passes.pipeline import (
+    PipelineParts,
+    normalize_pipeline,
+    pipeline_from_flags,
+    split_pipeline,
+)
+from repro.serve.service import parse_plan_request
+
+
+# ------------------------------------------------------- normalization
+class TestNormalizePipeline:
+    def test_none_and_empty_mean_no_passes(self):
+        assert normalize_pipeline(None) == ()
+        assert normalize_pipeline("") == ()
+        assert normalize_pipeline([]) == ()
+
+    def test_string_and_sequence_forms_agree(self):
+        assert normalize_pipeline("offload, lower_p2p") == normalize_pipeline(
+            ["offload", "lower_p2p"]
+        )
+
+    def test_canonical_order_is_spelling_independent(self):
+        """recompute hoists to the head, lower_p2p/fuse_comm sink to the
+        tail — every permutation keys the schedule cache identically."""
+        canonical = ("recompute", "offload", "lower_p2p", "fuse_comm")
+        for spec in (
+            "recompute,offload,lower_p2p,fuse_comm",
+            "fuse_comm,lower_p2p,offload,recompute",
+            "offload,fuse_comm,recompute,lower_p2p",
+        ):
+            assert normalize_pipeline(spec) == canonical
+
+    def test_pass_arguments_survive(self):
+        assert normalize_pipeline("insert_sync:eager,offload") == (
+            "insert_sync:eager",
+            "offload",
+        )
+
+    def test_unknown_pass_enumerates_registered_names(self):
+        with pytest.raises(ConfigurationError, match="unknown schedule pass"):
+            normalize_pipeline("bogus")
+        with pytest.raises(ConfigurationError) as err:
+            normalize_pipeline("bogus")
+        for name in ("offload", "recompute", "lower_p2p", "fuse_comm"):
+            assert name in str(err.value)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConfigurationError, match="appears twice"):
+            normalize_pipeline("offload,offload")
+
+    def test_fuse_without_lower_rejected(self):
+        with pytest.raises(ConfigurationError, match="fuse_comm.*lower_p2p"):
+            normalize_pipeline("fuse_comm")
+
+    def test_split_round_trips(self):
+        parts = split_pipeline("fuse_comm,offload,recompute,lower_p2p")
+        assert parts == PipelineParts(
+            base=("offload",), recompute=True, lowered=True, fused=True
+        )
+        assert parts.offload
+        assert parts.pipeline() == (
+            "recompute",
+            "offload",
+            "lower_p2p",
+            "fuse_comm",
+        )
+
+    def test_flags_are_the_reverse_map(self):
+        pipe = pipeline_from_flags(recompute=True, lowered=True, fused=True)
+        assert pipe == ("recompute", "lower_p2p", "fuse_comm")
+        assert split_pipeline(pipe) == PipelineParts(
+            recompute=True, lowered=True, fused=True
+        )
+
+    def test_build_options_omit_empty_passes(self):
+        """Cache-key compatibility: a pass-less pipeline must produce the
+        exact legacy option dict, no ``passes=()`` key."""
+        assert split_pipeline("recompute").build_options() == {
+            "recompute": True
+        }
+        assert split_pipeline("recompute,offload").build_options() == {
+            "recompute": True,
+            "passes": ("offload",),
+        }
+
+
+# ------------------------------------------------------- parse_gib
+class TestParseGib:
+    def test_none_passes_through(self):
+        assert parse_gib(None) is None
+
+    def test_gib_to_bytes(self):
+        assert parse_gib(2.5) == 2.5 * GIB
+        assert parse_gib(1) == GIB
+
+    @pytest.mark.parametrize("bad", [0, -1.0, float("nan"), True])
+    def test_rejects_non_positive_and_non_numeric(self, bad):
+        with pytest.raises(ConfigurationError, match="budget"):
+            parse_gib(bad)
+
+    def test_error_names_the_field(self):
+        with pytest.raises(ConfigurationError, match="host budget"):
+            parse_gib(-2, field="host budget")
+
+
+# ------------------------------------------------------- harness aliases
+CFG = dict(
+    scheme="dapple",
+    machine=PIZ_DAINT,
+    workload=BERT48,
+    width=2,
+    depth=4,
+    micro_batch=4,
+    mini_batch=64,
+)
+
+
+class TestHarnessPipeline:
+    def test_deprecated_booleans_warn(self):
+        with pytest.warns(DeprecationWarning, match="pipeline="):
+            ExperimentConfig(**CFG, lowered=True)
+        with pytest.warns(DeprecationWarning, match="pipeline="):
+            ExperimentConfig(**CFG, lowered=True, fused=True)
+
+    def test_plain_and_pipeline_configs_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            ExperimentConfig(**CFG)
+            ExperimentConfig(**CFG, recompute=True)  # recompute stays an axis
+            ExperimentConfig(**CFG, pipeline=("offload", "lower_p2p"))
+
+    def test_booleans_and_pipeline_conflict(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            ExperimentConfig(**CFG, lowered=True, pipeline=("lower_p2p",))
+
+    def test_fused_requires_lowered(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigurationError, match="fused.*lowered"):
+                ExperimentConfig(**CFG, fused=True)
+
+    def test_boolean_alias_parity(self):
+        """The deprecated spelling and the pipeline spelling are the same
+        configuration: identical results, bit for bit."""
+        with pytest.warns(DeprecationWarning):
+            legacy = run_configuration(ExperimentConfig(**CFG, lowered=True))
+        spec = run_configuration(
+            ExperimentConfig(**CFG, pipeline=("lower_p2p",))
+        )
+        assert spec.pipeline == ("lower_p2p",)
+        assert legacy.pipeline == spec.pipeline
+        assert legacy.iteration_time == spec.iteration_time
+        assert legacy.throughput == spec.throughput
+        assert legacy.peak_memory_bytes == spec.peak_memory_bytes
+
+    def test_offload_pipeline_reports_host_tier(self):
+        result = run_configuration(
+            ExperimentConfig(**CFG, pipeline=("offload",))
+        )
+        base = run_configuration(ExperimentConfig(**CFG))
+        assert result.host_peak_memory_bytes > 0.0
+        assert base.host_peak_memory_bytes == 0.0
+        assert result.peak_memory_bytes < base.peak_memory_bytes
+
+
+# ------------------------------------------------------- planner pinning
+class TestPlannerPipeline:
+    PLAN = dict(num_workers=8, mini_batch=64, schemes=("dapple", "chimera"))
+
+    def test_explicit_pipeline_pins_every_entry(self):
+        entries = plan_configurations(
+            PIZ_DAINT, BERT48, pipeline="offload,recompute", **self.PLAN
+        )
+        assert entries
+        for e in entries:
+            assert e.pipeline == ("recompute", "offload")
+            assert e.recompute and e.offload
+        # At least the deep cells actually park stashes on the host
+        # (N=1 cells have nothing worth offloading).
+        assert any(e.host_peak_memory_bytes > 0.0 for e in entries)
+
+    def test_offload_axis_off_means_no_offloaded_entries(self):
+        entries = plan_configurations(
+            PIZ_DAINT, BERT48, offload=False, **self.PLAN
+        )
+        assert entries and not any(e.offload for e in entries)
+
+    def test_tight_budget_winner_offloads(self):
+        """Acceptance: with a budget too tight for the plain schedules,
+        the ranked table's best entry uses the host tier and beats the
+        best recompute-only plan at the same device budget."""
+        budget = dict(self.PLAN, memory_budget_bytes=1.5 * GIB)
+        entries = plan_configurations(PIZ_DAINT, BERT48, **budget)
+        no_offload = plan_configurations(
+            PIZ_DAINT, BERT48, offload=False, **budget
+        )
+        assert any(e.offload for e in entries)
+        assert entries[0].throughput >= no_offload[0].throughput
+        assert entries[0].peak_memory_bytes <= 1.5 * GIB
+
+    def test_host_budget_prunes_offload(self):
+        """A host tier too small for the stashes rejects the offloaded
+        attempts; with the axis forced on, nothing survives."""
+        with pytest.raises(ConfigurationError, match="memory.*budget"):
+            plan_configurations(
+                PIZ_DAINT,
+                BERT48,
+                offload=True,
+                recompute=False,
+                memory_budget_bytes=1.5 * GIB,
+                host_memory_budget_bytes=1,
+                **self.PLAN,
+            )
+
+    def test_pipeline_with_booleans_rejected(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            plan_configurations(
+                PIZ_DAINT, BERT48, pipeline="offload", lowered=False,
+                **self.PLAN,
+            )
+        with pytest.raises(ConfigurationError, match="not both"):
+            plan_configurations(
+                PIZ_DAINT, BERT48, pipeline="offload", fused=True,
+                **self.PLAN,
+            )
+
+
+# ------------------------------------------------------- CLI
+class TestCLIPipeline:
+    def test_simulate_pipeline_spec(self, capsys):
+        rc = cli_main(
+            [
+                "simulate", "--scheme", "dapple", "-W", "8", "-D", "4",
+                "-B", "8", "--pipeline", "offload,lower_p2p",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pipeline" in out and "offload,lower_p2p" in out
+        assert "host stash" in out
+
+    def test_bad_pipeline_is_an_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            cli_main(
+                [
+                    "simulate", "--scheme", "dapple", "-W", "8", "-D", "4",
+                    "-B", "8", "--pipeline", "bogus",
+                ]
+            )
+        assert err.value.code == 2
+        stderr = capsys.readouterr().err
+        assert "unknown schedule pass" in stderr
+        assert "offload" in stderr  # registered names enumerated
+
+    def test_pipeline_conflicts_with_legacy_flags(self, capsys):
+        rc = cli_main(
+            [
+                "simulate", "--scheme", "dapple", "-W", "8", "-D", "4",
+                "-B", "8", "--pipeline", "lower_p2p", "--lower",
+            ]
+        )
+        assert rc == 2
+        assert "--pipeline replaces" in capsys.readouterr().out
+
+    def test_plan_offload_axis(self, capsys):
+        rc = cli_main(
+            [
+                "plan", "-P", "8", "--mini-batch", "64",
+                "--schemes", "dapple", "chimera", "--budget-gib", "1.5",
+                "--top", "3",
+            ]
+        )
+        assert rc == 0
+        assert ", O)" in capsys.readouterr().out
+
+
+# ------------------------------------------------------- serve schema
+GOOD = {
+    "machine": "piz-daint",
+    "workload": "bert-48",
+    "num_workers": 4,
+    "mini_batch": 16,
+    "schemes": ["chimera", "dapple"],
+}
+
+
+class TestServePipeline:
+    def test_pipeline_field_round_trips(self):
+        req = parse_plan_request({**GOOD, "pipeline": "offload,lower_p2p"})
+        assert req.pipeline == ("offload", "lower_p2p")
+        req = parse_plan_request({**GOOD, "pipeline": ["offload"]})
+        assert req.pipeline == ("offload",)
+
+    def test_offload_and_host_budget_fields(self):
+        req = parse_plan_request(
+            {**GOOD, "offload": False, "host_memory_budget_bytes": 2 * GIB}
+        )
+        assert req.offload is False
+        assert req.host_memory_budget_bytes == 2 * GIB
+
+    @pytest.mark.parametrize(
+        "payload, fragment",
+        [
+            ({**GOOD, "pipeline": 7}, "field 'pipeline'"),
+            ({**GOOD, "pipeline": [1]}, "field 'pipeline'"),
+            ({**GOOD, "pipeline": "bogus"}, "unknown schedule pass"),
+            ({**GOOD, "pipeline": "bogus"}, "offload"),
+            ({**GOOD, "pipeline": "fuse_comm"}, "lower_p2p"),
+            ({**GOOD, "offload": "yes"}, "'offload' must be a boolean"),
+            ({**GOOD, "host_memory_budget_bytes": "2GiB"},
+             "'host_memory_budget_bytes' must be a number"),
+        ],
+    )
+    def test_rejections_name_the_problem(self, payload, fragment):
+        with pytest.raises(ConfigurationError) as exc:
+            parse_plan_request(payload)
+        assert fragment in str(exc.value)

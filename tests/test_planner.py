@@ -143,12 +143,19 @@ class TestRanking:
         )
 
     def test_tight_budget_favors_memory_controllable_schemes(self):
-        """Under a tight budget the memory-controllable family must fill
-        the top ranks the fast-but-hungry schedules vacate."""
+        """Under a tight budget (offload axis off) the memory-controllable
+        family must fill the top ranks the fast-but-hungry schedules
+        vacate; with the host tier available, offload restores the fast
+        schedules at no worse throughput."""
         tight = small_plan(
-            num_workers=16, mini_batch=128, memory_budget_bytes=3 * GIB
+            num_workers=16, mini_batch=128, memory_budget_bytes=3 * GIB,
+            offload=False,
         )
         assert tight[0].scheme in ("zb_vhalf", "zb_vmin", "zb_h1")
+        offloaded = small_plan(
+            num_workers=16, mini_batch=128, memory_budget_bytes=3 * GIB
+        )
+        assert offloaded[0].throughput >= tight[0].throughput
 
     def test_format_plan_renders_every_entry(self):
         entries = small_plan(top_k=4)
@@ -232,17 +239,19 @@ class TestPassAxes:
     """Schedule passes as planning axes: recompute on/off and fused comm."""
 
     def test_tight_budget_needs_the_recompute_pass(self):
-        """Acceptance: under a tight budget the planner selects a
-        recompute configuration that the pass-less planner
+        """Acceptance: under a tight budget (offload axis off) the planner
+        selects a recompute configuration that the pass-less planner
         (``recompute=False``) must reject as OOM."""
         budget = dict(
             num_workers=8, mini_batch=64, memory_budget_bytes=1.5 * GIB
         )
-        entries = plan_configurations(PIZ_DAINT, BERT48, **budget)
+        entries = plan_configurations(
+            PIZ_DAINT, BERT48, offload=False, **budget
+        )
         assert entries and all(e.recompute for e in entries)
         with pytest.raises(ConfigurationError, match="memory.*budget"):
             plan_configurations(
-                PIZ_DAINT, BERT48, recompute=False, **budget
+                PIZ_DAINT, BERT48, recompute=False, offload=False, **budget
             )
 
     def test_recompute_forced_on(self):
