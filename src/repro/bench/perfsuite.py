@@ -47,6 +47,11 @@ harness: a heterogeneous request stream is planned per-request
 batch (verified 1e-9-identical, wall-clock gated against
 :data:`PLAN_MANY_SPEEDUP_FLOOR`), and through concurrent client threads
 (QPS + p50/p99 latency + cache hit rates) — see :func:`run_planner_qps`.
+Schema 7 adds a multiprocess phase (the stream through a
+:data:`QPS_MP_WORKERS`-process ``PlannerWorkerPool``, parity asserted
+against the in-process run, ``mp_speedup`` floor-gated against
+:data:`MP_QPS_FLOOR` on hosts with that many cores) and a coalescing
+burst phase (K single-request clients must merge into < K dispatches).
 
 Regression gating
 -----------------
@@ -103,8 +108,15 @@ from repro.sim.network import FlatTopology, HostChannel, LinkSpec
 #: bumping its ``schema_version`` field alone. 6: added the **gated**
 #: ``offload`` section — offloaded (and offloaded+lowered) schedules
 #: timed under the host-channel model, engine/kernel parity asserted and
-#: normalized throughput regression-gated like the engine cases.
-SCHEMA_VERSION = 6
+#: normalized throughput regression-gated like the engine cases. 7: the
+#: ``planner_qps`` section gains a **multiprocess phase** (the full
+#: stream re-planned through a 4-process ``PlannerWorkerPool``, parity
+#: asserted against the in-process outcomes; ``mp_qps`` normalized-gated
+#: against the baseline, ``mp_speedup`` floor-gated on >=4-core hosts)
+#: and a **coalescing burst phase** (K concurrent single-request clients
+#: through a coalescing ``PlannerService``; in-run assertion that they
+#: merge into fewer than K ``plan_many`` dispatches).
+SCHEMA_VERSION = 7
 
 #: Full-suite grid: every registered scheme at these depths, N=64 — the
 #: acceptance grid of the array kernel (D=16, N=64 is the reference point).
@@ -147,6 +159,25 @@ QPS_FAST_BATCH = 8
 #: async-scheme benchmark instead of a planner-throughput one.
 QPS_SCHEMES = ("chimera", "dapple", "zb_h1", "zb_v")
 QPS_FAST_SCHEMES = ("chimera", "dapple")
+
+#: Worker-process count of the multiprocess phase (schema 7). The
+#: :data:`MP_QPS_FLOOR` is only meaningful when the host actually has
+#: that many cores — the floor check is conditioned on the recorded
+#: ``cpu_count``, so single-core baseline refreshes still record the
+#: phase without tripping an impossible gate.
+QPS_MP_WORKERS = 4
+
+#: Absolute floor on ``mp_speedup``: multiprocess QPS over the
+#: single-process concurrent phase's QPS at :data:`QPS_MP_WORKERS`
+#: workers. A same-host, same-run ratio (both phases plan the identical
+#: stream), so it needs no calibration; enforced on the current run when
+#: ``cpu_count >= QPS_MP_WORKERS``.
+MP_QPS_FLOOR = 2.0
+
+#: Coalescing burst phase (schema 7): window and client count for the
+#: K-client single-request burst against a coalescing
+#: :class:`~repro.serve.service.PlannerService`.
+QPS_COALESCE_MS = 50.0
 
 #: Cost models evaluated by the batch-path measurement: the base model
 #: plus f/b/w variations, so each batch row exercises a distinct duration
@@ -504,11 +535,15 @@ def _entries_close(a, b) -> bool:
 
 
 def run_planner_qps(
-    *, fast: bool = False, slowdown: float = 1.0, concurrent: bool = True
+    *,
+    fast: bool = False,
+    slowdown: float = 1.0,
+    concurrent: bool = True,
+    multiprocess: bool = True,
 ) -> dict:
     """The planner-as-a-service load harness (one ``planner_qps`` run).
 
-    Three phases over one heterogeneous request stream:
+    Five phases over one heterogeneous request stream:
 
     1. **Sequential reference** — per-request ``plan_configurations``
        over the distinct cells, once each; the full-stream sequential
@@ -525,13 +560,29 @@ def run_planner_qps(
        client threads (concurrent ``plan_many`` calls share the process
        cache, like ``repro serve`` handlers); per-request latency is its
        batch's completion time, yielding QPS and p50/p99.
+    4. **Multiprocess** (schema 7) — the full stream re-planned through
+       ``plan_many(backend="process")`` on a fresh
+       :data:`QPS_MP_WORKERS`-process pool, every outcome asserted
+       identical to phase 2's (1e-9 entries, exact error messages) —
+       the pooled-parity acceptance check runs on every bench
+       invocation. ``mp_qps`` is normalized-gated against the baseline;
+       ``mp_speedup = mp_qps / qps`` is floor-gated against
+       :data:`MP_QPS_FLOOR` when the recorded ``cpu_count`` can
+       physically sustain it.
+    5. **Coalescing burst** (schema 7) — :data:`QPS_CLIENTS` threads
+       each post one single-request ``/plan`` payload to a transport-
+       free coalescing :class:`~repro.serve.service.PlannerService`;
+       the run *asserts* they merge into fewer than K ``plan_many``
+       dispatches and records the coalescing counters.
 
     ``slowdown`` scales every measured planner wall (the injected-
-    regression hook), so QPS drops under injection and the normalized
-    gate in :func:`check_against` trips. ``concurrent=False`` skips
-    phase 3 (tests asserting only parity and the batch-speedup floor);
-    the section then carries no ``qps``/latency keys and the QPS gate
-    has nothing to compare.
+    regression hook), so QPS — including ``mp_qps`` — drops under
+    injection and the normalized gates in :func:`check_against` trip
+    (``mp_speedup`` is a same-run ratio of two equally scaled walls, so
+    the *floor* is deliberately injection-invariant). ``concurrent=False``
+    skips phases 3 and 5 (tests asserting only parity and the
+    batch-speedup floor); ``multiprocess=False`` skips phase 4 (pool
+    spawn is seconds of overhead single-core test runs can't amortize).
     """
     from concurrent.futures import ThreadPoolExecutor
 
@@ -625,6 +676,18 @@ def run_planner_qps(
             concurrent_wall_s=concurrent_wall,
         )
 
+    if multiprocess:
+        section.update(
+            _run_multiprocess_phase(
+                requests, distinct, outcomes, slowdown=slowdown
+            )
+        )
+        if concurrent:
+            section["mp_speedup"] = section["mp_qps"] / section["qps"]
+
+    if concurrent:
+        section.update(_run_coalesce_burst(distinct))
+
     mem1, disk1 = schedule_cache_stats(), disk_cache_stats()
     mem_lookups = mem1.lookups - mem0.lookups
     section["schedule_cache_hit_rate"] = (
@@ -636,6 +699,127 @@ def run_planner_qps(
             (disk1.hits - disk0.hits) / lookups if lookups else 1.0
         )
     return section
+
+
+def _run_multiprocess_phase(
+    requests: list, distinct: list, outcomes: list, *, slowdown: float
+) -> dict:
+    """Phase 4: the stream through a fresh 4-process pool, parity-checked.
+
+    The warm-up pass is untimed for the same reason the in-process one
+    is: each worker builds its own in-process ``ScheduleCache`` on first
+    contact (the disk tier is shared with the parent), and steady-state
+    serving — not cold start — is what the QPS number claims.
+    """
+    from repro.perf.planner import plan_many
+    from repro.perf.workers import PlannerWorkerPool
+
+    with PlannerWorkerPool(QPS_MP_WORKERS, name="bench") as pool:
+        plan_many(distinct, backend="process", pool=pool)  # untimed warm-up
+        t0 = time.perf_counter()
+        pooled = plan_many(requests, backend="process", pool=pool)
+        mp_wall = (time.perf_counter() - t0) * slowdown
+
+    for request, got, want in zip(requests, pooled, outcomes):
+        if (got.error is None) != (want.error is None) or (
+            want.error is not None and str(got.error) != str(want.error)
+        ):
+            raise ScheduleError(
+                f"process-backend error divergence for "
+                f"{request.machine.name}, B̂={request.mini_batch}: "
+                f"{got.error!r} vs in-process {want.error!r}"
+            )
+        if want.error is not None:
+            continue
+        if len(got.entries) != len(want.entries):
+            raise ScheduleError(
+                f"process-backend shape divergence for "
+                f"{request.machine.name}, B̂={request.mini_batch}: "
+                f"{len(got.entries)} entries vs {len(want.entries)}"
+            )
+        for a, b in zip(got.entries, want.entries):
+            if not _entries_close(a, b):
+                raise ScheduleError(
+                    f"process-backend entry diverged from in-process "
+                    f"plan_many beyond {MAKESPAN_ATOL:.0e}: {a} vs {b}"
+                )
+    return {
+        "mp_workers": QPS_MP_WORKERS,
+        "cpu_count": os.cpu_count() or 1,
+        "mp_wall_s": mp_wall,
+        "mp_qps": len(requests) / mp_wall,
+    }
+
+
+def _run_coalesce_burst(distinct: list) -> dict:
+    """Phase 5: K single-request clients must merge into < K dispatches.
+
+    Transport-free on purpose — the HTTP layer adds nothing to the claim
+    being measured (the serve smoke test covers it over sockets). The
+    in-run assertion is the acceptance criterion itself, so a coalescer
+    that stops batching fails the bench outright rather than silently
+    recording K batches.
+    """
+    import threading
+
+    from repro.bench.machines import MACHINES
+    from repro.bench.workloads import WORKLOADS
+    from repro.serve.service import PlannerService
+
+    machine_names = {id(m): name for name, m in MACHINES.items()}
+    workload_names = {id(w): name for name, w in WORKLOADS.items()}
+    payloads = []
+    for i in range(QPS_CLIENTS):
+        request = distinct[i % len(distinct)]
+        payloads.append(
+            {
+                "machine": machine_names[id(request.machine)],
+                "workload": workload_names[id(request.workload)],
+                "num_workers": request.num_workers,
+                "mini_batch": request.mini_batch,
+                "memory_budget_bytes": request.memory_budget_bytes,
+                "schemes": list(request.schemes),
+            }
+        )
+
+    service = PlannerService(coalesce_ms=QPS_COALESCE_MS)
+    barrier = threading.Barrier(len(payloads))
+    failures: list[BaseException] = []
+
+    def _client(payload: dict) -> None:
+        barrier.wait()
+        try:
+            service.plan(payload)
+        except BaseException as err:  # noqa: BLE001 - surfaced below
+            failures.append(err)
+
+    threads = [
+        threading.Thread(target=_client, args=(p,)) for p in payloads
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    stats = service.stats_json()
+    service.close()
+    if failures:
+        raise ScheduleError(
+            f"coalescing burst client failed: {failures[0]!r}"
+        ) from failures[0]
+    co = stats["coalesce"]
+    if co["batches"] >= len(payloads):
+        raise ScheduleError(
+            f"coalescing failed: {len(payloads)} single-request clients "
+            f"executed in {co['batches']} plan_many dispatches (expected "
+            f"fewer)"
+        )
+    return {
+        "coalesce_clients": len(payloads),
+        "coalesce_window_ms": QPS_COALESCE_MS,
+        "coalesce_batches": co["batches"],
+        "coalesce_dispatched": co["dispatched"],
+        "coalesced_requests": co["coalesced_requests"],
+    }
 
 
 def run_synthesize_block(*, fast: bool = False) -> dict:
@@ -845,6 +1029,10 @@ def run_suite(
     if planner_section is not None:
         summary["planner_qps"] = planner_section["qps"]
         summary["planner_plan_many_speedup"] = planner_section["plan_many_speedup"]
+        if "mp_qps" in planner_section:
+            summary["planner_mp_qps"] = planner_section["mp_qps"]
+        if "mp_speedup" in planner_section:
+            summary["planner_mp_speedup"] = planner_section["mp_speedup"]
 
     # Non-gating cache-efficacy metadata: cumulative process-wide counters
     # after the whole run (the planner section additionally records its
@@ -974,6 +1162,22 @@ def check_against(
             f"plan_many batch speedup {plan_speedup:.2f}x fell below the "
             f"{PLAN_MANY_SPEEDUP_FLOOR:.0f}x floor"
         )
+    # The multiprocess floor is a same-run ratio like the other absolute
+    # floors, but only physically attainable when the host has at least
+    # as many cores as the pool has workers — a single-core refresh
+    # records the phase without being gated on an impossible speedup.
+    mp_speedup = planner.get("mp_speedup")
+    if (
+        mp_speedup is not None
+        and planner.get("cpu_count", 0) >= QPS_MP_WORKERS
+        and planner.get("mp_workers", 0) >= QPS_MP_WORKERS
+        and mp_speedup < MP_QPS_FLOOR
+    ):
+        violations.append(
+            f"planner_qps: multiprocess QPS {mp_speedup:.2f}x the "
+            f"single-process phase fell below the {MP_QPS_FLOOR:.0f}x "
+            f"floor at {planner['mp_workers']} workers"
+        )
     if current.get("schema_version") != baseline.get("schema_version"):
         return [
             f"schema version mismatch: current "
@@ -1074,6 +1278,22 @@ def check_against(
                 f"(> {tolerance * 100:.0f}% allowed; normalized "
                 f"{cur_norm:.6f} vs baseline {base_norm:.6f})"
             )
+    cur_mp, base_mp = planner.get("mp_qps"), base_planner.get("mp_qps")
+    if base_mp is not None and cur_mp is None:
+        violations.append(
+            "planner_qps: multiprocess phase disappeared from the run — "
+            "refresh or investigate"
+        )
+    if cur_mp is not None and base_mp is not None:
+        cur_norm = cur_mp / cur_cal
+        base_norm = base_mp / base_cal
+        if cur_norm < base_norm * (1.0 - tolerance):
+            drop = 1.0 - cur_norm / base_norm
+            violations.append(
+                f"planner_qps: multiprocess QPS regressed {drop * 100:.1f}% "
+                f"(> {tolerance * 100:.0f}% allowed; normalized "
+                f"{cur_norm:.6f} vs baseline {base_norm:.6f})"
+            )
     return violations
 
 
@@ -1127,6 +1347,22 @@ def format_suite(payload: dict) -> str:
             f"(p50 {planner['p50_ms']:.0f} ms, p99 {planner['p99_ms']:.0f} ms), "
             f"plan_many {planner['plan_many_speedup']:.1f}x sequential "
             f"(floor {PLAN_MANY_SPEEDUP_FLOOR:.0f}x)"
+        )
+    if planner and "mp_qps" in planner:
+        speedup = planner.get("mp_speedup")
+        shown = f"{speedup:.2f}x single-process" if speedup else "n/a"
+        lines.append(
+            f"planner multiprocess: {planner['mp_qps']:.1f} req/s at "
+            f"{planner['mp_workers']} workers ({shown}; floor "
+            f"{MP_QPS_FLOOR:.0f}x on >={QPS_MP_WORKERS}-core hosts, "
+            f"host has {planner['cpu_count']})"
+        )
+    if planner and "coalesce_batches" in planner:
+        lines.append(
+            f"coalesce: {planner['coalesce_clients']} clients -> "
+            f"{planner['coalesce_batches']} dispatches "
+            f"({planner['coalesced_requests']} coalesced, "
+            f"{planner['coalesce_window_ms']:.0f} ms window)"
         )
     offload = payload.get("offload")
     if offload and offload.get("cases"):

@@ -22,11 +22,13 @@ Commands
               the contended modes use a nonzero-beta link model, so
               transfers queue per channel — plus the ``planner_qps``
               load harness and the non-gating ``synthesize`` comparison),
-              write a schema-versioned (v6) ``BENCH_<rev>.json``, and — with
+              write a schema-versioned (v7) ``BENCH_<rev>.json``, and — with
               ``--check-against benchmarks/baseline.json`` — fail on
               makespan mismatches, >20% throughput regressions, a D=16
               contended batch speedup below its 5x floor, a >20% planner
-              QPS drop, or a plan_many batch speedup below its 5x floor
+              QPS drop (single-process or multiprocess), a plan_many
+              batch speedup below its 5x floor, or multiprocess QPS
+              below 2x single-process at 4 workers on a >=4-core host
               (the CI gate; see ``docs/benchmarking.md``).
 ``serve``     Run the planner as a long-lived HTTP/JSON service
               (``POST /plan``, ``POST /plan_many``, ``GET /stats``; see
@@ -453,7 +455,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if args.plan_workers is not None
         else DEFAULT_PLAN_WORKERS
     )
-    service = PlannerService(max_inflight=args.max_inflight, plan_workers=workers)
+    service = PlannerService(
+        max_inflight=args.max_inflight,
+        plan_workers=workers,
+        workers=args.workers,
+        coalesce_ms=args.coalesce_ms,
+    )
     serve_forever(args.host, args.port, service=service)
     return 0
 
@@ -712,6 +719,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker pool bound for async-scheme steady-state paths "
         "(default: min(8, cores))",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="planner worker processes; 0 (default) plans in-process, "
+        "N > 0 starts a spawn-based pool and routes every batch "
+        "through plan_many(backend='process')",
+    )
+    p.add_argument(
+        "--coalesce-ms",
+        type=float,
+        default=0.0,
+        help="coalescing window in milliseconds for single /plan calls; "
+        "0 (default) disables micro-batching",
     )
     p.set_defaults(func=cmd_serve)
 

@@ -63,7 +63,6 @@ calling :func:`plan_configurations` once per request.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator, Sequence
 
@@ -431,6 +430,8 @@ def plan_many(
     requests: Iterable[PlanRequest],
     *,
     max_workers: int = DEFAULT_PLAN_WORKERS,
+    backend: str = "thread",
+    pool: "object | None" = None,
 ) -> list[PlanOutcome]:
     """Plan a batch of heterogeneous requests as one unit of work.
 
@@ -444,12 +445,34 @@ def plan_many(
     request ranks through a single
     :func:`~repro.sim.kernel.simulate_batch_many` call (rows sharing a
     dependency graph and cost model are simulated once), and the
-    asynchronous schemes' steady-state measurements fan out over a
-    bounded pool of at most ``max_workers`` threads.
+    asynchronous schemes' steady-state measurements fan out over the
+    process pool (sequential when there is at most one measurement or
+    ``max_workers == 1``).
+
+    ``backend="process"`` escapes the GIL entirely: distinct requests
+    are sharded round-robin across a
+    :class:`~repro.perf.workers.PlannerWorkerPool` (``pool``, or the
+    shared default pool sized ``max_workers``), each worker planning its
+    shard with its own warm caches. Per-request outcomes are independent
+    of their batchmates — cross-request sharing is purely a cost
+    optimization — so results are bit-identical to the thread backend,
+    including exact error messages. Inside a pool worker the process
+    backend degrades to the in-process path: workers never nest pools.
     """
     requests = list(requests)
+    if backend not in ("thread", "process"):
+        raise ConfigurationError(
+            f"unknown plan_many backend {backend!r}; use 'thread' or 'process'"
+        )
     if max_workers < 1:
         raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+    if backend == "process":
+        from repro.perf import workers as _workers
+
+        if not _workers.in_worker():
+            if pool is None:
+                pool = _workers.get_default_pool(max_workers)
+            return _plan_many_pooled(requests, pool)
     ctx = _PlanContext()
 
     unique: dict[PlanRequest, _Pruned | ConfigurationError] = {}
@@ -462,7 +485,7 @@ def plan_many(
             unique[request] = err
 
     pruned = [p for p in unique.values() if isinstance(p, _Pruned)]
-    ranked = _rank_all(pruned, max_workers=max_workers)
+    ranked = _rank_all(pruned, max_workers=max_workers, pool=pool)
 
     outcomes: dict[PlanRequest, PlanOutcome] = {}
     for request, state in unique.items():
@@ -476,6 +499,31 @@ def plan_many(
             continue
         outcomes[request] = PlanOutcome(request=request, entries=tuple(entries))
     return [outcomes[request] for request in requests]
+
+
+def _plan_many_pooled(
+    requests: list[PlanRequest], pool
+) -> list[PlanOutcome]:
+    """Shard distinct requests round-robin across the worker pool.
+
+    Identical requests collapse before sharding (exactly like the
+    in-process dedup), each worker plans one shard with its own warm
+    caches, and the per-request outcomes reassemble in submission order.
+    Bit-identical to the thread backend because per-request results
+    never depend on batchmates.
+    """
+    if not requests:
+        return []
+    distinct = list(dict.fromkeys(requests))
+    shard_count = max(1, min(pool.workers, len(distinct)))
+    shards = [distinct[k::shard_count] for k in range(shard_count)]
+    futures = [pool.submit_plan(shard) for shard in shards]
+    by_request: dict[PlanRequest, PlanOutcome] = {}
+    for shard, future in zip(shards, futures):
+        shard_outcomes = future.result()
+        for request, outcome in zip(shard, shard_outcomes):
+            by_request[request] = outcome
+    return [by_request[request] for request in requests]
 
 
 def _parameterized_options(
@@ -681,7 +729,7 @@ def _steady_cfg_key(cfg: ExperimentConfig) -> tuple:
 
 
 def _rank_all(
-    pruneds: Sequence[_Pruned], *, max_workers: int
+    pruneds: Sequence[_Pruned], *, max_workers: int, pool=None
 ) -> dict[int, list[PlanEntry]]:
     """Simulate every pruned request's survivors, shared across requests.
 
@@ -697,7 +745,11 @@ def _rank_all(
     Asynchronous schemes keep the steady-state measurement of
     :func:`~repro.bench.harness.run_configuration` (their throughput is a
     marginal rate between two window sizes, not one iteration time),
-    deduplicated and fanned out over at most ``max_workers`` threads.
+    deduplicated and fanned out over the **process pool** (``pool`` or
+    the shared default sized ``max_workers``): the measurements are
+    CPU-bound, so the thread pool this path used to run on bought no
+    speedup under the GIL. A single measurement — or ``max_workers ==
+    1``, or a pool worker evaluating its shard — stays sequential.
 
     Returns ``id(pruned) -> unsorted entries`` for :func:`_finalize`.
     """
@@ -741,7 +793,7 @@ def _rank_all(
                 float(batch.schedules[k].num_micro_batches),
             )
 
-    # ---- bounded worker pool for the async steady-state paths -----------
+    # ---- process-pool fan-out for the async steady-state paths ----------
     async_results: dict[tuple, "object | None"] = {}
 
     def _steady(item: tuple[tuple, ExperimentConfig]) -> tuple[tuple, object | None]:
@@ -753,8 +805,18 @@ def _rank_all(
 
     items = list(async_cfgs.items())
     if len(items) > 1 and max_workers > 1:
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            async_results = dict(pool.map(_steady, items))
+        from repro.perf import workers as _workers
+
+        if _workers.in_worker():
+            async_results = dict(map(_steady, items))
+        else:
+            steady_pool = (
+                pool if pool is not None else _workers.get_default_pool(max_workers)
+            )
+            futures = [
+                (key, steady_pool.submit_steady(cfg)) for key, cfg in items
+            ]
+            async_results = {key: future.result() for key, future in futures}
     else:
         async_results = dict(map(_steady, items))
 

@@ -236,8 +236,15 @@ class DiskScheduleCache:
         return True
 
     def _evict(self, path: pathlib.Path) -> None:
+        # Several processes share one cache directory and may race to
+        # evict the same corrupt entry; only the unlink that actually
+        # removed the file counts the eviction (missing_ok=True here
+        # double-counted — N hammering processes each claimed the single
+        # removal).
         try:
-            path.unlink(missing_ok=True)
+            path.unlink()
+        except FileNotFoundError:
+            return
         except OSError:
             return
         with self._lock:

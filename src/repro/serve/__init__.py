@@ -4,17 +4,24 @@
 validation into :class:`~repro.perf.planner.PlanRequest`, bounded-
 concurrency admission (backpressure via
 :class:`~repro.common.errors.ServiceOverloadError`), per-request timing,
-and service counters. :mod:`repro.serve.http` wraps it in a stdlib
-:class:`http.server.ThreadingHTTPServer` with graceful shutdown. Both are
-dependency-free beyond the standard library, like the rest of the repo.
+and service counters, with optional multiprocess planning
+(``workers=``, via :class:`~repro.perf.workers.PlannerWorkerPool`) and
+dynamic request coalescing (``coalesce_ms=``, via
+:mod:`repro.serve.coalesce`). :mod:`repro.serve.http` wraps it in a
+stdlib :class:`http.server.ThreadingHTTPServer` with graceful shutdown.
+Both are dependency-free beyond the standard library, like the rest of
+the repo.
 """
 
 from repro.serve.service import PlannerService, ServiceStats
+from repro.serve.coalesce import CoalesceStats, RequestCoalescer
 from repro.serve.http import PlannerHTTPServer, serve_forever
 
 __all__ = [
     "PlannerService",
     "ServiceStats",
+    "RequestCoalescer",
+    "CoalesceStats",
     "PlannerHTTPServer",
     "serve_forever",
 ]

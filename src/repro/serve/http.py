@@ -157,6 +157,14 @@ def serve_forever(
     try:
         server.serve_forever()
     finally:
+        # The accept loop has stopped; in-flight handlers may be blocked
+        # on coalescer futures. Draining the service FIRST dispatches
+        # everything queued immediately (instead of waiting out the
+        # coalescing window) and stops the worker pool, so the
+        # handler-thread join inside server_close() — daemon_threads is
+        # False — completes promptly and no child process outlives the
+        # server.
+        server.service.close()
         server.server_close()
         if verbose:
             print("repro serve: drained, bye")

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
 
 from repro.bench.machines import MACHINES
@@ -27,8 +28,15 @@ from repro.perf.planner import (
     PlanRequest,
     plan_many,
 )
+from repro.perf.workers import PlannerWorkerPool
 from repro.schedules.passes.pipeline import normalize_pipeline
 from repro.schedules.registry import available_schemes
+from repro.serve.coalesce import (
+    DEFAULT_COALESCE_BATCH,
+    LATENCY_WINDOW,
+    RequestCoalescer,
+    percentile,
+)
 
 #: Default bound on concurrently admitted plan computations.
 DEFAULT_MAX_INFLIGHT = 8
@@ -220,6 +228,17 @@ class ServiceStats:
     ``inflight`` is the number of admission slots held at the instant of
     the snapshot; it must return to zero when no request is executing —
     the regression signal for admission-slot leaks on error paths.
+
+    ``busy_seconds`` sums the wall-clock of every planning batch — and
+    batches overlap (``max_inflight`` admission slots, plus coalesced
+    dispatches running beside direct ``/plan_many`` calls), so it can
+    exceed real elapsed time. It measures *demand*, not duty cycle.
+    ``uptime_s`` is the monotonic age of the service at the snapshot;
+    ``busy_seconds / uptime_s`` is the average number of concurrently
+    executing batches (a utilization > 1.0 means real overlap, not a
+    bug). ``batch_p50_ms``/``batch_p99_ms`` are per-batch wall-clock
+    percentiles over the last :data:`~repro.serve.coalesce.LATENCY_WINDOW`
+    batches.
     """
 
     requests: int
@@ -229,6 +248,9 @@ class ServiceStats:
     plan_errors: int
     busy_seconds: float
     inflight: int
+    uptime_s: float
+    batch_p50_ms: float
+    batch_p99_ms: float
 
 
 class PlannerService:
@@ -240,6 +262,24 @@ class PlannerService:
     queueing unboundedly: the caller gets
     :class:`~repro.common.errors.ServiceOverloadError` (HTTP 503) and is
     expected to retry with backoff.
+
+    Two optional tiers lift the single-process ceiling:
+
+    * ``workers > 0`` starts a
+      :class:`~repro.perf.workers.PlannerWorkerPool` of that many
+      long-lived planner processes and routes every batch through
+      ``plan_many(backend="process")`` — CPU-bound planning escapes the
+      GIL while handler threads stay cheap.
+    * ``coalesce_ms > 0`` routes single ``/plan`` calls through a
+      :class:`~repro.serve.coalesce.RequestCoalescer`: a burst of K
+      concurrent clients merges into far fewer than K batched
+      ``plan_many`` dispatches. Coalesced dispatches are issued by one
+      dispatcher thread, which bounds their concurrency by construction,
+      so they bypass the admission semaphore (the bounded queue sheds
+      load instead); explicit ``/plan_many`` batches still take a slot.
+
+    :meth:`close` drains gracefully: the coalescer finishes everything
+    queued (resolving every caller's future), then the worker pool stops.
     """
 
     def __init__(
@@ -248,6 +288,9 @@ class PlannerService:
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         max_batch: int = DEFAULT_MAX_BATCH,
         plan_workers: int = DEFAULT_PLAN_WORKERS,
+        workers: int = 0,
+        coalesce_ms: float = 0.0,
+        coalesce_batch: int = DEFAULT_COALESCE_BATCH,
     ):
         if max_inflight < 1:
             raise ConfigurationError(
@@ -255,6 +298,12 @@ class PlannerService:
             )
         if max_batch < 1:
             raise ConfigurationError(f"max_batch must be >= 1, got {max_batch}")
+        if workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {workers}")
+        if coalesce_ms < 0:
+            raise ConfigurationError(
+                f"coalesce_ms must be >= 0, got {coalesce_ms}"
+            )
         self.max_inflight = max_inflight
         self.max_batch = max_batch
         self.plan_workers = plan_workers
@@ -267,14 +316,59 @@ class PlannerService:
         self._plan_errors = 0
         self._busy_seconds = 0.0
         self._inflight = 0
+        self._batch_walls: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._started = time.monotonic()
+        self._closed = False
+        self._pool = (
+            PlannerWorkerPool(workers, name="serve") if workers > 0 else None
+        )
+        self._coalescer = (
+            RequestCoalescer(
+                self._dispatch_coalesced,
+                coalesce_ms=coalesce_ms,
+                max_batch=coalesce_batch,
+            )
+            if coalesce_ms > 0
+            else None
+        )
 
     # ----------------------------------------------------------- endpoints
     def plan(self, payload: object) -> dict:
-        """Plan one request; the response embeds per-request timing."""
-        response = self.plan_batch([payload])
-        (result,) = response["results"]
-        result["elapsed_s"] = response["elapsed_s"]
-        return result
+        """Plan one request; the response embeds per-request timing.
+
+        With coalescing enabled the call enqueues and blocks on its
+        future — concurrent callers share one batched ``plan_many``
+        dispatch and ``elapsed_s`` reports that shared batch wall.
+        """
+        if self._coalescer is None:
+            response = self.plan_batch([payload])
+            (result,) = response["results"]
+            result["elapsed_s"] = response["elapsed_s"]
+            return result
+        try:
+            request = parse_plan_request(payload)
+        except ConfigurationError:
+            with self._lock:
+                self._rejected_invalid += 1
+            raise
+        try:
+            future = self._coalescer.submit(request)
+        except ServiceOverloadError:
+            with self._lock:
+                self._rejected_overload += 1
+            raise
+        return future.result()
+
+    def _dispatch_coalesced(self, requests: list) -> list:
+        """Plan one drained coalescer batch; called by its dispatcher
+        thread only, so concurrency is bounded without taking a slot."""
+        outcomes, elapsed = self._run_batch(requests)
+        results = []
+        for outcome in outcomes:
+            result = outcome_to_json(outcome)
+            result["elapsed_s"] = elapsed
+            results.append(result)
+        return results
 
     def plan_batch(self, payloads: object) -> dict:
         """Plan a batch of requests as one :func:`plan_many` call."""
@@ -311,31 +405,71 @@ class PlannerService:
         # shape started the timer *between* acquire and try, a window where
         # an exception leaked the slot permanently.
         try:
+            outcomes, elapsed = self._run_batch(requests)
+        finally:
+            self._slots.release()
+        return {
+            "results": [outcome_to_json(o) for o in outcomes],
+            "elapsed_s": elapsed,
+        }
+
+    def _run_batch(self, requests: list) -> tuple[list, float]:
+        """Execute one ``plan_many`` batch with full stats bookkeeping.
+
+        Shared by the admission-gated :meth:`plan_batch` path and the
+        coalescer dispatch; the in-flight gauge must return to zero on
+        every exit, including when planning itself raises.
+        """
+        try:
             with self._lock:
                 self._inflight += 1
             start = time.perf_counter()
             try:
-                outcomes = plan_many(requests, max_workers=self.plan_workers)
+                if self._pool is not None:
+                    outcomes = plan_many(
+                        requests,
+                        max_workers=self.plan_workers,
+                        backend="process",
+                        pool=self._pool,
+                    )
+                else:
+                    outcomes = plan_many(requests, max_workers=self.plan_workers)
             finally:
                 elapsed = time.perf_counter() - start
                 with self._lock:
                     self._requests += len(requests)
                     self._batches += 1
                     self._busy_seconds += elapsed
+                    self._batch_walls.append(elapsed)
         finally:
-            self._slots.release()
             with self._lock:
                 self._inflight -= 1
         with self._lock:
             self._plan_errors += sum(1 for o in outcomes if not o.ok)
-        return {
-            "results": [outcome_to_json(o) for o in outcomes],
-            "elapsed_s": elapsed,
-        }
+        return outcomes, elapsed
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self, timeout: float | None = 60.0) -> None:
+        """Graceful drain: the coalescer dispatches everything already
+        queued (every blocked caller's future resolves), then the worker
+        pool finishes in-flight shards and its processes join. New
+        submissions are shed during the drain. Idempotent."""
+        self._closed = True
+        if self._coalescer is not None:
+            self._coalescer.close(timeout)
+        if self._pool is not None:
+            self._pool.stop(timeout if timeout is not None else 60.0)
+
+    def __enter__(self) -> "PlannerService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # --------------------------------------------------------------- stats
     def stats(self) -> ServiceStats:
         with self._lock:
+            walls = sorted(self._batch_walls)
             return ServiceStats(
                 requests=self._requests,
                 batches=self._batches,
@@ -344,6 +478,9 @@ class PlannerService:
                 plan_errors=self._plan_errors,
                 busy_seconds=self._busy_seconds,
                 inflight=self._inflight,
+                uptime_s=time.monotonic() - self._started,
+                batch_p50_ms=percentile(walls, 0.50) * 1e3,
+                batch_p99_ms=percentile(walls, 0.99) * 1e3,
             )
 
     def stats_json(self) -> dict:
@@ -360,6 +497,9 @@ class PlannerService:
             "plan_errors": stats.plan_errors,
             "busy_seconds": stats.busy_seconds,
             "inflight": stats.inflight,
+            "uptime_s": stats.uptime_s,
+            "batch_p50_ms": stats.batch_p50_ms,
+            "batch_p99_ms": stats.batch_p99_ms,
             "schedule_cache": {
                 "hits": mem.hits,
                 "misses": mem.misses,
@@ -367,6 +507,27 @@ class PlannerService:
                 "hit_rate": mem.hit_rate,
             },
         }
+        if self._coalescer is not None:
+            co = self._coalescer.stats()
+            payload["coalesce"] = {
+                "enqueued": co.enqueued,
+                "dispatched": co.dispatched,
+                "batches": co.batches,
+                "coalesced_requests": co.coalesced,
+                "queue_depth": co.queue_depth,
+                "p50_ms": co.p50_ms,
+                "p99_ms": co.p99_ms,
+            }
+        if self._pool is not None:
+            wp = self._pool.stats()
+            payload["workers"] = {
+                "configured": wp.workers,
+                "alive": wp.alive,
+                "pids": list(wp.pids),
+                "pending": wp.pending,
+                "completed": wp.completed,
+                "failed": wp.failed,
+            }
         if disk is not None:
             payload["disk_cache"] = {
                 "hits": disk.hits,

@@ -3,9 +3,12 @@
 Covers the serialization round-trip (including attached kernels and
 frozen metadata), corruption tolerance (bad entries are evicted, never
 raised), the concurrent hammer the ISSUE demands (threads × mixed
-hits/misses/LRU evictions over a shared disk tier), and the cold-start
-acceptance: a fresh process with a warm disk cache plans without a
-single ``build_schedule`` call and at least 2x faster end to end.
+hits/misses/LRU evictions over a shared disk tier), a multi-*process*
+hammer (N processes store/load/vandalize one cache directory — the tier
+multiprocess planner workers share), eviction accounting under racing
+removals, and the cold-start acceptance: a fresh process with a warm
+disk cache plans without a single ``build_schedule`` call and at least
+2x faster end to end.
 """
 
 from __future__ import annotations
@@ -226,6 +229,105 @@ class TestConcurrentHammer:
         assert retained in results
         for arts in results:
             assert arts.schedule.worker_ops == retained.schedule.worker_ops
+
+
+class TestEvictionAccounting:
+    def test_racing_evictions_count_once(self, tmp_path):
+        """Two cache instances (stand-ins for two processes sharing one
+        cache dir) race to evict the same corrupt entry: only the unlink
+        that actually removed the file may count. The old missing_ok
+        unlink credited every racer with the single removal."""
+        disk = DiskScheduleCache(tmp_path)
+        other = DiskScheduleCache(tmp_path)
+        key = ScheduleCache.key("gpipe", 2, 4, {})
+        disk.store(key, ScheduleArtifacts(build_schedule("gpipe", 2, 4)).snapshot())
+        path = disk.entry_path(key)
+        path.write_bytes(b"garbage")
+
+        # Both sides have read the corrupt blob and decided to evict;
+        # the second unlink finds the file already gone.
+        disk._evict(path)
+        other._evict(path)
+        assert disk.stats().evictions == 1
+        assert other.stats().evictions == 0
+
+
+MP_HAMMER_SCRIPT = """
+import json, pathlib, random, sys
+from repro.schedules.cache import ScheduleArtifacts, ScheduleCache
+from repro.schedules.diskcache import DiskScheduleCache
+from repro.schedules.registry import build_schedule
+
+seed = int(sys.argv[1])
+rng = random.Random(seed)
+disk = DiskScheduleCache(pathlib.Path(sys.argv[2]))
+cells = [("gpipe", 2, 4), ("dapple", 2, 4), ("chimera", 2, 4), ("gpipe", 2, 8)]
+snapshots = {c: ScheduleArtifacts(build_schedule(*c)).snapshot() for c in cells}
+loaded = 0
+for i in range(60):
+    cell = cells[(seed + i) % len(cells)]
+    key = ScheduleCache.key(cell[0], cell[1], cell[2], {})
+    roll = rng.random()
+    if roll < 0.4:
+        disk.store(key, snapshots[cell])
+    elif roll < 0.8:
+        payload = disk.load(key)
+        if payload is not None:
+            assert "schedule" in payload, "structurally wrong payload served"
+            loaded += 1
+    else:
+        try:
+            disk.entry_path(key).write_bytes(b"garbage")
+        except OSError:
+            pass
+s = disk.stats()
+print(json.dumps({
+    "hits": s.hits, "misses": s.misses, "stores": s.stores,
+    "evictions": s.evictions, "loaded": loaded,
+}))
+"""
+
+
+class TestMultiProcessHammer:
+    def test_processes_store_load_evict_one_cache_dir(self, tmp_path):
+        """N concurrent *processes* hammer one cache directory with mixed
+        stores, loads, and vandalism: no crash, no wrong payload, and the
+        directory still round-trips cleanly afterwards (the thread hammer
+        above cannot see cross-process races in the atomic-rename store
+        or the eviction path — this one does)."""
+        shared = tmp_path / "shared"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        env.pop(ENV_DISABLE, None)
+
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", MP_HAMMER_SCRIPT, str(seed), str(shared)],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                env=env,
+                cwd=REPO,
+            )
+            for seed in range(4)
+        ]
+        stats = []
+        for proc in procs:
+            out, err = proc.communicate(timeout=600)
+            assert proc.returncode == 0, err
+            stats.append(json.loads(out.strip().splitlines()[-1]))
+
+        assert sum(s["stores"] for s in stats) > 0
+        assert sum(s["loaded"] for s in stats) > 0
+        # Whatever the hammer left behind, the tier still works: every
+        # cell stores and loads back structurally intact.
+        disk = DiskScheduleCache(shared)
+        for cell in [("gpipe", 2, 4), ("dapple", 2, 4), ("chimera", 2, 4)]:
+            key = ScheduleCache.key(cell[0], cell[1], cell[2], {})
+            arts = ScheduleArtifacts(build_schedule(*cell))
+            assert disk.store(key, arts.snapshot())
+            restored = ScheduleArtifacts.from_snapshot(disk.load(key))
+            assert restored.schedule.worker_ops == arts.schedule.worker_ops
 
 
 COLD_START_SCRIPT = """

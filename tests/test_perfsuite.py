@@ -390,10 +390,68 @@ class TestPlannerSection:
     def test_injected_slowdown_drops_qps(self, small_payload):
         """The CI self-test path: injection scales the planner walls, so
         the measured QPS sinks and the normalized gate trips."""
-        slowed = perfsuite.run_planner_qps(fast=True, slowdown=3.0)
+        slowed = perfsuite.run_planner_qps(
+            fast=True, slowdown=3.0, multiprocess=False
+        )
         clean = small_payload["planner_qps"]
         assert slowed["plan_many_wall_s"] > 0
         assert slowed["qps"] < clean["qps"]
+
+    def test_payload_carries_multiprocess_phase(self, small_payload):
+        planner = small_payload["planner_qps"]
+        assert planner["mp_workers"] == perfsuite.QPS_MP_WORKERS
+        assert planner["cpu_count"] >= 1
+        assert planner["mp_wall_s"] > 0
+        assert planner["mp_qps"] > 0
+        assert planner["mp_speedup"] > 0
+        summary = small_payload["summary"]
+        assert summary["planner_mp_qps"] == planner["mp_qps"]
+        assert summary["planner_mp_speedup"] == planner["mp_speedup"]
+
+    def test_payload_carries_coalesce_phase(self, small_payload):
+        planner = small_payload["planner_qps"]
+        assert planner["coalesce_clients"] == perfsuite.QPS_CLIENTS
+        assert planner["coalesce_window_ms"] == perfsuite.QPS_COALESCE_MS
+        # The whole point: K concurrent clients, fewer than K dispatches.
+        assert planner["coalesce_batches"] < planner["coalesce_clients"]
+        assert planner["coalesced_requests"] > 0
+        assert planner["coalesce_dispatched"] == planner["coalesce_clients"]
+
+    def test_mp_floor_trips_checker_on_big_hosts_only(self, small_payload):
+        """The 2x floor is conditioned on the recorded host: a 4-worker
+        pool on a >= 4-core box must clear it, while a 1-core CI runner
+        records the phase without being judged by it."""
+        slow = copy.deepcopy(small_payload)
+        planner = slow["planner_qps"]
+        planner["mp_speedup"] = 1.0
+        planner["cpu_count"] = 8
+        planner["mp_workers"] = perfsuite.QPS_MP_WORKERS
+        violations = perfsuite.check_against(slow, slow)
+        assert any(
+            "multiprocess QPS" in v and "floor" in v for v in violations
+        ), violations
+        planner["cpu_count"] = 1  # same ratio, small host: no judgement
+        assert not any(
+            "floor" in v and "multiprocess" in v
+            for v in perfsuite.check_against(slow, slow)
+        )
+
+    def test_mp_qps_regression_trips_checker(self, small_payload):
+        slowed = copy.deepcopy(small_payload)
+        slowed["planner_qps"]["mp_qps"] *= 0.5
+        violations = perfsuite.check_against(slowed, small_payload)
+        assert any(
+            "planner_qps: multiprocess QPS regressed" in v
+            for v in violations
+        ), violations
+
+    def test_mp_phase_disappearing_trips_checker(self, small_payload):
+        current = copy.deepcopy(small_payload)
+        del current["planner_qps"]["mp_qps"]
+        violations = perfsuite.check_against(current, small_payload)
+        assert any(
+            "multiprocess phase disappeared" in v for v in violations
+        ), violations
 
 
 def test_acceptance_plan_many_speedup_at_d16():
@@ -405,7 +463,9 @@ def test_acceptance_plan_many_speedup_at_d16():
     the sequential reference inside ``run_planner_qps`` (it raises on any
     divergence). The concurrent-client phase is skipped: QPS needs a
     baseline to gate against, while this floor is absolute."""
-    section = perfsuite.run_planner_qps(fast=False, concurrent=False)
+    section = perfsuite.run_planner_qps(
+        fast=False, concurrent=False, multiprocess=False
+    )
     assert section["requests"] == perfsuite.QPS_REQUESTS
     speedup = section["plan_many_speedup"]
     assert speedup >= perfsuite.PLAN_MANY_SPEEDUP_FLOOR, (

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -314,3 +315,259 @@ class TestHTTP:
             server.shutdown()
             thread.join(timeout=10)
             server.server_close()
+
+
+def _burst(service: PlannerService, payloads: list) -> list:
+    """Fire one thread per payload at ``service.plan``; returns results
+    (response dicts or the raised exception, index-aligned)."""
+    results: list = [None] * len(payloads)
+    barrier = threading.Barrier(len(payloads))
+
+    def client(i: int) -> None:
+        barrier.wait()
+        try:
+            results[i] = service.plan(payloads[i])
+        except BaseException as err:  # noqa: BLE001 - asserted by callers
+            results[i] = err
+
+    threads = [
+        threading.Thread(target=client, args=(i,))
+        for i in range(len(payloads))
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return results
+
+
+class TestCoalescing:
+    def test_burst_merges_into_fewer_dispatches(self):
+        """The acceptance criterion: K concurrent single /plan calls run
+        in < K plan_many dispatches, every caller gets its own result."""
+        with PlannerService(coalesce_ms=80.0) as service:
+            payloads = [dict(GOOD, top_k=1 + i % 3) for i in range(6)]
+            results = _burst(service, payloads)
+            assert all(isinstance(r, dict) and r["ok"] for r in results)
+            # Fan-out respects per-request identity, not batch position.
+            for payload, result in zip(payloads, results):
+                assert len(result["entries"]) == payload["top_k"]
+            stats = service.stats_json()
+            co = stats["coalesce"]
+            assert co["batches"] < len(payloads)
+            assert co["coalesced_requests"] > 0
+            assert co["enqueued"] == co["dispatched"] == len(payloads)
+            assert co["queue_depth"] == 0
+            assert stats["inflight"] == 0
+
+    def test_invalid_payload_rejected_before_the_queue(self):
+        with PlannerService(coalesce_ms=50.0) as service:
+            with pytest.raises(ConfigurationError, match="available machines"):
+                service.plan({**GOOD, "machine": "cray-1"})
+            stats = service.stats_json()
+            assert stats["rejected_invalid"] == 1
+            assert stats["coalesce"]["enqueued"] == 0
+
+    def test_coalesced_plan_errors_fan_out_per_request(self):
+        with PlannerService(coalesce_ms=80.0) as service:
+            payloads = [GOOD, {**GOOD, "num_workers": 1}, GOOD]
+            results = _burst(service, payloads)
+            assert [r["ok"] for r in results] == [True, False, True]
+            assert "at least two workers" in results[1]["error"]
+            assert service.stats_json()["plan_errors"] == 1
+
+    def test_close_drains_queued_requests(self):
+        """A window far longer than the test: close() must dispatch the
+        queued burst immediately (drain = finish, not cancel) rather than
+        waiting out the window or dropping futures."""
+        service = PlannerService(coalesce_ms=60_000.0)
+        results: list = []
+        started = threading.Event()
+
+        def client() -> None:
+            started.set()
+            results.append(service.plan(GOOD))
+
+        thread = threading.Thread(target=client)
+        thread.start()
+        started.wait(timeout=10)
+        # Wait until the request is actually queued in the coalescer.
+        deadline = time.monotonic() + 10
+        while service._coalescer.stats().queue_depth == 0:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        service.close()
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert results and results[0]["ok"]
+        assert service.stats_json()["inflight"] == 0
+        with pytest.raises(ServiceOverloadError, match="draining"):
+            service.plan(GOOD)
+
+    def test_stats_grow_uptime_and_batch_percentiles(self):
+        service = PlannerService()
+        service.plan(GOOD)
+        stats = service.stats_json()
+        assert stats["uptime_s"] > 0
+        assert stats["batch_p99_ms"] >= stats["batch_p50_ms"] > 0
+        # busy_seconds measures demand, not duty cycle: bounded by
+        # uptime only when batches never overlap (as here).
+        assert stats["busy_seconds"] <= stats["uptime_s"]
+        json.dumps(stats)
+        service.close()
+
+    def test_ctor_validation(self):
+        with pytest.raises(ConfigurationError, match="workers"):
+            PlannerService(workers=-1)
+        with pytest.raises(ConfigurationError, match="coalesce_ms"):
+            PlannerService(coalesce_ms=-0.5)
+
+
+class TestMultiprocessService:
+    """One worker process end to end through the service layer."""
+
+    @pytest.fixture(scope="class")
+    def mp_service(self):
+        with PlannerService(workers=1, coalesce_ms=50.0) as service:
+            yield service
+
+    def test_pooled_plan_matches_in_process(self, mp_service):
+        response = mp_service.plan(GOOD)
+        assert response["ok"] is True
+        reference = plan_configurations(
+            PIZ_DAINT, BERT48, num_workers=4, mini_batch=16,
+            schemes=("chimera", "dapple"),
+        )
+        assert len(response["entries"]) == len(reference)
+        top, want = response["entries"][0], reference[0]
+        assert top["throughput"] == want.throughput
+        assert top["iteration_time"] == want.iteration_time
+
+    def test_workers_stats_block(self, mp_service):
+        mp_service.plan_batch([GOOD])
+        stats = mp_service.stats_json()
+        wp = stats["workers"]
+        assert wp["configured"] == 1
+        assert wp["alive"] == 1
+        assert len(wp["pids"]) == 1
+        assert wp["pending"] == 0
+        assert wp["completed"] >= 1
+
+    def test_plan_errors_cross_the_process_boundary(self, mp_service):
+        response = mp_service.plan_batch([{**GOOD, "num_workers": 1}])
+        [result] = response["results"]
+        assert result["ok"] is False
+        assert "at least two workers" in result["error"]
+
+
+class TestGracefulDrainUnderLoad:
+    def test_close_with_requests_queued_and_in_flight(self):
+        """The satellite scenario: requests queued in the coalescer AND
+        in flight in the worker pool when close() lands. Every future
+        resolves, the pool joins (no orphan processes), inflight ends 0."""
+        import os
+
+        service = PlannerService(workers=1, coalesce_ms=150.0)
+        pool_pids = service._pool.pids()
+        payloads = [dict(GOOD, top_k=1 + i % 4) for i in range(5)]
+        results: list = [None] * len(payloads)
+        launched = threading.Barrier(len(payloads) + 1)
+
+        def client(i: int) -> None:
+            launched.wait()
+            results[i] = service.plan(payloads[i])
+
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(len(payloads))
+        ]
+        for t in threads:
+            t.start()
+        launched.wait()
+        # Close while the burst is still inside the coalescing window —
+        # exactly what the SIGTERM handler does via serve_forever.
+        deadline = time.monotonic() + 10
+        while service._coalescer.stats().queue_depth == 0:
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        service.close()
+        for t in threads:
+            t.join(timeout=120)
+            assert not t.is_alive()
+        assert all(isinstance(r, dict) and r["ok"] for r in results)
+        stats = service.stats_json()
+        assert stats["inflight"] == 0
+        assert stats["coalesce"]["queue_depth"] == 0
+        assert stats["workers"]["alive"] == 0
+        assert stats["workers"]["pending"] == 0
+        for pid in pool_pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+
+    def test_sigterm_drains_real_server_with_pool(self, tmp_path):
+        """End to end over a socket: ``repro serve --workers 1
+        --coalesce-ms 100`` gets a concurrent burst, SIGTERM lands while
+        it is in flight, every client still receives its full response,
+        and the server exits 0 with no orphaned worker process."""
+        import os
+        import pathlib
+        import signal
+        import subprocess
+        import sys
+
+        repo = pathlib.Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo / "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-u", "-m", "repro", "serve",
+                "--host", "127.0.0.1", "--port", "0",
+                "--workers", "1", "--coalesce-ms", "100",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+            cwd=repo,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "listening on" in banner, banner
+            base = banner.strip().rsplit(" ", 1)[-1]
+            deadline = time.monotonic() + 60
+            while True:
+                try:
+                    if _get(f"{base}/healthz") == (200, {"ok": True}):
+                        break
+                except OSError:
+                    pass
+                assert time.monotonic() < deadline, "server never came up"
+                time.sleep(0.1)
+
+            responses: list = [None] * 4
+
+            def client(i: int) -> None:
+                responses[i] = _post(
+                    f"{base}/plan", json.dumps(dict(GOOD, top_k=1 + i)).encode()
+                )
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            time.sleep(0.03)  # inside the 100 ms coalescing window
+            proc.send_signal(signal.SIGTERM)
+            for t in threads:
+                t.join(timeout=120)
+                assert not t.is_alive()
+            for i, (status, body) in enumerate(responses):
+                assert status == 200, body
+                assert body["ok"] is True
+                assert len(body["entries"]) == 1 + i
+            assert proc.wait(timeout=120) == 0
+            assert "drained, bye" in proc.stdout.read()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
